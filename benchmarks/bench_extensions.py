@@ -1,0 +1,57 @@
+"""Benchmarks for the beyond-the-paper extension analyses."""
+
+import numpy as np
+
+from repro.analysis.extensions import (
+    compute_application_mix,
+    compute_departure_waves,
+    compute_diurnal_convergence,
+)
+
+from conftest import print_once
+
+
+def test_application_mix(benchmark, artifacts):
+    mix = benchmark(compute_application_mix, artifacts.dataset,
+                    artifacts.post_shutdown_mask)
+    work = mix.share_series("work")
+    print_once("Work/leisure mix",
+               "monthly work shares: "
+               + ", ".join(f"{share:.0%}" for share in work))
+    # Online instruction grows the work share from February to April.
+    assert work[2] > work[0]
+
+
+def test_diurnal_convergence(benchmark, artifacts):
+    result = benchmark(compute_diurnal_convergence, artifacts.dataset,
+                       artifacts.post_shutdown_mask)
+    series = result.series()
+    print_once("Weekday/weekend similarity",
+               ", ".join(f"{value:.3f}" for value in series))
+    # The dorm population keeps distinct weekday/weekend rhythms: no
+    # month reaches full convergence.
+    assert all(value < 0.999 for value in series if not np.isnan(value))
+
+
+def test_departure_waves(benchmark, artifacts):
+    waves = benchmark(compute_departure_waves, artifacts.dataset)
+    print_once("Departure waves",
+               " ".join(str(int(count))
+                        for count in waves.weekly_departures))
+    assert waves.remainer_count > 0
+    # The bulk of departures lands in March (weeks 5-8 of the window).
+    march = waves.weekly_departures[5:9].sum()
+    assert march >= waves.weekly_departures.sum() * 0.5
+
+
+def test_unclassified_attribution(benchmark, artifacts):
+    """Footnote 2: unclassified devices look like personal devices."""
+    from repro.analysis.unclassified import attribute_unclassified
+    result = benchmark(attribute_unclassified, artifacts.dataset,
+                       artifacts.classification)
+    share = result.personal_device_share()
+    print_once("Unclassified attribution",
+               f"attributed to mobile/laptop: {share:.0%} of "
+               f"{len(result.attributions)} unclassified devices")
+    if len(result.attributions) >= 5:
+        assert share > 0.6

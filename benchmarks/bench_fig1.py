@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of Figure 1: active devices per day by type.
+
+Paper shape: a ~32k-device peak before the shutdown collapsing to a
+~5k floor, weekday/weekend ripple throughout, and unclassified devices
+dominating the post-shutdown census.
+"""
+
+from repro.analysis.fig1_active_devices import compute_fig1
+from repro.core.report import render_fig1
+
+from conftest import print_once
+
+
+def test_fig1_active_devices(benchmark, artifacts):
+    result = benchmark(
+        compute_fig1, artifacts.dataset, artifacts.classification)
+    print_once("Figure 1", render_fig1(result))
+
+    # Shape assertions: the exodus is visible.
+    assert result.peak > 3 * result.trough_after_peak
+    assert set(result.by_class) == {
+        "mobile", "laptop_desktop", "iot", "unclassified"}

@@ -1,0 +1,37 @@
+"""Benchmark + regeneration of Figure 3: hour-of-week traffic profiles.
+
+Paper shape: lock-down weekdays ramp earlier and peak higher than the
+February weekday curve, while weekend profiles stay essentially
+unchanged.
+"""
+
+import numpy as np
+
+from repro.analysis.fig3_hour_of_week import compute_fig3
+from repro.core.report import render_fig3
+
+from conftest import print_once
+
+#: Hour-of-week slots for the first two (weekday) days of each sampled
+#: week (the weeks start on a Thursday), restricted to 9am-5pm.
+_WEEKDAY_DAYTIME = np.r_[9:17, 33:41]
+
+
+def test_fig3_hour_of_week(benchmark, artifacts):
+    result = benchmark(
+        compute_fig3, artifacts.dataset,
+        device_mask=artifacts.post_shutdown_mask)
+    print_once("Figure 3", render_fig3(result))
+
+    february = result.weeks["2020-02-20"]
+    april = result.weeks["2020-04-09"]
+    # Weekday daytime volume grows under lock-down.
+    assert april[_WEEKDAY_DAYTIME].sum() > february[_WEEKDAY_DAYTIME].sum()
+
+
+def test_fig3_median_estimator(benchmark, artifacts):
+    """The paper's own (noisier) per-hour median estimator."""
+    result = benchmark(
+        compute_fig3, artifacts.dataset,
+        device_mask=artifacts.post_shutdown_mask, estimator="median")
+    assert len(result.weeks) == 4

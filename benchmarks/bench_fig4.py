@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Figure 4: sub-population daily medians.
+
+Paper shape: with Zoom excluded, international students' per-device
+traffic rises sharply during the academic break and stays elevated for
+the rest of the term, while domestic traffic returns toward February
+levels by May.
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.analysis.common import month_day_mask, study_day_count
+from repro.analysis.fig4_subpopulation import compute_fig4
+from repro.core.report import render_fig4
+
+from conftest import print_once
+
+
+def test_fig4_subpopulation(benchmark, artifacts):
+    result = benchmark(
+        compute_fig4, artifacts.dataset, artifacts.classification,
+        artifacts.international_mask, artifacts.post_shutdown_mask,
+        artifacts.signatures.get("zoom"))
+    print_once("Figure 4", render_fig4(result))
+
+    n_days = study_day_count(artifacts.dataset)
+    feb = month_day_mask(artifacts.dataset, 2020, 2, n_days)
+    apr = month_day_mask(artifacts.dataset, 2020, 4, n_days)
+
+    intl_feb = result.series_mean("international", "mobile_desktop", feb)
+    intl_apr = result.series_mean("international", "mobile_desktop", apr)
+    dom_feb = result.series_mean("domestic", "mobile_desktop", feb)
+    dom_apr = result.series_mean("domestic", "mobile_desktop", apr)
+
+    # International traffic rises under lock-down and stays above its
+    # own February level; domestic medians move far less (the paper
+    # shows them near their February level through the term).
+    if not np.isnan(intl_feb) and not np.isnan(intl_apr):
+        assert intl_apr > intl_feb
+    assert dom_apr > 0.7 * dom_feb
+    if (not np.isnan(intl_feb) and not np.isnan(intl_apr)
+            and dom_feb > 0):
+        intl_rise = intl_apr / intl_feb
+        dom_rise = dom_apr / dom_feb
+        assert intl_rise > dom_rise

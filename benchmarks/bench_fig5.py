@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Figure 5: daily aggregate Zoom traffic.
+
+Paper shape: near-zero before the pandemic, a ramp through late March,
+weekday-dominant volume concentrated in 8am-6pm class hours, weekend
+dips with a small afternoon social bump.
+"""
+
+from repro import constants
+from repro.analysis.common import month_day_mask, study_day_count
+from repro.analysis.fig5_zoom import compute_fig5
+from repro.core.report import render_fig5
+
+from conftest import print_once
+
+
+def test_fig5_zoom(benchmark, artifacts):
+    result = benchmark(
+        compute_fig5, artifacts.dataset, artifacts.signatures.get("zoom"),
+        artifacts.post_shutdown_mask, constants.BREAK_END)
+    print_once("Figure 5", render_fig5(result))
+
+    n_days = study_day_count(artifacts.dataset)
+    feb = month_day_mask(artifacts.dataset, 2020, 2, n_days)
+    apr = month_day_mask(artifacts.dataset, 2020, 4, n_days)
+    assert result.daily_bytes[apr].sum() > 5 * max(
+        result.daily_bytes[feb].sum(), 1.0)
+    assert result.weekday_business_share() > 0.6
+    assert result.weekday_hourly.sum() > result.weekend_hourly.sum()

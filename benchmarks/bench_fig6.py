@@ -1,0 +1,38 @@
+"""Benchmark + regeneration of Figure 6: monthly social-media durations.
+
+Paper shapes (mobile devices, per-device monthly session hours):
+6a Facebook -- domestic steady then a May decline, international rising
+   under lock-down; 6b Instagram -- domestic flat then a May dip,
+   international up in May; 6c TikTok -- domestic March bump and rising
+   upper quartiles, user counts growing every month.
+"""
+
+import math
+
+from repro.analysis.fig6_social import compute_fig6
+from repro.core.report import render_fig6
+
+from conftest import print_once
+
+
+def test_fig6_social_durations(benchmark, artifacts):
+    result = benchmark(
+        compute_fig6, artifacts.dataset, artifacts.classification,
+        artifacts.international_mask, artifacts.post_shutdown_mask)
+    print_once("Figure 6", render_fig6(result))
+
+    # Domestic Facebook: May median sits below February's. Only assert
+    # the direction when the monthly samples are large enough for a
+    # median shift of the modelled size (~30%) to beat sampling noise.
+    fb = result.monthly_medians("facebook", "domestic")
+    fb_counts = result.monthly_counts("facebook", "domestic")
+    if min(fb_counts[0], fb_counts[3]) >= 20:
+        assert fb[3] < fb[0]
+
+    # TikTok adoption grows: the May user count is at least February's.
+    tiktok_counts = result.monthly_counts("tiktok", "domestic")
+    assert tiktok_counts[3] >= tiktok_counts[0]
+
+    # All three platforms have monthly tables.
+    for platform in ("facebook", "instagram", "tiktok"):
+        assert set(result.stats[platform]) == {"domestic", "international"}

@@ -1,0 +1,36 @@
+"""Benchmark + regeneration of Figure 7: monthly Steam usage per device.
+
+Paper shapes: (a) bytes -- March spike (stronger and longer-lived for
+international students), falling off by May; (b) connections --
+domestic medians decline over the term while international medians
+bump in March before falling; the device count (n) grows every month.
+"""
+
+import math
+
+from repro.analysis.fig7_steam import compute_fig7
+from repro.core.report import render_fig7
+
+from conftest import print_once
+
+
+def test_fig7_steam(benchmark, artifacts):
+    result = benchmark(
+        compute_fig7, artifacts.dataset, artifacts.international_mask,
+        artifacts.post_shutdown_mask)
+    print_once("Figure 7", render_fig7(result))
+
+    dom_bytes = result.monthly_medians("bytes", "domestic")
+    dom_conns = result.monthly_medians("connections", "domestic")
+    counts = result.monthly_counts("domestic")
+
+    # Steam user counts grow through the lock-down (adopters).
+    assert counts[3] >= counts[0] > 0
+
+    # Domestic bytes fall off by May relative to the March peak.
+    if all(not math.isnan(v) for v in dom_bytes):
+        assert dom_bytes[3] < max(dom_bytes[1], dom_bytes[0])
+
+    # Domestic connection medians decline over the term.
+    if all(not math.isnan(v) for v in dom_conns):
+        assert dom_conns[3] < dom_conns[0]

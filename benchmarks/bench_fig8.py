@@ -1,0 +1,33 @@
+"""Benchmark + regeneration of Figure 8: Switch gameplay traffic.
+
+Paper shape: heavy spikes during the academic break and the early
+spring term, a return toward pre-pandemic levels in late April / early
+May, then a late-May rise; a Switch census collapsing from ~1,100 to
+~270 devices with ~40 new consoles appearing after the shutdown.
+"""
+
+from repro import constants
+from repro.analysis.fig8_switch import compute_fig8
+from repro.core.report import render_fig8
+from repro.util.timeutil import DAY
+
+from conftest import print_once
+
+
+def test_fig8_switch_gameplay(benchmark, artifacts):
+    result = benchmark(
+        compute_fig8, artifacts.dataset, artifacts.classification.is_switch)
+    print_once("Figure 8", render_fig8(result))
+
+    assert result.switches_pre_shutdown > result.switches_post_shutdown
+    assert (result.daily_gameplay_bytes >= 0).all()
+    assert result.smoothed.shape == result.daily_gameplay_bytes.shape
+
+    if result.cohort_size >= 3:
+        # Break-period gameplay exceeds the February baseline.
+        day0 = artifacts.dataset.day0
+        break_days = slice(int((constants.BREAK_START - day0) // DAY),
+                           int((constants.BREAK_END - day0) // DAY))
+        feb_days = slice(0, 29)
+        assert (result.smoothed[break_days].mean()
+                > result.smoothed[feb_days].mean())

@@ -1,0 +1,46 @@
+"""Ablation: the CDN exclusion in the midpoint classifier (Section 4.2).
+
+The paper excludes Akamai/AWS/Cloudfront/Optimizely from geolocation
+because those bytes geolocate to the local POP. Running the classifier
+with and without the exclusion quantifies how much the step matters:
+without it, locally-served bytes drag midpoints toward campus and
+international recall collapses.
+"""
+
+from repro.geo.international import InternationalClassifier
+
+from conftest import print_once
+
+
+def _classifier(artifacts, excluded):
+    return InternationalClassifier(
+        artifacts.generator.plan.geo_db,
+        excluded_domain_suffixes=excluded)
+
+
+def test_midpoint_with_cdn_exclusion(benchmark, artifacts):
+    classifier = _classifier(artifacts,
+                             artifacts.config.geo_excluded_domains)
+    report = benchmark(classifier.classify, artifacts.dataset)
+    assert report.classifiable.sum() > 0
+
+
+def test_midpoint_without_cdn_exclusion(benchmark, artifacts):
+    baseline = _classifier(
+        artifacts, artifacts.config.geo_excluded_domains).classify(
+            artifacts.dataset)
+    ablated_classifier = _classifier(artifacts, ())
+    ablated = benchmark(ablated_classifier.classify, artifacts.dataset)
+
+    with_count = int(baseline.is_international.sum())
+    without_count = int(ablated.is_international.sum())
+    disagreement = int(
+        (baseline.is_international != ablated.is_international).sum())
+    print_once(
+        "CDN-exclusion ablation",
+        f"international with exclusion:    {with_count}\n"
+        f"international without exclusion: {without_count}\n"
+        f"devices whose verdict changed:   {disagreement}")
+
+    # The exclusion can only help recall (local-POP bytes are US pull).
+    assert without_count <= with_count

@@ -1,0 +1,47 @@
+"""Benchmark of the ingest pipeline itself (ablation; not a paper figure).
+
+Measures the tap -> flow-engine -> DHCP/DNS-normalization -> anonymize
+path on one pre-generated week of wire events, and reports the cost of
+the visitor filter.
+"""
+
+import pytest
+
+from repro import StudyConfig
+from repro.pipeline.pipeline import MonitoringPipeline
+from repro.pipeline.visitors import apply_visitor_filter, visitor_filter_mask
+from repro.synth.generator import CampusTraceGenerator
+from repro.util.timeutil import utc_ts
+
+_CONFIG = StudyConfig(n_students=25, seed=99)
+
+
+@pytest.fixture(scope="module")
+def week_traces():
+    generator = CampusTraceGenerator(_CONFIG)
+    traces = list(generator.iter_days(utc_ts(2020, 2, 3),
+                                      utc_ts(2020, 2, 10)))
+    excluded = generator.plan.excluded_blocks(_CONFIG.excluded_operators)
+    return traces, excluded
+
+
+def test_pipeline_ingest_week(benchmark, week_traces):
+    traces, excluded = week_traces
+
+    def ingest():
+        pipeline = MonitoringPipeline(_CONFIG, excluded)
+        for trace in traces:
+            pipeline.ingest_day(trace)
+        return pipeline.finalize()
+
+    dataset = benchmark(ingest)
+    assert len(dataset) > 1000
+    assert dataset.n_devices > 10
+
+
+def test_visitor_filter_cost(benchmark, week_traces, artifacts):
+    """Filter throughput over the full bench dataset."""
+    dataset = artifacts.dataset_unfiltered
+    filtered = benchmark(apply_visitor_filter, dataset,
+                         artifacts.config.visitor_min_days)
+    assert filtered.n_devices <= dataset.n_devices

@@ -1,0 +1,25 @@
+"""Benchmark + regeneration of the headline statistics (Sections 4-5).
+
+Paper values: 32,019-device peak / 4,973 trough; 6,522 post-shutdown
+devices; +58% traffic February -> April/May; +34% distinct sites; 18%
+of post-shutdown users presumed international. At bench scale the
+ratios, not the absolute counts, are expected to hold.
+"""
+
+from repro.analysis.summary import compute_summary
+from repro.core.report import render_summary
+
+from conftest import print_once
+
+
+def test_summary_stats(benchmark, artifacts):
+    fig1 = artifacts.fig1()
+    result = benchmark(
+        compute_summary, artifacts.dataset, fig1.total,
+        artifacts.post_shutdown_mask, artifacts.international_mask)
+    print_once("Headline statistics", render_summary(result))
+
+    assert result.peak_active_devices > 3 * result.trough_active_devices
+    assert 0.2 < result.traffic_increase_feb_to_aprmay < 1.5
+    assert 0.1 < result.distinct_sites_increase < 0.8
+    assert 0.0 < result.international_fraction < 0.5

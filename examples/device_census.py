@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Device classification walkthrough (Section 3's census machinery).
+
+Runs the classifier stack over a study and shows how each heuristic
+contributes: OUI lookups, User-Agent sightings, the Saidi-style IoT
+traffic detector, and the >=50%-Nintendo Switch rule -- ending with the
+paper-style accuracy review against simulation ground truth (the paper
+hand-reviewed 100 devices and found 84 correct, with errors dominated
+by conservative omission).
+
+    python examples/device_census.py [--students N] [--seed S]
+"""
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro import LockdownStudy, StudyConfig
+from repro.core.validation import GroundTruthMatcher
+from repro.devices.oui import classify_oui
+from repro.devices.types import DeviceClass
+from repro.devices.useragent import classify_user_agent
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--students", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    study = LockdownStudy(StudyConfig(n_students=args.students,
+                                      seed=args.seed))
+    artifacts = study.run(progress=lambda m: print(f"  [{m}]",
+                                                   file=sys.stderr))
+    dataset = artifacts.dataset
+    classification = artifacts.classification
+
+    print("== Evidence available per device ==")
+    oui_db = artifacts.generator.oui_db
+    evidence = Counter()
+    for profile in dataset.devices:
+        has_oui = classify_oui(profile.oui, oui_db) is not None
+        has_ua = any(classify_user_agent(ua) for ua in profile.user_agents)
+        evidence[(has_oui, has_ua)] += 1
+    for (has_oui, has_ua), count in sorted(evidence.items()):
+        print(f"  OUI signal: {str(has_oui):<5}  UA signal: "
+              f"{str(has_ua):<5}  devices: {count}")
+
+    print("\n== Final class census ==")
+    for name, count in classification.counts().items():
+        print(f"  {DeviceClass.LABELS[name]:<18} {count}")
+
+    switches = int(classification.is_switch.sum())
+    print(f"\nNintendo Switches detected (>=50% Nintendo bytes): {switches}")
+    shares = artifacts.classification.iot_scores
+    print(f"IoT detector scores: median {np.median(shares):.2f}, "
+          f"devices over threshold "
+          f"{int((shares >= 0.5).sum())}")
+
+    # Paper-style manual review, automated against ground truth.
+    review = GroundTruthMatcher(artifacts).review_classification()
+    print("\n== Review against ground truth "
+          "(cf. the paper's 84/100 manual review) ==")
+    print(f"  devices reviewed:            {review.reviewed}")
+    print(f"  affirmatively correct:       {review.correct} "
+          f"({review.overall_accuracy:.0%})")
+    print(f"  conservatively unclassified: {review.omitted} "
+          f"({review.omitted / review.reviewed:.0%})  "
+          f"<- the dominant error mode")
+    print(f"  affirmatively wrong:         {review.misclassified}")
+    for (truth, predicted), count in sorted(review.confusion.items()):
+        print(f"      {truth} labelled {predicted}: {count}")
+
+
+if __name__ == "__main__":
+    main()

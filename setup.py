@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and
+no network access, so PEP 517 builds (``pip install -e .``) cannot
+bootstrap. ``python setup.py develop`` installs the package in editable
+mode using setuptools alone. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

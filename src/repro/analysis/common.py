@@ -1,0 +1,93 @@
+"""Shared aggregation helpers for the figure analyses."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.pipeline.dataset import FlowDataset
+from repro.util.timeutil import DAY, month_bounds
+
+
+def study_day_count(dataset: FlowDataset,
+                    end_ts: float = constants.STUDY_END) -> int:
+    """Number of day slots between the dataset origin and the window end."""
+    return int(np.ceil((end_ts - dataset.day0) / DAY))
+
+
+def day_timestamps(dataset: FlowDataset, n_days: int) -> np.ndarray:
+    """Start timestamp of each day slot."""
+    return dataset.day0 + np.arange(n_days) * DAY
+
+
+def per_device_day_bytes(dataset: FlowDataset,
+                         n_days: int,
+                         flow_mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense (n_devices, n_days) byte matrix, flows binned by start day.
+
+    Flows outside [0, n_days) day slots are ignored (e.g. baseline
+    periods processed with a different origin).
+    """
+    device = dataset.device
+    day = dataset.day
+    flow_bytes = dataset.total_bytes
+    if flow_mask is not None:
+        device = device[flow_mask]
+        day = day[flow_mask]
+        flow_bytes = flow_bytes[flow_mask]
+    in_range = (day >= 0) & (day < n_days)
+    device = device[in_range]
+    day = day[in_range]
+    flow_bytes = flow_bytes[in_range].astype(np.float64)
+
+    flat = device.astype(np.int64) * n_days + day
+    totals = np.bincount(flat, weights=flow_bytes,
+                         minlength=dataset.n_devices * n_days)
+    return totals.reshape(dataset.n_devices, n_days)
+
+
+def month_day_mask(dataset: FlowDataset, year: int, month: int,
+                   n_days: int) -> np.ndarray:
+    """Boolean day-slot mask for one calendar month."""
+    start, end = month_bounds(year, month)
+    days = day_timestamps(dataset, n_days)
+    return (days >= start) & (days < end)
+
+
+def post_shutdown_device_mask(dataset: FlowDataset,
+                              cutoff_ts: float = constants.BREAK_END,
+                              ) -> np.ndarray:
+    """Devices with activity on or after the shutdown cutoff.
+
+    The paper's "post-shutdown users": the 6,522 devices that remained
+    on campus after the shutdown. We operationalize "after the
+    shutdown" as any active day on or after the resumption of (online)
+    classes.
+    """
+    cutoff_day = int((cutoff_ts - dataset.day0) // DAY)
+    return np.array(
+        [any(day >= cutoff_day for day in profile.days_seen)
+         for profile in dataset.devices],
+        dtype=bool)
+
+
+def devices_active_in_months(dataset: FlowDataset,
+                             months: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+    """Devices with at least one active day in *every* listed month."""
+    if not months:
+        raise ValueError("at least one month is required")
+    masks = []
+    for year, month in months:
+        start, end = month_bounds(year, month)
+        start_day = int((start - dataset.day0) // DAY)
+        end_day = int((end - dataset.day0) // DAY)
+        masks.append(np.array(
+            [any(start_day <= day < end_day for day in profile.days_seen)
+             for profile in dataset.devices],
+            dtype=bool))
+    result = masks[0]
+    for mask in masks[1:]:
+        result = result & mask
+    return result

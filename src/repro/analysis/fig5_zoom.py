@@ -1,0 +1,74 @@
+"""Figure 5: daily aggregate Zoom traffic for post-shutdown users.
+
+Zoom appears with online instruction, dominates weekday daytimes
+(classes run 8am-6pm) and dips on weekends, with a small weekend
+afternoon bump of social calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import day_timestamps, study_day_count
+from repro.apps.signature import AppSignature
+from repro.pipeline.dataset import FlowDataset
+from repro.util.timeutil import HOUR, is_weekend
+
+
+@dataclass
+class Fig5Result:
+    """Daily Zoom byte totals plus hour-of-day profiles."""
+
+    day_ts: np.ndarray
+    daily_bytes: np.ndarray
+    #: Mean Zoom bytes per hour-of-day, split weekday/weekend (over the
+    #: online-term portion of the window).
+    weekday_hourly: np.ndarray
+    weekend_hourly: np.ndarray
+
+    def weekday_business_share(self) -> float:
+        """Share of weekday Zoom traffic inside 8am-6pm."""
+        total = self.weekday_hourly.sum()
+        if total <= 0:
+            return float("nan")
+        return float(self.weekday_hourly[8:18].sum() / total)
+
+
+def compute_fig5(dataset: FlowDataset,
+                 zoom_signature: AppSignature,
+                 post_shutdown_mask: np.ndarray,
+                 online_term_start: float,
+                 n_days: int = 0) -> Fig5Result:
+    """Aggregate Zoom traffic per day and its diurnal profile."""
+    if n_days <= 0:
+        n_days = study_day_count(dataset)
+
+    zoom = zoom_signature.flow_mask(dataset)
+    zoom &= post_shutdown_mask[dataset.device]
+
+    day = dataset.day[zoom]
+    flow_bytes = dataset.total_bytes[zoom].astype(np.float64)
+    in_range = (day >= 0) & (day < n_days)
+    daily = np.bincount(day[in_range], weights=flow_bytes[in_range],
+                        minlength=n_days)
+
+    # Diurnal profile over the online term.
+    ts = dataset.ts[zoom]
+    term = ts >= online_term_start
+    hours = ((ts[term] % (24 * HOUR)) // HOUR).astype(np.int64)
+    weekend = np.array([is_weekend(t) for t in ts[term]], dtype=bool)
+    term_bytes = flow_bytes[term]
+
+    weekday_hourly = np.bincount(hours[~weekend],
+                                 weights=term_bytes[~weekend], minlength=24)
+    weekend_hourly = np.bincount(hours[weekend],
+                                 weights=term_bytes[weekend], minlength=24)
+
+    return Fig5Result(
+        day_ts=day_timestamps(dataset, n_days),
+        daily_bytes=daily,
+        weekday_hourly=weekday_hourly,
+        weekend_hourly=weekend_hourly,
+    )

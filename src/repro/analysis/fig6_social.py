@@ -1,0 +1,106 @@
+"""Figure 6: monthly mobile social-media durations, domestic vs intl.
+
+For Facebook (6a), Instagram (6b) and TikTok (6c): stitch overlapping
+flows into user sessions, disambiguate Facebook vs Instagram by the
+Instagram-only-domain rule, aggregate each device's session hours per
+month, and summarize with box-and-whisker statistics (whiskers P1-P95)
+per sub-population. Mobile devices only, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.apps.facebook import (
+    facebook_platform_signature,
+    instagram_only_signature,
+)
+from repro.apps.tiktok import tiktok_signature
+from repro.devices.classifier import ClassificationResult
+from repro.devices.types import DeviceClass
+from repro.pipeline.dataset import FlowDataset
+from repro.sessions.duration import monthly_duration_hours
+from repro.sessions.stitch import stitch_sessions
+from repro.stats.descriptive import BoxStats, box_stats
+
+PLATFORMS = ("facebook", "instagram", "tiktok")
+POPULATIONS = ("domestic", "international")
+
+
+@dataclass
+class Fig6Result:
+    """Monthly duration box stats per platform and population."""
+
+    #: platform -> population -> (year, month) -> BoxStats.
+    stats: Dict[str, Dict[str, Dict[Tuple[int, int], BoxStats]]]
+
+    def monthly_medians(self, platform: str,
+                        population: str) -> List[float]:
+        """Median session hours per study month, in calendar order."""
+        per_month = self.stats[platform][population]
+        return [
+            per_month.get(month, BoxStats.empty()).median
+            for month in constants.STUDY_MONTHS
+        ]
+
+    def monthly_counts(self, platform: str, population: str) -> List[int]:
+        """The n= sample sizes per month, in calendar order."""
+        per_month = self.stats[platform][population]
+        return [
+            per_month.get(month, BoxStats.empty()).n
+            for month in constants.STUDY_MONTHS
+        ]
+
+
+def compute_fig6(dataset: FlowDataset,
+                 classification: ClassificationResult,
+                 international_mask: np.ndarray,
+                 post_shutdown_mask: np.ndarray,
+                 stitch_slack: float = 60.0) -> Fig6Result:
+    """Box stats of monthly per-device social durations (mobile only)."""
+    mobile = classification.class_mask(DeviceClass.MOBILE)
+    eligible = mobile & post_shutdown_mask
+    eligible_flows = eligible[dataset.device]
+
+    population_of = {
+        "domestic": ~international_mask,
+        "international": international_mask,
+    }
+
+    # Facebook platform sessions, split by the Instagram-only marker.
+    platform_mask = (facebook_platform_signature().domain_mask(dataset)
+                     & eligible_flows)
+    marker_mask = instagram_only_signature().domain_mask(dataset)
+    fb_sessions = stitch_sessions(dataset, platform_mask,
+                                  marker_mask=marker_mask,
+                                  slack=stitch_slack)
+    facebook_hours = monthly_duration_hours(fb_sessions, only_marked=False)
+    instagram_hours = monthly_duration_hours(fb_sessions, only_marked=True)
+
+    tiktok_mask = tiktok_signature().domain_mask(dataset) & eligible_flows
+    tiktok_sessions = stitch_sessions(dataset, tiktok_mask,
+                                      slack=stitch_slack)
+    tiktok_hours = monthly_duration_hours(tiktok_sessions)
+
+    per_platform = {
+        "facebook": facebook_hours,
+        "instagram": instagram_hours,
+        "tiktok": tiktok_hours,
+    }
+
+    stats: Dict[str, Dict[str, Dict[Tuple[int, int], BoxStats]]] = {}
+    for platform, hours_by_month in per_platform.items():
+        stats[platform] = {population: {} for population in POPULATIONS}
+        for month, per_device in hours_by_month.items():
+            devices = np.array(list(per_device), dtype=np.int64)
+            hours = np.array(list(per_device.values()), dtype=np.float64)
+            for population in POPULATIONS:
+                selector = population_of[population][devices]
+                stats[platform][population][month] = box_stats(
+                    hours[selector])
+
+    return Fig6Result(stats=stats)

@@ -1,0 +1,91 @@
+"""Figure 7: monthly Steam bytes (7a) and connections (7b) per device.
+
+Per month, for every device with any Steam traffic that month, total
+bytes and connection counts are summarized with box-and-whisker
+statistics per sub-population. Bytes and connections tell different
+stories (March's spike is downloads, not more play sessions), which is
+the paper's point in showing both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.apps.steam import steam_signature
+from repro.pipeline.dataset import FlowDataset
+from repro.stats.descriptive import BoxStats, box_stats
+from repro.util.timeutil import month_bounds
+
+POPULATIONS = ("domestic", "international")
+
+
+@dataclass
+class Fig7Result:
+    """Monthly Steam box stats per population, for bytes and connections."""
+
+    #: population -> (year, month) -> BoxStats over per-device bytes.
+    bytes_stats: Dict[str, Dict[Tuple[int, int], BoxStats]]
+    #: population -> (year, month) -> BoxStats over per-device counts.
+    connection_stats: Dict[str, Dict[Tuple[int, int], BoxStats]]
+
+    def monthly_medians(self, metric: str, population: str) -> List[float]:
+        table = (self.bytes_stats if metric == "bytes"
+                 else self.connection_stats)
+        per_month = table[population]
+        return [
+            per_month.get(month, BoxStats.empty()).median
+            for month in constants.STUDY_MONTHS
+        ]
+
+    def monthly_counts(self, population: str) -> List[int]:
+        per_month = self.bytes_stats[population]
+        return [
+            per_month.get(month, BoxStats.empty()).n
+            for month in constants.STUDY_MONTHS
+        ]
+
+
+def compute_fig7(dataset: FlowDataset,
+                 international_mask: np.ndarray,
+                 post_shutdown_mask: np.ndarray) -> Fig7Result:
+    """Per-month Steam usage box stats by sub-population."""
+    steam = steam_signature().domain_mask(dataset)
+    steam &= post_shutdown_mask[dataset.device]
+
+    device = dataset.device[steam]
+    ts = dataset.ts[steam]
+    flow_bytes = dataset.total_bytes[steam].astype(np.float64)
+
+    population_of = {
+        "domestic": ~international_mask,
+        "international": international_mask,
+    }
+
+    bytes_stats: Dict[str, Dict[Tuple[int, int], BoxStats]] = {
+        population: {} for population in POPULATIONS}
+    connection_stats: Dict[str, Dict[Tuple[int, int], BoxStats]] = {
+        population: {} for population in POPULATIONS}
+
+    for month in constants.STUDY_MONTHS:
+        start, end = month_bounds(*month)
+        in_month = (ts >= start) & (ts < end)
+        month_devices = device[in_month]
+        month_bytes = flow_bytes[in_month]
+
+        totals = np.bincount(month_devices, weights=month_bytes,
+                             minlength=dataset.n_devices)
+        counts = np.bincount(month_devices, minlength=dataset.n_devices)
+        visited = counts > 0
+
+        for population in POPULATIONS:
+            selector = visited & population_of[population]
+            bytes_stats[population][month] = box_stats(totals[selector])
+            connection_stats[population][month] = box_stats(
+                counts[selector].astype(np.float64))
+
+    return Fig7Result(bytes_stats=bytes_stats,
+                      connection_stats=connection_stats)

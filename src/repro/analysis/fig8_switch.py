@@ -1,0 +1,84 @@
+"""Figure 8: moving average of Nintendo Switch gameplay traffic.
+
+Gameplay traffic = Nintendo flows minus the update/download/telemetry
+domains, summed per day over Switches active in both February and May
+(the paper's stable cohort), smoothed with a 3-day moving average.
+Also reports the Switch census: pre-shutdown count, post-shutdown
+count, and consoles that first appeared during the lock-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.analysis.common import (
+    day_timestamps,
+    devices_active_in_months,
+    study_day_count,
+)
+from repro.apps.nintendo import nintendo_gameplay_mask
+from repro.pipeline.dataset import FlowDataset
+from repro.stats.smoothing import moving_average
+from repro.util.timeutil import DAY
+
+
+@dataclass
+class Fig8Result:
+    """Daily gameplay traffic of the stable Switch cohort."""
+
+    day_ts: np.ndarray
+    daily_gameplay_bytes: np.ndarray
+    smoothed: np.ndarray
+    #: Census numbers.
+    switches_pre_shutdown: int
+    switches_post_shutdown: int
+    new_switches: int
+    cohort_size: int
+
+
+def compute_fig8(dataset: FlowDataset,
+                 is_switch: np.ndarray,
+                 n_days: int = 0,
+                 smoothing_window: int = 3) -> Fig8Result:
+    """Gameplay traffic series plus the Switch census."""
+    if n_days <= 0:
+        n_days = study_day_count(dataset)
+
+    cohort = is_switch & devices_active_in_months(
+        dataset, ((2020, 2), (2020, 5)))
+
+    gameplay = nintendo_gameplay_mask(dataset)
+    gameplay &= cohort[dataset.device]
+
+    day = dataset.day[gameplay]
+    flow_bytes = dataset.total_bytes[gameplay].astype(np.float64)
+    in_range = (day >= 0) & (day < n_days)
+    daily = np.bincount(day[in_range], weights=flow_bytes[in_range],
+                        minlength=n_days)
+
+    shutdown_day = int((constants.STAY_AT_HOME - dataset.day0) // DAY)
+    online_day = int((constants.BREAK_END - dataset.day0) // DAY)
+    pre = post = new = 0
+    for profile in dataset.devices:
+        if not is_switch[profile.index]:
+            continue
+        days = profile.days_seen
+        if any(d < shutdown_day for d in days):
+            pre += 1
+        if any(d >= online_day for d in days):
+            post += 1
+        if days and min(days) >= online_day:
+            new += 1
+
+    return Fig8Result(
+        day_ts=day_timestamps(dataset, n_days),
+        daily_gameplay_bytes=daily,
+        smoothed=moving_average(daily, smoothing_window),
+        switches_pre_shutdown=pre,
+        switches_post_shutdown=post,
+        new_switches=new,
+        cohort_size=int(cohort.sum()),
+    )

@@ -1,0 +1,134 @@
+"""Headline statistics from Sections 4 and 5.
+
+The scalar findings the paper reports in prose:
+
+* peak pre-shutdown and trough active-device counts (32,019 / 4,973);
+* the number of post-shutdown users (6,522 devices);
+* total traffic of post-shutdown users up 58% from February into
+  April/May, and 53% over the same weeks of 2019;
+* 34% more distinct sites per user in April/May than February;
+* 1,022 devices (18% of post-shutdown users) presumed international.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.common import (
+    month_day_mask,
+    per_device_day_bytes,
+    study_day_count,
+)
+from repro.dns.domains import site_of
+from repro.pipeline.dataset import FlowDataset
+from repro.util.timeutil import month_bounds
+
+
+@dataclass
+class SummaryStats:
+    """The headline numbers of the study."""
+
+    peak_active_devices: int
+    trough_active_devices: int
+    post_shutdown_devices: int
+    international_devices: int
+    international_fraction: float
+    feb_total_bytes: float
+    aprmay_total_bytes: float
+    traffic_increase_feb_to_aprmay: float
+    distinct_sites_feb: float
+    distinct_sites_aprmay: float
+    distinct_sites_increase: float
+    #: Filled by :func:`traffic_vs_baseline` when a 2019 baseline exists.
+    traffic_increase_vs_2019: Optional[float] = None
+
+
+def compute_summary(dataset: FlowDataset,
+                    total_active_per_day: np.ndarray,
+                    post_shutdown_mask: np.ndarray,
+                    international_mask: np.ndarray,
+                    n_days: int = 0) -> SummaryStats:
+    """Compute the headline numbers (2019 comparison attached separately)."""
+    if n_days <= 0:
+        n_days = study_day_count(dataset)
+
+    peak_index = int(total_active_per_day.argmax())
+    peak = int(total_active_per_day[peak_index])
+    trough = int(total_active_per_day[peak_index:].min())
+
+    post_count = int(post_shutdown_mask.sum())
+    international_count = int(
+        (international_mask & post_shutdown_mask).sum())
+
+    matrix = per_device_day_bytes(dataset, n_days)
+    cohort = matrix[post_shutdown_mask]
+    feb_days = month_day_mask(dataset, 2020, 2, n_days)
+    apr_days = month_day_mask(dataset, 2020, 4, n_days)
+    may_days = month_day_mask(dataset, 2020, 5, n_days)
+
+    feb_daily = cohort[:, feb_days].sum() / max(feb_days.sum(), 1)
+    aprmay_mask = apr_days | may_days
+    aprmay_daily = cohort[:, aprmay_mask].sum() / max(aprmay_mask.sum(), 1)
+    increase = (aprmay_daily / feb_daily - 1.0) if feb_daily > 0 else float("nan")
+
+    sites_feb = _mean_distinct_sites(dataset, post_shutdown_mask,
+                                     ((2020, 2),))
+    sites_aprmay = _mean_distinct_sites(dataset, post_shutdown_mask,
+                                        ((2020, 4), (2020, 5)))
+    sites_increase = (sites_aprmay / sites_feb - 1.0) if sites_feb > 0 else float("nan")
+
+    return SummaryStats(
+        peak_active_devices=peak,
+        trough_active_devices=trough,
+        post_shutdown_devices=post_count,
+        international_devices=international_count,
+        international_fraction=(international_count / post_count
+                                if post_count else 0.0),
+        feb_total_bytes=float(cohort[:, feb_days].sum()),
+        aprmay_total_bytes=float(cohort[:, aprmay_mask].sum()),
+        traffic_increase_feb_to_aprmay=float(increase),
+        distinct_sites_feb=sites_feb,
+        distinct_sites_aprmay=sites_aprmay,
+        distinct_sites_increase=float(sites_increase),
+    )
+
+
+def _mean_distinct_sites(dataset: FlowDataset, device_mask: np.ndarray,
+                         months) -> float:
+    """Mean distinct sites per masked device, averaged over months."""
+    site_of_domain = [site_of(domain) for domain in dataset.domains]
+    eligible_flows = device_mask[dataset.device] & (dataset.domain >= 0)
+
+    monthly_means = []
+    for year, month in months:
+        start, end = month_bounds(year, month)
+        in_month = eligible_flows & (dataset.ts >= start) & (dataset.ts < end)
+        pairs = set()
+        devices = dataset.device[in_month]
+        domains = dataset.domain[in_month]
+        for device, domain_idx in zip(devices, domains):
+            site = site_of_domain[domain_idx]
+            if site is not None:
+                pairs.add((int(device), site))
+        active_devices = {device for device, _ in pairs}
+        if active_devices:
+            monthly_means.append(len(pairs) / len(active_devices))
+    if not monthly_means:
+        return float("nan")
+    return float(np.mean(monthly_means))
+
+
+def traffic_vs_baseline(study_aprmay_bytes: float,
+                        baseline_aprmay_bytes: float) -> float:
+    """Fractional increase of study-period traffic over the baseline.
+
+    The baseline is the same device cohort simulated over the same
+    weeks of the prior year under pre-pandemic behaviour (the paper
+    compares April/May 2020 against 2019).
+    """
+    if baseline_aprmay_bytes <= 0:
+        return float("nan")
+    return study_aprmay_bytes / baseline_aprmay_bytes - 1.0

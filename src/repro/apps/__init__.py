@@ -1,0 +1,44 @@
+"""Application signatures (Section 5).
+
+Each platform the paper studies is identified by a signature built from
+public knowledge: domain lists observed in lab traffic (Facebook,
+Instagram, TikTok), a vendor support page (Steam's whitelist), or
+published IP ranges including Wayback-archived ones (Zoom). Nintendo
+traffic is split into gameplay and infrastructure domains per the
+90DNS / SwitchBlocker lists.
+"""
+
+from repro.apps.facebook import (
+    FACEBOOK_SHARED_DOMAINS,
+    INSTAGRAM_ONLY_DOMAINS,
+    facebook_platform_signature,
+    instagram_only_signature,
+)
+from repro.apps.nintendo import (
+    NINTENDO_GAMEPLAY_EXCLUDED_SUFFIXES,
+    nintendo_all_signature,
+    nintendo_gameplay_mask,
+)
+from repro.apps.registry import SignatureRegistry, default_registry
+from repro.apps.signature import AppSignature
+from repro.apps.steam import STEAM_WHITELIST_DOMAINS, steam_signature
+from repro.apps.tiktok import TIKTOK_DOMAINS, tiktok_signature
+from repro.apps.zoom import zoom_signature
+
+__all__ = [
+    "AppSignature",
+    "FACEBOOK_SHARED_DOMAINS",
+    "INSTAGRAM_ONLY_DOMAINS",
+    "NINTENDO_GAMEPLAY_EXCLUDED_SUFFIXES",
+    "STEAM_WHITELIST_DOMAINS",
+    "SignatureRegistry",
+    "TIKTOK_DOMAINS",
+    "default_registry",
+    "facebook_platform_signature",
+    "instagram_only_signature",
+    "nintendo_all_signature",
+    "nintendo_gameplay_mask",
+    "steam_signature",
+    "tiktok_signature",
+    "zoom_signature",
+]

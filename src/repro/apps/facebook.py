@@ -1,0 +1,37 @@
+"""Facebook / Instagram signatures and the disambiguation rule (Section 5.2).
+
+The two platforms share serving infrastructure: in a single Facebook
+session a client receives traffic from ``facebook.com``,
+``facebook.net`` and ``fbcdn.net`` -- and an Instagram session touches
+the same domains *plus* Instagram-only ones. The paper's heuristic:
+if any domain in a set of overlapping flows delivers Instagram-only
+content, the whole session is Instagram; otherwise it is Facebook.
+This may overstate Facebook and under-represent Instagram, a bias the
+paper acknowledges and this reproduction inherits deliberately.
+"""
+
+from __future__ import annotations
+
+from repro.apps.signature import AppSignature
+
+#: Domains serving content for both platforms (lab-measured).
+FACEBOOK_SHARED_DOMAINS = ("facebook.com", "facebook.net", "fbcdn.net")
+
+#: Domains that only Instagram sessions contact.
+INSTAGRAM_ONLY_DOMAINS = ("instagram.com", "cdninstagram.com")
+
+
+def facebook_platform_signature() -> AppSignature:
+    """Signature for the combined Facebook/Instagram platform."""
+    return AppSignature(
+        name="facebook_platform",
+        domain_suffixes=FACEBOOK_SHARED_DOMAINS + INSTAGRAM_ONLY_DOMAINS,
+    )
+
+
+def instagram_only_signature() -> AppSignature:
+    """Signature for the Instagram-only domains (the session marker)."""
+    return AppSignature(
+        name="instagram_only",
+        domain_suffixes=INSTAGRAM_ONLY_DOMAINS,
+    )

@@ -1,0 +1,53 @@
+"""Nintendo Switch traffic signatures (Section 5.3.2).
+
+The paper measured a Switch to list the domains it contacts, cross-
+checked with 90DNS, then filtered out "system updates, game updates
+and downloads, and other non-gameplay traffic" (confirmed against the
+SwitchBlocker list) to isolate actual gameplay. The same split here:
+the full Nintendo suffix set for device detection, minus the
+infrastructure domains for the gameplay measurement of Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.apps.signature import AppSignature
+from repro.devices.switch import NINTENDO_DOMAIN_SUFFIXES
+from repro.pipeline.dataset import FlowDataset
+
+#: Non-gameplay Nintendo endpoints (updates, downloads, telemetry,
+#: accounts, connectivity tests) -- the SwitchBlocker-style list.
+NINTENDO_GAMEPLAY_EXCLUDED_SUFFIXES: Tuple[str, ...] = (
+    "atum.hac.lp1.d4c.nintendo.net",   # game downloads
+    "sun.hac.lp1.d4c.nintendo.net",    # system updates
+    "aqua.hac.lp1.d4c.nintendo.net",   # supplemental content
+    "ctest.cdn.nintendo.net",          # connectivity test
+    "receive-lp1.dg.srv.nintendo.net", # telemetry
+    "accounts.nintendo.com",           # account services
+)
+
+
+def nintendo_all_signature() -> AppSignature:
+    """Signature matching every Nintendo backend domain."""
+    return AppSignature(
+        name="nintendo",
+        domain_suffixes=NINTENDO_DOMAIN_SUFFIXES,
+    )
+
+
+def nintendo_infrastructure_signature() -> AppSignature:
+    """Signature matching the non-gameplay endpoints only."""
+    return AppSignature(
+        name="nintendo_infrastructure",
+        domain_suffixes=NINTENDO_GAMEPLAY_EXCLUDED_SUFFIXES,
+    )
+
+
+def nintendo_gameplay_mask(dataset: FlowDataset) -> np.ndarray:
+    """Flow mask for gameplay traffic: Nintendo minus infrastructure."""
+    all_mask = nintendo_all_signature().domain_mask(dataset)
+    infra_mask = nintendo_infrastructure_signature().domain_mask(dataset)
+    return all_mask & ~infra_mask

@@ -1,0 +1,66 @@
+"""Registry of all application signatures used by the study."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.apps.facebook import (
+    facebook_platform_signature,
+    instagram_only_signature,
+)
+from repro.apps.nintendo import (
+    nintendo_all_signature,
+    nintendo_infrastructure_signature,
+)
+from repro.apps.signature import AppSignature
+from repro.apps.steam import steam_signature
+from repro.apps.tiktok import tiktok_signature
+from repro.apps.zoom import zoom_signature
+from repro.world.addressing import PublishedRanges
+
+
+class SignatureRegistry:
+    """Named collection of application signatures."""
+
+    def __init__(self) -> None:
+        self._signatures: Dict[str, AppSignature] = {}
+
+    def add(self, signature: AppSignature) -> None:
+        if signature.name in self._signatures:
+            raise ValueError(f"duplicate signature {signature.name!r}")
+        self._signatures[signature.name] = signature
+
+    def get(self, name: str) -> AppSignature:
+        return self._signatures[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._signatures
+
+    def __iter__(self) -> Iterator[AppSignature]:
+        return iter(self._signatures.values())
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+
+def default_registry(
+        zoom_ranges: Optional[PublishedRanges] = None) -> SignatureRegistry:
+    """Build the study's signature set.
+
+    ``zoom_ranges`` is Zoom's published IP-range document (support page
+    plus Wayback history); without it the Zoom signature is domain-only
+    and misses dnsless media traffic.
+    """
+    registry = SignatureRegistry()
+    if zoom_ranges is not None:
+        registry.add(zoom_signature(zoom_ranges))
+    else:
+        registry.add(AppSignature(
+            name="zoom", domain_suffixes=("zoom.us", "zoomcdn.net")))
+    registry.add(facebook_platform_signature())
+    registry.add(instagram_only_signature())
+    registry.add(tiktok_signature())
+    registry.add(steam_signature())
+    registry.add(nintendo_all_signature())
+    registry.add(nintendo_infrastructure_signature())
+    return registry

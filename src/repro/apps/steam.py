@@ -1,0 +1,24 @@
+"""The Steam signature (Section 5.3.1).
+
+Built "from the set of domains that their customer support recommends
+whitelisting" -- the store/community/API domains plus the content-
+delivery domains that carry game downloads.
+"""
+
+from __future__ import annotations
+
+from repro.apps.signature import AppSignature
+
+#: Steam support's whitelist domains.
+STEAM_WHITELIST_DOMAINS = (
+    "steampowered.com",
+    "steamcommunity.com",
+    "steamstatic.com",
+    "steamcontent.com",
+    "steamusercontent.com",
+)
+
+
+def steam_signature() -> AppSignature:
+    """Signature covering Steam store, community, API and downloads."""
+    return AppSignature(name="steam", domain_suffixes=STEAM_WHITELIST_DOMAINS)

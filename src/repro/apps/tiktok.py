@@ -1,0 +1,13 @@
+"""The TikTok signature (Section 5.2), from lab-observed domains."""
+
+from __future__ import annotations
+
+from repro.apps.signature import AppSignature
+
+#: TikTok's API and CDN domains as seen from a client.
+TIKTOK_DOMAINS = ("tiktok.com", "tiktokv.com", "tiktokcdn.com", "muscdn.com")
+
+
+def tiktok_signature() -> AppSignature:
+    """Signature covering TikTok app and CDN traffic."""
+    return AppSignature(name="tiktok", domain_suffixes=TIKTOK_DOMAINS)

@@ -1,0 +1,37 @@
+"""The Zoom signature (Section 5.1).
+
+The paper identifies Zoom traffic three ways: connections resolving to
+``zoom.us`` domains, connections to the IP ranges on Zoom's support
+page, and -- because Zoom removed ranges from that page over time --
+connections to ranges recovered from the Internet Archive's Wayback
+Machine. Media servers are typically contacted by bare IP, so the
+range lists are what catch the byte-dominant traffic.
+"""
+
+from __future__ import annotations
+
+from repro.apps.signature import AppSignature
+from repro.world.addressing import PublishedRanges
+
+#: Hostname suffixes for Zoom's web/API/CDN tier.
+ZOOM_DOMAIN_SUFFIXES = ("zoom.us", "zoomcdn.net")
+
+
+def zoom_signature(published: PublishedRanges,
+                   include_wayback: bool = True) -> AppSignature:
+    """Build the Zoom signature from a published-range document.
+
+    ``include_wayback=False`` reproduces a naive signature built only
+    from the support page's current content; the difference against the
+    full signature is exactly the traffic the paper recovered through
+    the Wayback Machine.
+    """
+    if published.service != "zoom":
+        raise ValueError(
+            f"expected Zoom's published ranges, got {published.service!r}")
+    ranges = published.all_ranges if include_wayback else published.current
+    return AppSignature(
+        name="zoom",
+        domain_suffixes=ZOOM_DOMAIN_SUFFIXES,
+        ip_ranges=tuple(ranges),
+    )

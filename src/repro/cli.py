@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``       -- run a study; optionally persist the flow dataset and
+  write the full figure report.
+* ``report``    -- regenerate every figure from a persisted dataset
+  (no simulation, no pipeline).
+* ``checklist`` -- run a study and evaluate all encoded paper claims.
+* ``export``    -- synthesize a shareable trace directory (per-day
+  gzipped wire/DHCP/DNS logs).
+* ``ingest``    -- measure a previously exported trace directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro import LockdownStudy, StudyConfig
+from repro.analysis.expectations import evaluate_all, render_outcomes
+from repro.core.report import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_summary,
+)
+from repro.pipeline.store import load_dataset, save_dataset
+
+_CONFIG_FILE = "config.json"
+_DATASET_FILE = "flows.npz"
+_REPORT_FILE = "report.txt"
+
+
+def _progress(message: str) -> None:
+    print(f"  [{message}]", file=sys.stderr)
+
+
+def _full_report(artifacts) -> str:
+    sections = [
+        render_summary(artifacts.summary()),
+        render_fig1(artifacts.fig1()),
+        render_fig2(artifacts.fig2()),
+        render_fig3(artifacts.fig3()),
+        render_fig4(artifacts.fig4()),
+        render_fig5(artifacts.fig5()),
+        render_fig6(artifacts.fig6()),
+        render_fig7(artifacts.fig7()),
+        render_fig8(artifacts.fig8()),
+    ]
+    return "\n\n".join(sections)
+
+
+def _save_config(config: StudyConfig, directory: str) -> None:
+    payload = {
+        "seed": config.seed,
+        "n_students": config.n_students,
+        "international_fraction": config.international_fraction,
+        "start_ts": config.start_ts,
+        "end_ts": config.end_ts,
+        "visitor_min_days": config.visitor_min_days,
+        "remain_prob_domestic": config.remain_prob_domestic,
+        "remain_prob_international": config.remain_prob_international,
+        "visitor_fraction": config.visitor_fraction,
+        "new_switch_fraction": config.new_switch_fraction,
+    }
+    with open(os.path.join(directory, _CONFIG_FILE), "w") as fileobj:
+        json.dump(payload, fileobj, indent=2)
+
+
+def _load_config(directory: str) -> StudyConfig:
+    with open(os.path.join(directory, _CONFIG_FILE)) as fileobj:
+        payload = json.load(fileobj)
+    return StudyConfig(
+        seed=int(payload["seed"]),
+        n_students=int(payload["n_students"]),
+        international_fraction=float(payload["international_fraction"]),
+        start_ts=float(payload["start_ts"]),
+        end_ts=float(payload["end_ts"]),
+        visitor_min_days=int(payload.get("visitor_min_days", 14)),
+        remain_prob_domestic=float(
+            payload.get("remain_prob_domestic", 0.16)),
+        remain_prob_international=float(
+            payload.get("remain_prob_international", 0.32)),
+        visitor_fraction=float(payload.get("visitor_fraction", 0.12)),
+        new_switch_fraction=float(
+            payload.get("new_switch_fraction", 0.12)),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = StudyConfig(n_students=args.students, seed=args.seed)
+    study = LockdownStudy(config)
+    started = time.time()
+    artifacts = study.run(progress=_progress)
+    if args.baseline:
+        _progress("synthesizing 2019 baseline")
+        study.run_baseline_2019(artifacts)
+    _progress(f"run completed in {time.time() - started:.0f}s")
+
+    report = _full_report(artifacts)
+    print(report)
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        _save_config(config, args.out)
+        save_dataset(artifacts.dataset,
+                     os.path.join(args.out, _DATASET_FILE))
+        with open(os.path.join(args.out, _REPORT_FILE), "w") as fileobj:
+            fileobj.write(report + "\n")
+        _progress(f"dataset and report written to {args.out}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _load_config(args.data)
+    dataset = load_dataset(os.path.join(args.data, _DATASET_FILE))
+    artifacts = LockdownStudy.artifacts_from_dataset(config, dataset)
+    print(_full_report(artifacts))
+    return 0
+
+
+def _cmd_checklist(args: argparse.Namespace) -> int:
+    config = StudyConfig(n_students=args.students, seed=args.seed)
+    study = LockdownStudy(config)
+    artifacts = study.run(progress=_progress)
+    if args.baseline:
+        _progress("synthesizing 2019 baseline")
+        study.run_baseline_2019(artifacts)
+    outcomes = evaluate_all(artifacts)
+    print(render_outcomes(outcomes))
+    return 1 if any(o.status == "FAIL" for o in outcomes) else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.tracedir import export_traces
+    from repro.synth.generator import CampusTraceGenerator
+
+    config = StudyConfig(n_students=args.students, seed=args.seed)
+    generator = CampusTraceGenerator(config)
+    _progress(f"population: {generator.population.counts()}")
+
+    def traced_days():
+        for trace in generator.iter_days():
+            _progress(f"generated {time.strftime('%X')} day "
+                      f"{trace.day_start:.0f} "
+                      f"({len(trace.bursts)} bursts)")
+            yield trace
+
+    days = export_traces(
+        traced_days(), args.out,
+        extra_manifest={"seed": config.seed,
+                        "n_students": config.n_students})
+    _save_config(config, args.out)
+    _progress(f"exported {days} days to {args.out}/")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.study import LockdownStudy
+    from repro.io.tracedir import ingest_trace_dir
+    from repro.pipeline.pipeline import MonitoringPipeline
+    from repro.pipeline.visitors import apply_visitor_filter
+    from repro.synth.generator import CampusTraceGenerator
+
+    config = _load_config(args.traces)
+    generator = CampusTraceGenerator(config)
+    pipeline = MonitoringPipeline(
+        config, generator.plan.excluded_blocks(config.excluded_operators))
+    days = ingest_trace_dir(pipeline, args.traces)
+    _progress(f"ingested {days} days "
+              f"({pipeline.stats.flows_closed} flows)")
+    dataset = apply_visitor_filter(pipeline.finalize(),
+                                   config.visitor_min_days)
+    artifacts = LockdownStudy.artifacts_from_dataset(config, dataset)
+    print(_full_report(artifacts))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Locked-In during Lock-Down' (IMC '21)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a study and print/persist the figure report")
+    run.add_argument("--students", type=int, default=100)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--baseline", action="store_true",
+                     help="also synthesize the 2019 comparison baseline")
+    run.add_argument("--out", type=str, default=None,
+                     help="directory to persist the dataset and report")
+    run.set_defaults(handler=_cmd_run)
+
+    report = commands.add_parser(
+        "report", help="regenerate figures from a persisted run")
+    report.add_argument("--data", type=str, required=True,
+                        help="directory written by `repro run --out`")
+    report.set_defaults(handler=_cmd_report)
+
+    checklist = commands.add_parser(
+        "checklist", help="evaluate every encoded paper claim")
+    checklist.add_argument("--students", type=int, default=100)
+    checklist.add_argument("--seed", type=int, default=7)
+    checklist.add_argument("--baseline", action="store_true")
+    checklist.set_defaults(handler=_cmd_checklist)
+
+    export = commands.add_parser(
+        "export", help="synthesize a shareable trace directory")
+    export.add_argument("--students", type=int, default=50)
+    export.add_argument("--seed", type=int, default=7)
+    export.add_argument("--out", type=str, required=True)
+    export.set_defaults(handler=_cmd_export)
+
+    ingest = commands.add_parser(
+        "ingest", help="measure a previously exported trace directory")
+    ingest.add_argument("--traces", type=str, required=True)
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

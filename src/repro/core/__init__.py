@@ -1,0 +1,38 @@
+"""The study API: end-to-end orchestration and reporting."""
+
+from repro.core.report import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_summary,
+    sparkline,
+)
+from repro.core.study import LockdownStudy, StudyArtifacts
+from repro.core.validation import (
+    BinaryScore,
+    ClassifierReview,
+    GroundTruthMatcher,
+)
+
+__all__ = [
+    "BinaryScore",
+    "ClassifierReview",
+    "GroundTruthMatcher",
+    "LockdownStudy",
+    "StudyArtifacts",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_summary",
+    "sparkline",
+]

@@ -1,0 +1,165 @@
+"""CSV export of every figure's underlying series.
+
+The text reports in :mod:`repro.core.report` are for eyeballing;
+this module writes the actual numbers so any plotting stack can
+redraw the paper's figures. One CSV per figure, with a stable,
+documented schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List
+
+from repro import constants
+from repro.core.study import StudyArtifacts
+from repro.devices.types import DeviceClass
+from repro.stats.descriptive import BoxStats
+from repro.util.timeutil import format_day
+
+#: Files written by :func:`export_figure_csvs`.
+FIGURE_FILES = (
+    "fig1_active_devices.csv",
+    "fig2_bytes_per_device.csv",
+    "fig3_hour_of_week.csv",
+    "fig4_subpopulation.csv",
+    "fig5_zoom.csv",
+    "fig6_social.csv",
+    "fig7_steam.csv",
+    "fig8_switch.csv",
+    "summary.csv",
+)
+
+
+def export_figure_csvs(artifacts: StudyArtifacts, directory: str) -> List[str]:
+    """Write one CSV per figure; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    writers = (
+        ("fig1_active_devices.csv", _write_fig1),
+        ("fig2_bytes_per_device.csv", _write_fig2),
+        ("fig3_hour_of_week.csv", _write_fig3),
+        ("fig4_subpopulation.csv", _write_fig4),
+        ("fig5_zoom.csv", _write_fig5),
+        ("fig6_social.csv", _write_fig6),
+        ("fig7_steam.csv", _write_fig7),
+        ("fig8_switch.csv", _write_fig8),
+        ("summary.csv", _write_summary),
+    )
+    paths = []
+    for name, writer in writers:
+        path = os.path.join(directory, name)
+        with open(path, "w", newline="") as fileobj:
+            writer(artifacts, csv.writer(fileobj))
+        paths.append(path)
+    return paths
+
+
+def _write_fig1(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig1()
+    out.writerow(["date", "total"] + list(DeviceClass.all()))
+    for index, ts in enumerate(result.day_ts):
+        out.writerow([format_day(float(ts)), int(result.total[index])]
+                     + [int(result.by_class[name][index])
+                        for name in DeviceClass.all()])
+
+
+def _write_fig2(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig2()
+    header = ["date"]
+    for name in DeviceClass.all():
+        header += [f"{name}_mean", f"{name}_median"]
+    out.writerow(header)
+    for index, ts in enumerate(result.day_ts):
+        row = [format_day(float(ts))]
+        for name in DeviceClass.all():
+            row += [f"{result.mean_by_class[name][index]:.1f}",
+                    f"{result.median_by_class[name][index]:.1f}"]
+        out.writerow(row)
+
+
+def _write_fig3(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig3()
+    labels = list(result.weeks)
+    out.writerow(["hour_of_week"] + labels)
+    for hour in result.hour_of_week:
+        out.writerow([int(hour)] + [
+            f"{result.weeks[label][hour]:.3f}" for label in labels])
+
+
+def _write_fig4(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig4()
+    keys = list(result.series)
+    out.writerow(["date"] + [f"{pop}_{grp}" for pop, grp in keys])
+    for index, ts in enumerate(result.day_ts):
+        out.writerow([format_day(float(ts))] + [
+            f"{result.series[key][index]:.0f}" for key in keys])
+
+
+def _write_fig5(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig5()
+    out.writerow(["date", "zoom_bytes"])
+    for index, ts in enumerate(result.day_ts):
+        out.writerow([format_day(float(ts)),
+                      int(result.daily_bytes[index])])
+
+
+def _box_rows(out, label_fields, per_month: Dict) -> None:
+    for month, month_label in zip(constants.STUDY_MONTHS,
+                                  constants.MONTH_LABELS):
+        stats: BoxStats = per_month.get(month, BoxStats.empty())
+        out.writerow(label_fields + [
+            month_label, stats.n, f"{stats.p1:.4f}", f"{stats.q1:.4f}",
+            f"{stats.median:.4f}", f"{stats.q3:.4f}",
+            f"{stats.p95:.4f}", f"{stats.p99:.4f}"])
+
+
+def _write_fig6(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig6()
+    out.writerow(["platform", "population", "month", "n", "p1", "q1",
+                  "median", "q3", "p95", "p99"])
+    for platform in ("facebook", "instagram", "tiktok"):
+        for population in ("domestic", "international"):
+            _box_rows(out, [platform, population],
+                      result.stats[platform][population])
+
+
+def _write_fig7(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig7()
+    out.writerow(["metric", "population", "month", "n", "p1", "q1",
+                  "median", "q3", "p95", "p99"])
+    for population in ("domestic", "international"):
+        _box_rows(out, ["bytes", population],
+                  result.bytes_stats[population])
+        _box_rows(out, ["connections", population],
+                  result.connection_stats[population])
+
+
+def _write_fig8(artifacts: StudyArtifacts, out) -> None:
+    result = artifacts.fig8()
+    out.writerow(["date", "gameplay_bytes", "gameplay_bytes_3day_avg"])
+    for index, ts in enumerate(result.day_ts):
+        out.writerow([format_day(float(ts)),
+                      int(result.daily_gameplay_bytes[index]),
+                      f"{result.smoothed[index]:.0f}"])
+
+
+def _write_summary(artifacts: StudyArtifacts, out) -> None:
+    stats = artifacts.summary()
+    out.writerow(["statistic", "value"])
+    rows = [
+        ("peak_active_devices", stats.peak_active_devices),
+        ("trough_active_devices", stats.trough_active_devices),
+        ("post_shutdown_devices", stats.post_shutdown_devices),
+        ("international_devices", stats.international_devices),
+        ("international_fraction", f"{stats.international_fraction:.4f}"),
+        ("traffic_increase_feb_to_aprmay",
+         f"{stats.traffic_increase_feb_to_aprmay:.4f}"),
+        ("distinct_sites_increase",
+         f"{stats.distinct_sites_increase:.4f}"),
+    ]
+    if stats.traffic_increase_vs_2019 is not None:
+        rows.append(("traffic_increase_vs_2019",
+                     f"{stats.traffic_increase_vs_2019:.4f}"))
+    for name, value in rows:
+        out.writerow([name, value])

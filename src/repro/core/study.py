@@ -1,0 +1,310 @@
+"""End-to-end study orchestration.
+
+:class:`LockdownStudy` wires the whole reproduction together:
+
+1. synthesize the campus and generate wire events day by day;
+2. run the monitoring pipeline (tap, flows, DHCP/DNS normalization,
+   anonymization);
+3. apply the 14-day visitor filter;
+4. classify devices and sub-populations;
+5. expose every figure/statistic through :class:`StudyArtifacts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.analysis.fig1_active_devices import Fig1Result, compute_fig1
+from repro.analysis.fig2_bytes_per_device import Fig2Result, compute_fig2
+from repro.analysis.fig3_hour_of_week import Fig3Result, compute_fig3
+from repro.analysis.fig4_subpopulation import Fig4Result, compute_fig4
+from repro.analysis.fig5_zoom import Fig5Result, compute_fig5
+from repro.analysis.fig6_social import Fig6Result, compute_fig6
+from repro.analysis.fig7_steam import Fig7Result, compute_fig7
+from repro.analysis.fig8_switch import Fig8Result, compute_fig8
+from repro.analysis.common import (
+    month_day_mask,
+    per_device_day_bytes,
+    post_shutdown_device_mask,
+    study_day_count,
+)
+from repro.analysis.summary import (
+    SummaryStats,
+    compute_summary,
+    traffic_vs_baseline,
+)
+from repro.apps.registry import SignatureRegistry, default_registry
+from repro.config import StudyConfig
+from repro.devices.classifier import ClassificationResult, DeviceClassifier
+from repro.geo.international import InternationalClassifier, MidpointReport
+from repro.pipeline.dataset import FlowDataset
+from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
+from repro.pipeline.visitors import visitor_filter_mask
+from repro.synth.generator import (
+    PRESENCE_ALL_RESIDENTS,
+    CampusTraceGenerator,
+)
+from repro.util.timeutil import format_day, utc_ts
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class StudyArtifacts:
+    """Everything a finished study run exposes, with cached analyses."""
+
+    config: StudyConfig
+    generator: CampusTraceGenerator
+    #: Dataset before the visitor filter (kept for filter diagnostics).
+    dataset_unfiltered: FlowDataset
+    #: The analysis dataset: visitor-filtered flows.
+    dataset: FlowDataset
+    #: Per-device visitor-filter verdicts (on the unfiltered table).
+    retained_devices: np.ndarray
+    classification: ClassificationResult
+    midpoints: MidpointReport
+    post_shutdown_mask: np.ndarray
+    signatures: SignatureRegistry
+    pipeline_stats: PipelineStats
+    _cache: Dict[str, object] = field(default_factory=dict)
+
+    # -- sub-population masks ------------------------------------------
+
+    @property
+    def international_mask(self) -> np.ndarray:
+        return self.midpoints.is_international
+
+    # -- figures ----------------------------------------------------------
+
+    def fig1(self) -> Fig1Result:
+        return self._cached("fig1", lambda: compute_fig1(
+            self.dataset, self.classification))
+
+    def fig2(self) -> Fig2Result:
+        return self._cached("fig2", lambda: compute_fig2(
+            self.dataset, self.classification))
+
+    def fig3(self) -> Fig3Result:
+        return self._cached("fig3", lambda: compute_fig3(
+            self.dataset, device_mask=self.post_shutdown_mask))
+
+    def fig4(self) -> Fig4Result:
+        return self._cached("fig4", lambda: compute_fig4(
+            self.dataset, self.classification, self.international_mask,
+            self.post_shutdown_mask, self.signatures.get("zoom")))
+
+    def fig5(self) -> Fig5Result:
+        return self._cached("fig5", lambda: compute_fig5(
+            self.dataset, self.signatures.get("zoom"),
+            self.post_shutdown_mask, constants.BREAK_END))
+
+    def fig6(self) -> Fig6Result:
+        return self._cached("fig6", lambda: compute_fig6(
+            self.dataset, self.classification, self.international_mask,
+            self.post_shutdown_mask))
+
+    def fig7(self) -> Fig7Result:
+        return self._cached("fig7", lambda: compute_fig7(
+            self.dataset, self.international_mask, self.post_shutdown_mask))
+
+    def fig8(self) -> Fig8Result:
+        return self._cached("fig8", lambda: compute_fig8(
+            self.dataset, self.classification.is_switch))
+
+    def summary(self) -> SummaryStats:
+        return self._cached("summary", lambda: compute_summary(
+            self.dataset, self.fig1().total, self.post_shutdown_mask,
+            self.international_mask))
+
+    def _cached(self, key: str, compute: Callable[[], object]):
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]
+
+
+class LockdownStudy:
+    """Run the full reproduction for one configuration."""
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self.config = config or StudyConfig()
+
+    def run(self, progress: Optional[ProgressFn] = None) -> StudyArtifacts:
+        """Generate, measure, classify; returns the artifacts."""
+        report = progress or (lambda message: None)
+        config = self.config
+
+        generator = CampusTraceGenerator(config)
+        report(f"population: {generator.population.counts()}")
+
+        excluded = generator.plan.excluded_blocks(config.excluded_operators)
+        pipeline = MonitoringPipeline(config, excluded)
+        for trace in generator.iter_days():
+            pipeline.ingest_day(trace)
+            if trace.day_start % (7 * 86400.0) < 86400.0:
+                report(f"ingested {format_day(trace.day_start)} "
+                       f"({len(pipeline.builder)} flows so far)")
+        dataset_all = pipeline.finalize()
+        report(f"pipeline done: {len(dataset_all)} flows, "
+               f"{dataset_all.n_devices} devices")
+
+        retained = visitor_filter_mask(dataset_all, config.visitor_min_days)
+        dataset = dataset_all.select(
+            dataset_all.flows_of_devices(retained)).compact()
+        report(f"visitor filter: kept {int(retained.sum())} of "
+               f"{dataset_all.n_devices} devices")
+
+        classifier = DeviceClassifier(oui_db=generator.oui_db)
+        classification = classifier.classify(dataset)
+        report(f"device classes: {classification.counts()}")
+
+        international = InternationalClassifier(
+            generator.plan.geo_db, config.geo_excluded_domains)
+        midpoints = international.classify(dataset)
+
+        post_shutdown = post_shutdown_device_mask(dataset)
+        report(f"post-shutdown devices: {int(post_shutdown.sum())}, "
+               f"international: {int((midpoints.is_international & post_shutdown).sum())}")
+
+        signatures = default_registry(generator.plan.zoom_publication())
+
+        return StudyArtifacts(
+            config=config,
+            generator=generator,
+            dataset_unfiltered=dataset_all,
+            dataset=dataset,
+            retained_devices=retained,
+            classification=classification,
+            midpoints=midpoints,
+            post_shutdown_mask=post_shutdown,
+            signatures=signatures,
+            pipeline_stats=pipeline.stats,
+        )
+
+    # -- reconstruction from saved data --------------------------------------
+
+    @classmethod
+    def artifacts_from_dataset(cls, config: StudyConfig,
+                               dataset: FlowDataset) -> StudyArtifacts:
+        """Rebuild analysis artifacts around a saved (filtered) dataset.
+
+        The address plan, OUI registry and signatures are deterministic
+        functions of the catalog, so a dataset persisted with
+        :func:`repro.pipeline.store.save_dataset` is enough to recompute
+        every figure without re-running the simulation or pipeline.
+        """
+        generator = CampusTraceGenerator(config)
+        classification = DeviceClassifier(
+            oui_db=generator.oui_db).classify(dataset)
+        midpoints = InternationalClassifier(
+            generator.plan.geo_db,
+            config.geo_excluded_domains).classify(dataset)
+        return StudyArtifacts(
+            config=config,
+            generator=generator,
+            dataset_unfiltered=dataset,
+            dataset=dataset,
+            retained_devices=np.ones(dataset.n_devices, dtype=bool),
+            classification=classification,
+            midpoints=midpoints,
+            post_shutdown_mask=post_shutdown_device_mask(dataset),
+            signatures=default_registry(generator.plan.zoom_publication()),
+            pipeline_stats=PipelineStats(),
+        )
+
+    # -- no-pandemic counterfactual -------------------------------------------
+
+    def run_counterfactual(self,
+                           progress: Optional[ProgressFn] = None,
+                           ) -> StudyArtifacts:
+        """Run the control arm of the natural experiment.
+
+        Same population, same window, but the pandemic never happens:
+        behaviour is pinned to the pre-pandemic phase and nobody leaves
+        campus. Comparing this run's figures against the real study
+        isolates the lock-down's effect from seasonal/term structure.
+        """
+        from repro.synth.timeline import Phase
+
+        report = progress or (lambda message: None)
+        config = self.config
+
+        generator = CampusTraceGenerator(config,
+                                         phase_override=Phase.PRE)
+        report("counterfactual: pandemic disabled, nobody departs")
+        excluded = generator.plan.excluded_blocks(config.excluded_operators)
+        pipeline = MonitoringPipeline(config, excluded)
+        for trace in generator.iter_days(presence=PRESENCE_ALL_RESIDENTS):
+            pipeline.ingest_day(trace)
+        dataset_all = pipeline.finalize()
+        report(f"counterfactual pipeline done: {len(dataset_all)} flows")
+
+        retained = visitor_filter_mask(dataset_all, config.visitor_min_days)
+        dataset = dataset_all.select(
+            dataset_all.flows_of_devices(retained)).compact()
+
+        classifier = DeviceClassifier(oui_db=generator.oui_db)
+        classification = classifier.classify(dataset)
+        international = InternationalClassifier(
+            generator.plan.geo_db, config.geo_excluded_domains)
+        midpoints = international.classify(dataset)
+
+        return StudyArtifacts(
+            config=config,
+            generator=generator,
+            dataset_unfiltered=dataset_all,
+            dataset=dataset,
+            retained_devices=retained,
+            classification=classification,
+            midpoints=midpoints,
+            post_shutdown_mask=post_shutdown_device_mask(dataset),
+            signatures=default_registry(generator.plan.zoom_publication()),
+            pipeline_stats=pipeline.stats,
+        )
+
+    # -- prior-year baseline ------------------------------------------------
+
+    def run_baseline_2019(self, artifacts: StudyArtifacts,
+                          progress: Optional[ProgressFn] = None) -> float:
+        """Attach the +X% vs-2019 statistic; returns the fraction.
+
+        Simulates the same population over April/May of the prior year
+        under pre-pandemic behaviour (everyone in residence), measures
+        it through a fresh pipeline, and compares the post-shutdown
+        cohort's April/May traffic year over year by anonymized device
+        token.
+        """
+        report = progress or (lambda message: None)
+        config = self.config
+        start = utc_ts(2019, 4, 1)
+        end = utc_ts(2019, 6, 1)
+
+        generator = CampusTraceGenerator(config)
+        excluded = generator.plan.excluded_blocks(config.excluded_operators)
+        pipeline = MonitoringPipeline(config, excluded, day0=start)
+        for trace in generator.iter_days(start, end,
+                                         presence=PRESENCE_ALL_RESIDENTS):
+            pipeline.ingest_day(trace)
+        baseline = pipeline.finalize()
+        report(f"2019 baseline: {len(baseline)} flows")
+
+        cohort_tokens = {
+            artifacts.dataset.devices[index].token
+            for index in np.flatnonzero(artifacts.post_shutdown_mask)
+        }
+        cohort_mask = np.array(
+            [profile.token in cohort_tokens for profile in baseline.devices],
+            dtype=bool)
+
+        n_days = study_day_count(baseline, end)
+        matrix = per_device_day_bytes(baseline, n_days)
+        baseline_bytes = float(matrix[cohort_mask].sum())
+
+        summary = artifacts.summary()
+        increase = traffic_vs_baseline(
+            summary.aprmay_total_bytes, baseline_bytes)
+        summary.traffic_increase_vs_2019 = increase
+        return increase

@@ -1,0 +1,169 @@
+"""Ground-truth validation utilities (simulation-aware scoring).
+
+The measurement stack never reads simulation ground truth -- but the
+*evaluation* of this reproduction can, which is a luxury the paper did
+not have (its authors hand-reviewed 100 devices instead). The
+:class:`GroundTruthMatcher` re-derives each simulated device's
+anonymized token and links it to the analysis-side device table, which
+enables:
+
+* scoring the device classifier the way the paper's manual review did
+  (affirmative accuracy vs conservative omission);
+* scoring the domestic/international midpoint classifier
+  (precision/recall against true student origin);
+* scoring Switch detection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.study import StudyArtifacts
+from repro.devices.types import DeviceClass
+from repro.pipeline.anonymize import Anonymizer
+from repro.synth.devices import DeviceKind, SimDevice
+from repro.synth.personas import StudentPersona
+
+
+@dataclass
+class ClassifierReview:
+    """The paper-style review: correct / misclassified / omitted."""
+
+    reviewed: int
+    correct: int
+    misclassified: int
+    omitted: int
+    #: (truth, predicted) -> count for affirmative errors.
+    confusion: Dict[Tuple[str, str], int]
+
+    @property
+    def affirmative_accuracy(self) -> float:
+        decided = self.correct + self.misclassified
+        return self.correct / decided if decided else float("nan")
+
+    @property
+    def overall_accuracy(self) -> float:
+        """Fraction correct counting omissions as errors (the paper's
+        84/100 framing)."""
+        return self.correct / self.reviewed if self.reviewed else float("nan")
+
+
+@dataclass
+class BinaryScore:
+    """Precision/recall of a boolean per-device prediction."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+    true_negative: int
+
+    @property
+    def precision(self) -> float:
+        decided = self.true_positive + self.false_positive
+        return self.true_positive / decided if decided else float("nan")
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positive + self.false_negative
+        return self.true_positive / actual if actual else float("nan")
+
+
+class GroundTruthMatcher:
+    """Links analysis-side device indices to simulation ground truth."""
+
+    def __init__(self, artifacts: StudyArtifacts):
+        self.artifacts = artifacts
+        anonymizer = Anonymizer(artifacts.config.anonymization_salt)
+        token_to_index = {
+            profile.token: profile.index
+            for profile in artifacts.dataset.devices
+        }
+        population = artifacts.generator.population
+        self._device_of: Dict[int, SimDevice] = {}
+        self._persona_of: Dict[int, StudentPersona] = {}
+        for device in population.devices:
+            index = token_to_index.get(anonymizer.device(device.mac).token)
+            if index is not None:
+                self._device_of[index] = device
+                self._persona_of[index] = population.personas[
+                    device.owner_id]
+
+    # -- lookups -----------------------------------------------------------
+
+    def sim_device(self, index: int) -> Optional[SimDevice]:
+        return self._device_of.get(index)
+
+    def persona(self, index: int) -> Optional[StudentPersona]:
+        return self._persona_of.get(index)
+
+    @property
+    def matched_count(self) -> int:
+        return len(self._device_of)
+
+    # -- scoring -------------------------------------------------------------
+
+    def review_classification(self) -> ClassifierReview:
+        """Score the coarse device classifier like the paper's review."""
+        classes = self.artifacts.classification.classes
+        correct = misclassified = omitted = 0
+        confusion: Counter = Counter()
+        for index, device in self._device_of.items():
+            predicted = DeviceClass.name(int(classes[index]))
+            truth = device.coarse_class
+            if predicted == DeviceClass.UNCLASSIFIED:
+                omitted += 1
+            elif predicted == truth:
+                correct += 1
+            else:
+                misclassified += 1
+                confusion[(truth, predicted)] += 1
+        return ClassifierReview(
+            reviewed=correct + misclassified + omitted,
+            correct=correct,
+            misclassified=misclassified,
+            omitted=omitted,
+            confusion=dict(confusion),
+        )
+
+    def score_international(self,
+                            restrict_to_post_shutdown: bool = True,
+                            exclude_iot: bool = True) -> BinaryScore:
+        """Score the midpoint classifier against true student origin.
+
+        IoT-class devices are excluded by default (their backends'
+        geography says nothing about the owner; the paper keeps
+        fixed-use devices out of its sub-population analyses).
+        """
+        predicted = self.artifacts.international_mask
+        iot = self.artifacts.classification.class_mask(DeviceClass.IOT)
+        post = self.artifacts.post_shutdown_mask
+        tp = fp = fn = tn = 0
+        for index, persona in self._persona_of.items():
+            if restrict_to_post_shutdown and not post[index]:
+                continue
+            if exclude_iot and iot[index]:
+                continue
+            truth = persona.is_international
+            label = bool(predicted[index])
+            tp += truth and label
+            fp += (not truth) and label
+            fn += truth and not label
+            tn += (not truth) and (not label)
+        return BinaryScore(tp, fp, fn, tn)
+
+    def score_switch_detection(self) -> BinaryScore:
+        """Score the >=50%-Nintendo Switch detector."""
+        predicted = self.artifacts.classification.is_switch
+        tp = fp = fn = tn = 0
+        for index, device in self._device_of.items():
+            truth = device.kind == DeviceKind.SWITCH
+            label = bool(predicted[index])
+            tp += truth and label
+            fp += (not truth) and label
+            fn += truth and not label
+            tn += (not truth) and (not label)
+        return BinaryScore(tp, fp, fn, tn)

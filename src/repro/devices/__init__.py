@@ -1,0 +1,28 @@
+"""Device classification (Section 3).
+
+Classifies anonymized devices into the paper's coarse classes --
+mobile, laptop & desktop, IoT, unclassified -- using only what survives
+the privacy boundary: OUIs, observed User-Agent strings, and traffic
+destination patterns (the Saidi et al.-style IoT detector with
+threshold 0.5). Nintendo Switch detection (Section 5.3.2's >=50%
+Nintendo-traffic rule) also lives here.
+"""
+
+from repro.devices.classifier import ClassificationResult, DeviceClassifier
+from repro.devices.iot import IotDetector, IotSignature, default_iot_signatures
+from repro.devices.oui import classify_oui
+from repro.devices.switch import SwitchDetector
+from repro.devices.types import DeviceClass
+from repro.devices.useragent import classify_user_agent
+
+__all__ = [
+    "ClassificationResult",
+    "DeviceClass",
+    "DeviceClassifier",
+    "IotDetector",
+    "IotSignature",
+    "SwitchDetector",
+    "classify_oui",
+    "classify_user_agent",
+    "default_iot_signatures",
+]

@@ -1,0 +1,32 @@
+"""OUI-based classification.
+
+Maps a device's vendor prefix (when it has one -- randomized MACs do
+not) to a coarse class via the vendor registry's category hints.
+Vendors that ship many device families ("generic") contribute no
+signal, matching how the real IEEE registry behaves for, say, a vendor
+that makes both laptops and phones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.types import DeviceClass
+from repro.net.oui_db import OuiDatabase
+
+_HINT_TO_CLASS = {
+    "laptop": DeviceClass.LAPTOP_DESKTOP,
+    "mobile": DeviceClass.MOBILE,
+    "iot": DeviceClass.IOT,
+    "console": DeviceClass.IOT,  # consoles surface through the IoT class
+}
+
+
+def classify_oui(oui: Optional[int], oui_db: OuiDatabase) -> Optional[str]:
+    """Classify a 24-bit OUI, or return None when it carries no signal."""
+    if oui is None:
+        return None
+    record = oui_db.lookup_oui(oui)
+    if record is None:
+        return None
+    return _HINT_TO_CLASS.get(record.category_hint)

@@ -1,0 +1,62 @@
+"""Nintendo Switch detection (Section 5.3.2).
+
+"We classify devices in our dataset as Switches if at least 50% of
+their traffic is to the identified Nintendo servers." The Nintendo
+server list mirrors what the paper assembled by measuring a Switch and
+cross-checking with the 90DNS blocklist.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dns.domains import matches_suffix
+from repro.pipeline.dataset import FlowDataset
+
+#: Domain suffixes covering every Nintendo backend (90DNS-equivalent).
+NINTENDO_DOMAIN_SUFFIXES: Tuple[str, ...] = (
+    "nintendo.net",
+    "nintendo.com",
+)
+
+
+class SwitchDetector:
+    """Byte-share detector for Nintendo Switch consoles."""
+
+    def __init__(self,
+                 domain_suffixes: Tuple[str, ...] = NINTENDO_DOMAIN_SUFFIXES,
+                 threshold: float = 0.5):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must lie in (0, 1]")
+        self.domain_suffixes = domain_suffixes
+        self.threshold = threshold
+
+    def domain_is_nintendo(self, domain: str) -> bool:
+        return matches_suffix(domain, self.domain_suffixes)
+
+    def nintendo_flow_mask(self, dataset: FlowDataset) -> np.ndarray:
+        """Boolean flow mask: annotated with a Nintendo domain."""
+        nintendo_domain = np.array(
+            [self.domain_is_nintendo(domain) for domain in dataset.domains],
+            dtype=bool)
+        mask = np.zeros(len(dataset), dtype=bool)
+        annotated = dataset.domain >= 0
+        mask[annotated] = nintendo_domain[dataset.domain[annotated]]
+        return mask
+
+    def shares(self, dataset: FlowDataset) -> np.ndarray:
+        """Per-device share of bytes going to Nintendo servers."""
+        nintendo = self.nintendo_flow_mask(dataset)
+        flow_bytes = dataset.total_bytes.astype(np.float64)
+        total = np.bincount(dataset.device, weights=flow_bytes,
+                            minlength=dataset.n_devices)
+        hits = np.bincount(dataset.device[nintendo],
+                           weights=flow_bytes[nintendo],
+                           minlength=dataset.n_devices)
+        return np.where(total > 0, hits / np.maximum(total, 1.0), 0.0)
+
+    def detect(self, dataset: FlowDataset) -> np.ndarray:
+        """Boolean per-device mask of presumed Switches."""
+        return self.shares(dataset) >= self.threshold

@@ -1,0 +1,38 @@
+"""The paper's coarse device classes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class DeviceClass:
+    """Coarse classes used throughout the analyses (string constants)."""
+
+    MOBILE = "mobile"
+    LAPTOP_DESKTOP = "laptop_desktop"
+    IOT = "iot"
+    UNCLASSIFIED = "unclassified"
+
+    #: Integer codes for compact array storage.
+    CODES = {MOBILE: 0, LAPTOP_DESKTOP: 1, IOT: 2, UNCLASSIFIED: 3}
+    NAMES = {code: name for name, code in CODES.items()}
+
+    #: Display labels matching the paper's figure legends.
+    LABELS = {
+        MOBILE: "Mobile",
+        LAPTOP_DESKTOP: "Laptop & Desktop",
+        IOT: "IoT",
+        UNCLASSIFIED: "Unclassified",
+    }
+
+    @classmethod
+    def all(cls) -> Tuple[str, ...]:
+        return (cls.MOBILE, cls.LAPTOP_DESKTOP, cls.IOT, cls.UNCLASSIFIED)
+
+    @classmethod
+    def code(cls, name: str) -> int:
+        return cls.CODES[name]
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        return cls.NAMES[code]

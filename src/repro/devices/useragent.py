@@ -1,0 +1,47 @@
+"""User-Agent string classification.
+
+One of the paper's classification heuristics: User-Agent strings
+observed in (plaintext) HTTP traffic reveal the device family. The
+rules below follow the standard UA taxonomy -- mobile tokens first
+(an iPhone UA also contains "like Mac OS X"), then desktop platform
+tokens, then embedded/appliance patterns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.devices.types import DeviceClass
+
+_MOBILE_TOKENS = re.compile(
+    r"iPhone|iPad|iPod|Android|Mobile Safari|Windows Phone", re.IGNORECASE)
+_TABLET_TOKENS = re.compile(r"iPad|Tablet|SM-T\d", re.IGNORECASE)
+_DESKTOP_TOKENS = re.compile(
+    r"Windows NT|Macintosh|X11; Linux|CrOS|WOW64", re.IGNORECASE)
+#: Browser-style UAs start with a product token like Mozilla/5.0;
+#: appliance firmware identifies itself directly.
+_BROWSER_PREFIX = re.compile(r"^Mozilla/\d")
+_EMBEDDED_TOKENS = re.compile(
+    r"smarttv|embedded|firmware|CFNetwork$|console|\bNX\b", re.IGNORECASE)
+
+
+def classify_user_agent(user_agent: str) -> Optional[str]:
+    """Map a UA string to a coarse device class, or None when ambiguous.
+
+    >>> classify_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X)")
+    'mobile'
+    >>> classify_user_agent("Mozilla/5.0 (Windows NT 10.0; Win64; x64)")
+    'laptop_desktop'
+    """
+    if not user_agent:
+        return None
+    if _MOBILE_TOKENS.search(user_agent) or _TABLET_TOKENS.search(user_agent):
+        return DeviceClass.MOBILE
+    if _DESKTOP_TOKENS.search(user_agent):
+        return DeviceClass.LAPTOP_DESKTOP
+    if not _BROWSER_PREFIX.search(user_agent):
+        # Non-browser product strings: appliance/console firmware.
+        if _EMBEDDED_TOKENS.search(user_agent) or "/" in user_agent:
+            return DeviceClass.IOT
+    return None

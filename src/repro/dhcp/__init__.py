@@ -1,0 +1,38 @@
+"""DHCP substrate: lease-pool simulation, logs, and IP->MAC resolution.
+
+The passive tap observes only dynamic client IPs; the paper converts
+them to stable per-device MAC addresses using contemporaneous DHCP
+logs (Section 3). This package provides both halves:
+
+* the *simulation* side -- a lease-pool server
+  (:class:`~repro.dhcp.server.DhcpServer`) that assigns, renews,
+  expires and **reuses** addresses, writing ACK log records as a real
+  server would; and
+* the *measurement* side -- a time-interval resolver
+  (:class:`~repro.dhcp.normalize.IpMacResolver`) reconstructed purely
+  from those logs, which answers "which MAC held this IP at this
+  instant". Address reuse makes this genuinely time-sensitive.
+"""
+
+from repro.dhcp.lease import Lease
+from repro.dhcp.log import DhcpLogRecord, read_dhcp_log, write_dhcp_log
+from repro.dhcp.normalize import IpMacResolver
+from repro.dhcp.protocol import (
+    DhcpClient,
+    DhcpMessage,
+    DhcpProtocolServer,
+)
+from repro.dhcp.server import DhcpServer, PoolExhaustedError
+
+__all__ = [
+    "DhcpClient",
+    "DhcpLogRecord",
+    "DhcpMessage",
+    "DhcpProtocolServer",
+    "DhcpServer",
+    "IpMacResolver",
+    "Lease",
+    "PoolExhaustedError",
+    "read_dhcp_log",
+    "write_dhcp_log",
+]

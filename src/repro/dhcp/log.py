@@ -1,0 +1,64 @@
+"""DHCP log records and JSONL serialization.
+
+The measurement pipeline reconstructs IP->MAC history exclusively from
+these records, so they carry exactly what a DHCP server's ACK log line
+does: when, which MAC, which IP, and until when the binding holds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List
+
+from repro.net.ip import int_to_ip, ip_to_int
+from repro.net.mac import MacAddress
+
+
+@dataclass(frozen=True)
+class DhcpLogRecord:
+    """One DHCPACK: ``mac`` holds ``ip`` from ``ts`` until ``lease_end``.
+
+    Renewals appear as additional ACKs with a later ``lease_end``.
+    """
+
+    ts: float
+    mac: MacAddress
+    ip: int
+    lease_end: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ts": self.ts,
+            "mac": str(self.mac),
+            "ip": int_to_ip(self.ip),
+            "lease_end": self.lease_end,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "DhcpLogRecord":
+        payload = json.loads(line)
+        return cls(
+            ts=float(payload["ts"]),
+            mac=MacAddress.parse(payload["mac"]),
+            ip=ip_to_int(payload["ip"]),
+            lease_end=float(payload["lease_end"]),
+        )
+
+
+def write_dhcp_log(records: Iterable[DhcpLogRecord], fileobj: IO[str]) -> int:
+    """Serialize records as JSONL; returns the number written."""
+    count = 0
+    for record in records:
+        fileobj.write(record.to_json())
+        fileobj.write("\n")
+        count += 1
+    return count
+
+
+def read_dhcp_log(fileobj: IO[str]) -> Iterator[DhcpLogRecord]:
+    """Parse a JSONL DHCP log, skipping blank lines."""
+    for line in fileobj:
+        line = line.strip()
+        if line:
+            yield DhcpLogRecord.from_json(line)

@@ -1,0 +1,145 @@
+"""Message-level DHCP: the DORA handshake, renewal, and rebinding.
+
+:class:`~repro.dhcp.server.DhcpServer.acquire` is the convenience used
+by the trace generator; this module models the underlying protocol for
+tests and for anyone extending the substrate:
+
+* a fresh client performs the four-way handshake
+  (DISCOVER → OFFER → REQUEST → ACK);
+* at T1 (50% of the lease) the client unicasts a renewal REQUEST for
+  its current address;
+* a REQUEST for an address the server no longer considers the client's
+  (expired and reassigned, or from a foreign pool) is answered with a
+  NAK, sending the client back to DISCOVER — the same recovery path a
+  real network exercises after an outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.dhcp.lease import Lease
+from repro.dhcp.server import DhcpServer, PoolExhaustedError
+from repro.net.mac import MacAddress
+
+#: Message type constants (the subset the simulation uses).
+DISCOVER = "DHCPDISCOVER"
+OFFER = "DHCPOFFER"
+REQUEST = "DHCPREQUEST"
+ACK = "DHCPACK"
+NAK = "DHCPNAK"
+
+
+@dataclass(frozen=True)
+class DhcpMessage:
+    """One DHCP message on the wire (simplified)."""
+
+    kind: str
+    ts: float
+    mac: MacAddress
+    #: The address being offered/requested/acknowledged (None for
+    #: DISCOVER and NAK).
+    ip: Optional[int] = None
+    #: Binding end for OFFER/ACK.
+    lease_end: Optional[float] = None
+
+
+class DhcpProtocolServer:
+    """Message-level façade over :class:`DhcpServer`.
+
+    Offers are backed by an immediate grant (the conservative policy:
+    the offered binding exists from OFFER time, and a client that never
+    REQUESTs simply lets it expire). A REQUEST matching the binding is
+    ACKed; any other REQUEST is NAKed.
+    """
+
+    def __init__(self, server: DhcpServer):
+        self.server = server
+        self.naks_sent = 0
+
+    def handle(self, message: DhcpMessage) -> DhcpMessage:
+        """Process a client message and return the server's reply."""
+        if message.kind == DISCOVER:
+            return self._offer(message)
+        if message.kind == REQUEST:
+            return self._ack_or_nak(message)
+        raise ValueError(f"server cannot handle {message.kind!r}")
+
+    def _offer(self, message: DhcpMessage) -> DhcpMessage:
+        # Re-offer the client's current address when it still holds one
+        # (real servers prefer binding stability).
+        current = self.server.lease_of(message.mac, message.ts)
+        if current is not None:
+            return DhcpMessage(OFFER, message.ts, message.mac,
+                               ip=current.ip, lease_end=current.end)
+        # Peek at the next address by performing the grant at REQUEST
+        # time instead; the offer itself promises the pool has room.
+        probe = self.server.acquire(message.mac, message.ts)
+        return DhcpMessage(OFFER, message.ts, message.mac,
+                           ip=probe.ip, lease_end=probe.end)
+
+    def _ack_or_nak(self, message: DhcpMessage) -> DhcpMessage:
+        if message.ip is None:
+            raise ValueError("REQUEST requires an address")
+        # A REQUEST is only honoured when the server still considers
+        # the address this client's; anything else is NAKed without
+        # touching the pool (a stale client must not steal or block an
+        # address someone else now holds).
+        current = self.server.lease_of(message.mac, message.ts)
+        if current is None or current.ip != message.ip:
+            self.naks_sent += 1
+            return DhcpMessage(NAK, message.ts, message.mac)
+        lease = self.server.acquire(message.mac, message.ts)
+        return DhcpMessage(ACK, message.ts, message.mac,
+                           ip=lease.ip, lease_end=lease.end)
+
+
+class DhcpClient:
+    """A protocol-faithful client state machine."""
+
+    #: Renew (unicast REQUEST) when this fraction of the lease elapsed.
+    T1 = 0.5
+    #: Rebind (broadcast REQUEST) at this fraction; with a single server
+    #: the distinction only affects timing.
+    T2 = 0.875
+
+    def __init__(self, mac: MacAddress):
+        self.mac = mac
+        self.lease: Optional[Lease] = None
+        self.handshakes = 0
+        self.renewals = 0
+        self.naks_received = 0
+
+    def ensure_address(self, server: DhcpProtocolServer,
+                       ts: float) -> int:
+        """Return a usable address at ``ts``, speaking DHCP as needed."""
+        if self.lease is not None and self.lease.active_at(ts):
+            elapsed = (ts - self.lease.start) / (
+                self.lease.end - self.lease.start)
+            if elapsed < self.T1:
+                return self.lease.ip
+            # Renewal: REQUEST the current address.
+            reply = server.handle(DhcpMessage(
+                REQUEST, ts, self.mac, ip=self.lease.ip))
+            if reply.kind == ACK:
+                self.renewals += 1
+                self.lease = Lease(self.mac, reply.ip,
+                                   start=ts, end=reply.lease_end)
+                return self.lease.ip
+            self.naks_received += 1
+            self.lease = None  # fall through to discovery
+
+        # Full DORA handshake.
+        offer = server.handle(DhcpMessage(DISCOVER, ts, self.mac))
+        if offer.kind != OFFER:
+            raise PoolExhaustedError("no offer received")
+        reply = server.handle(DhcpMessage(
+            REQUEST, ts, self.mac, ip=offer.ip))
+        if reply.kind != ACK:
+            self.naks_received += 1
+            raise PoolExhaustedError("offer withdrawn before REQUEST")
+        self.handshakes += 1
+        self.lease = Lease(self.mac, reply.ip, start=ts,
+                           end=reply.lease_end)
+        return self.lease.ip

@@ -1,0 +1,28 @@
+"""DNS substrate: synthetic resolver, query logs, and IP->domain mapping.
+
+The paper converts remote server IPs to domain names using
+contemporaneous DNS logs (Section 3). This package provides:
+
+* the *simulation* side -- a resolver over the synthetic internet's
+  address plan that answers queries with rotating host addresses and
+  emits query-log records;
+* the *measurement* side -- :class:`~repro.dns.mapping.IpDomainResolver`,
+  which reconstructs "what domain was this server IP serving at this
+  time" purely from the logs; and
+* registrable-domain ("site") grouping used by the distinct-sites
+  statistic (Section 4.1).
+"""
+
+from repro.dns.domains import site_of
+from repro.dns.mapping import IpDomainResolver
+from repro.dns.records import DnsLogRecord, read_dns_log, write_dns_log
+from repro.dns.resolver import SyntheticResolver
+
+__all__ = [
+    "DnsLogRecord",
+    "IpDomainResolver",
+    "SyntheticResolver",
+    "read_dns_log",
+    "site_of",
+    "write_dns_log",
+]

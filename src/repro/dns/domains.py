@@ -1,0 +1,58 @@
+"""Domain-name utilities: registrable-domain ("site") grouping.
+
+The paper's distinct-sites statistic (Section 4.1) counts *sites*, not
+hostnames: ``i.instagram.com`` and ``instagram.com`` are one site. We
+group by registrable domain using a compact public-suffix list covering
+every suffix the catalog (and common reality) uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Multi-label public suffixes under which registrations happen one
+#: label deeper (a practical subset of the Public Suffix List).
+_MULTI_LABEL_SUFFIXES = frozenset({
+    "co.uk", "ac.uk", "gov.uk",
+    "co.jp", "ne.jp", "or.jp",
+    "com.cn", "net.cn", "org.cn", "edu.cn",
+    "co.kr", "or.kr",
+    "com.au", "net.au", "org.au",
+    "com.br", "net.br",
+    "com.mx",
+    "com.sg",
+    "co.in", "net.in",
+})
+
+
+def matches_suffix(domain: str, suffixes) -> bool:
+    """True when ``domain`` equals or is a subdomain of any suffix.
+
+    The matching rule every signature in this library uses:
+    ``zoom.us`` and ``us04web.zoom.us`` match the suffix ``zoom.us``;
+    ``evilzoom.us`` and ``zoom.us.evil`` do not.
+    """
+    return any(
+        domain == suffix or domain.endswith("." + suffix)
+        for suffix in suffixes)
+
+
+def site_of(domain: str) -> Optional[str]:
+    """Return the registrable domain of a hostname, or None when malformed.
+
+    >>> site_of("i.instagram.com")
+    'instagram.com'
+    >>> site_of("news.bbc.co.uk")
+    'bbc.co.uk'
+    """
+    if not domain:
+        return None
+    labels = domain.lower().rstrip(".").split(".")
+    if len(labels) < 2 or any(not label for label in labels):
+        return None
+    tail2 = ".".join(labels[-2:])
+    if tail2 in _MULTI_LABEL_SUFFIXES:
+        if len(labels) < 3:
+            return None  # the suffix itself, not a registration
+        return ".".join(labels[-3:])
+    return tail2

@@ -1,0 +1,58 @@
+"""DNS query-log records and JSONL serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Tuple
+
+from repro.net.ip import int_to_ip, ip_to_int
+
+
+@dataclass(frozen=True)
+class DnsLogRecord:
+    """One resolver transaction as recorded by the campus DNS logs."""
+
+    ts: float
+    client_ip: int
+    qname: str
+    answers: Tuple[int, ...]
+    ttl: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ts": self.ts,
+            "client": int_to_ip(self.client_ip),
+            "qname": self.qname,
+            "answers": [int_to_ip(a) for a in self.answers],
+            "ttl": self.ttl,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "DnsLogRecord":
+        payload = json.loads(line)
+        return cls(
+            ts=float(payload["ts"]),
+            client_ip=ip_to_int(payload["client"]),
+            qname=str(payload["qname"]),
+            answers=tuple(ip_to_int(a) for a in payload["answers"]),
+            ttl=float(payload["ttl"]),
+        )
+
+
+def write_dns_log(records: Iterable[DnsLogRecord], fileobj: IO[str]) -> int:
+    """Serialize records as JSONL; returns the number written."""
+    count = 0
+    for record in records:
+        fileobj.write(record.to_json())
+        fileobj.write("\n")
+        count += 1
+    return count
+
+
+def read_dns_log(fileobj: IO[str]) -> Iterator[DnsLogRecord]:
+    """Parse a JSONL DNS log, skipping blank lines."""
+    for line in fileobj:
+        line = line.strip()
+        if line:
+            yield DnsLogRecord.from_json(line)

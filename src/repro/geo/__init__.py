@@ -1,0 +1,20 @@
+"""Geographic sub-population analysis (Section 4.2).
+
+Splits the post-shutdown devices into presumed domestic vs.
+international students: geolocate every February destination (CDNs
+excluded), compute the byte-weighted geographic midpoint per device,
+and label devices whose midpoint falls outside the United States as
+international. The method is deliberately conservative, exactly as the
+paper notes.
+"""
+
+from repro.geo.borders import point_in_us
+from repro.geo.international import InternationalClassifier, MidpointReport
+from repro.geo.midpoint import weighted_geographic_midpoint
+
+__all__ = [
+    "InternationalClassifier",
+    "MidpointReport",
+    "point_in_us",
+    "weighted_geographic_midpoint",
+]

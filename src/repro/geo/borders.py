@@ -1,0 +1,27 @@
+"""A coarse United States membership test.
+
+The midpoint classifier only needs "does this point fall inside the
+US"; bounding boxes for the contiguous states, Alaska and Hawaii are
+accurate enough at continental midpoint scale (misclassification at
+box edges corresponds to midpoints near the border, which the paper's
+conservative method tolerates by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: (lat_min, lat_max, lon_min, lon_max) boxes.
+_US_BOXES: Tuple[Tuple[float, float, float, float], ...] = (
+    (24.4, 49.4, -124.9, -66.9),   # contiguous 48
+    (51.0, 71.5, -170.0, -129.9),  # Alaska (mainland)
+    (18.8, 22.4, -160.3, -154.7),  # Hawaii
+)
+
+
+def point_in_us(lat: float, lon: float) -> bool:
+    """True when the coordinates fall inside a US bounding box."""
+    return any(
+        lat_min <= lat <= lat_max and lon_min <= lon <= lon_max
+        for lat_min, lat_max, lon_min, lon_max in _US_BOXES
+    )

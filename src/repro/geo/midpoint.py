@@ -1,0 +1,53 @@
+"""Weighted geographic midpoint on the sphere.
+
+The paper "calculate[s] the geographic midpoint of the destination of
+each of that device's connections ... weight[ing] each connection by
+its number of bytes" (Section 4.2). The standard construction: map
+each (lat, lon) to a unit vector, average with weights, and map the
+mean vector back to coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def weighted_geographic_midpoint(
+        lats: Sequence[float],
+        lons: Sequence[float],
+        weights: Sequence[float]) -> Optional[Tuple[float, float]]:
+    """Return the weighted midpoint ``(lat, lon)`` in degrees.
+
+    Returns None for empty input, non-positive total weight, or a
+    degenerate configuration whose mean vector vanishes (antipodal
+    points of equal weight have no midpoint).
+    """
+    lat_arr = np.asarray(lats, dtype=np.float64)
+    lon_arr = np.asarray(lons, dtype=np.float64)
+    weight_arr = np.asarray(weights, dtype=np.float64)
+    if lat_arr.size == 0:
+        return None
+    if lat_arr.shape != lon_arr.shape or lat_arr.shape != weight_arr.shape:
+        raise ValueError("lats, lons and weights must have equal length")
+    if np.any(weight_arr < 0):
+        raise ValueError("weights must be non-negative")
+    total = weight_arr.sum()
+    if total <= 0:
+        return None
+
+    lat_rad = np.radians(lat_arr)
+    lon_rad = np.radians(lon_arr)
+    cos_lat = np.cos(lat_rad)
+    x = float(np.sum(weight_arr * cos_lat * np.cos(lon_rad))) / total
+    y = float(np.sum(weight_arr * cos_lat * np.sin(lon_rad))) / total
+    z = float(np.sum(weight_arr * np.sin(lat_rad))) / total
+
+    norm = math.sqrt(x * x + y * y + z * z)
+    if norm < 1e-12:
+        return None
+    lat = math.degrees(math.asin(max(-1.0, min(1.0, z / norm))))
+    lon = math.degrees(math.atan2(y, x))
+    return lat, lon

@@ -1,0 +1,24 @@
+"""Trace-directory I/O: export and re-ingest a study's raw logs.
+
+The original study cannot share its traces; this reproduction can.
+:func:`~repro.io.tracedir.export_traces` writes a directory of per-day
+gzipped log files (Zeek-style conn logs, DHCP ACK logs, DNS query
+logs) -- the exact three inputs the measurement pipeline consumes --
+and :func:`~repro.io.tracedir.ingest_trace_dir` replays such a
+directory through a pipeline, byte-for-byte equivalent to live
+ingestion.
+"""
+
+from repro.io.tracedir import (
+    TraceDayFiles,
+    export_traces,
+    ingest_trace_dir,
+    iter_trace_days,
+)
+
+__all__ = [
+    "TraceDayFiles",
+    "export_traces",
+    "ingest_trace_dir",
+    "iter_trace_days",
+]

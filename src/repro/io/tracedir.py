@@ -1,0 +1,181 @@
+"""Trace-directory layout and (de)serialization.
+
+Layout::
+
+    <root>/manifest.json
+    <root>/2020-02-01/wire.jsonl.gz   # segment bursts seen by the tap
+    <root>/2020-02-01/dhcp.jsonl.gz   # DHCP ACK log
+    <root>/2020-02-01/dns.jsonl.gz    # DNS query log
+    <root>/2020-02-02/...
+
+The wire file holds the tap's *input* (pre-exclusion), so replaying a
+directory exercises the full measurement path including the mirror's
+excluded-network filtering.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.dhcp.log import DhcpLogRecord
+from repro.dns.records import DnsLogRecord
+from repro.net.ip import int_to_ip, ip_to_int
+from repro.net.wire import SegmentBurst
+from repro.util.timeutil import format_day, parse_day
+
+MANIFEST_NAME = "manifest.json"
+WIRE_FILE = "wire.jsonl.gz"
+DHCP_FILE = "dhcp.jsonl.gz"
+DNS_FILE = "dns.jsonl.gz"
+
+#: Format marker in the manifest; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceDayFiles:
+    """One day's worth of trace files, parsed."""
+
+    day_start: float
+    dhcp_records: List[DhcpLogRecord]
+    dns_records: List[DnsLogRecord]
+    bursts: List[SegmentBurst]
+
+
+# ---------------------------------------------------------------------------
+# Burst serialization (DHCP/DNS serializers live in their packages).
+
+def burst_to_json(burst: SegmentBurst) -> str:
+    payload = {
+        "ts": burst.ts,
+        "ch": int_to_ip(burst.client_ip),
+        "cp": burst.client_port,
+        "sh": int_to_ip(burst.server_ip),
+        "sp": burst.server_port,
+        "pr": burst.proto,
+        "ob": burst.orig_bytes,
+        "rb": burst.resp_bytes,
+    }
+    if burst.user_agent is not None:
+        payload["ua"] = burst.user_agent
+    if burst.http_host is not None:
+        payload["hh"] = burst.http_host
+    if burst.is_final:
+        payload["fin"] = 1
+    return json.dumps(payload)
+
+
+def burst_from_json(line: str) -> SegmentBurst:
+    payload = json.loads(line)
+    return SegmentBurst(
+        ts=float(payload["ts"]),
+        client_ip=ip_to_int(payload["ch"]),
+        client_port=int(payload["cp"]),
+        server_ip=ip_to_int(payload["sh"]),
+        server_port=int(payload["sp"]),
+        proto=str(payload["pr"]),
+        orig_bytes=int(payload["ob"]),
+        resp_bytes=int(payload["rb"]),
+        user_agent=payload.get("ua"),
+        http_host=payload.get("hh"),
+        is_final=bool(payload.get("fin", 0)),
+    )
+
+
+def _write_gz_lines(path: str, lines: Iterable[str]) -> int:
+    count = 0
+    with gzip.open(path, "wt") as fileobj:
+        for line in lines:
+            fileobj.write(line)
+            fileobj.write("\n")
+            count += 1
+    return count
+
+
+def _read_gz_lines(path: str) -> Iterator[str]:
+    with gzip.open(path, "rt") as fileobj:
+        for line in fileobj:
+            line = line.strip()
+            if line:
+                yield line
+
+
+# ---------------------------------------------------------------------------
+# Export / import.
+
+def export_traces(traces, root: str,
+                  extra_manifest: Optional[dict] = None) -> int:
+    """Write an iterable of day traces to a directory; returns day count.
+
+    ``traces`` yields objects with ``day_start``, ``dhcp_records``,
+    ``dns_records`` and ``bursts`` (e.g.
+    :class:`~repro.synth.generator.DayTrace`).
+    """
+    os.makedirs(root, exist_ok=True)
+    days: List[str] = []
+    for trace in traces:
+        label = format_day(trace.day_start)
+        day_dir = os.path.join(root, label)
+        os.makedirs(day_dir, exist_ok=True)
+        _write_gz_lines(os.path.join(day_dir, DHCP_FILE),
+                        (record.to_json()
+                         for record in trace.dhcp_records))
+        _write_gz_lines(os.path.join(day_dir, DNS_FILE),
+                        (record.to_json() for record in trace.dns_records))
+        _write_gz_lines(os.path.join(day_dir, WIRE_FILE),
+                        (burst_to_json(burst) for burst in trace.bursts))
+        days.append(label)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "days": days,
+        **(extra_manifest or {}),
+    }
+    with open(os.path.join(root, MANIFEST_NAME), "w") as fileobj:
+        json.dump(manifest, fileobj, indent=2)
+    return len(days)
+
+
+def read_manifest(root: str) -> dict:
+    """Load and validate a trace directory's manifest."""
+    with open(os.path.join(root, MANIFEST_NAME)) as fileobj:
+        manifest = json.load(fileobj)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    return manifest
+
+
+def iter_trace_days(root: str) -> Iterator[TraceDayFiles]:
+    """Yield each day's parsed records, in manifest (time) order."""
+    manifest = read_manifest(root)
+    for label in manifest["days"]:
+        day_dir = os.path.join(root, label)
+        yield TraceDayFiles(
+            day_start=parse_day(label),
+            dhcp_records=[DhcpLogRecord.from_json(line) for line in
+                          _read_gz_lines(os.path.join(day_dir, DHCP_FILE))],
+            dns_records=[DnsLogRecord.from_json(line) for line in
+                         _read_gz_lines(os.path.join(day_dir, DNS_FILE))],
+            bursts=[burst_from_json(line) for line in
+                    _read_gz_lines(os.path.join(day_dir, WIRE_FILE))],
+        )
+
+
+def ingest_trace_dir(pipeline, root: str) -> int:
+    """Replay a trace directory through a pipeline; returns day count.
+
+    Equivalent to live ingestion: the pipeline receives the same
+    records in the same order.
+    """
+    count = 0
+    for day in iter_trace_days(root):
+        pipeline.ingest_day(day)
+        count += 1
+    return count

@@ -1,0 +1,92 @@
+"""A synthetic OUI (vendor prefix) registry.
+
+The real study resolves OUIs against the IEEE registry; redistributing
+that database is unnecessary for the reproduction, so we carry a small
+registry of plausible vendors covering every device archetype the
+synthetic campus produces. The *lookup semantics* (24-bit prefix to
+vendor, vendor to device-category hint) match what the classifier needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.net.mac import MacAddress
+
+
+@dataclass(frozen=True)
+class OuiRecord:
+    """One vendor prefix registration."""
+
+    oui: int
+    vendor: str
+    #: Coarse hint used by the device classifier: "laptop", "mobile",
+    #: "iot", "console", or "generic" when the vendor ships many kinds.
+    category_hint: str
+
+
+#: (oui, vendor, hint) assignments for the synthetic campus. The OUI
+#: values are arbitrary but fixed, unique, and have clear U/L and I/G bits.
+_DEFAULT_REGISTRY: Tuple[Tuple[int, str, str], ...] = (
+    (0x9C1A00, "Lumen Laptops Inc.", "laptop"),
+    (0x9C1A04, "Granite Computer Corp.", "laptop"),
+    (0x9C1A08, "Orchard Computing", "generic"),  # ships laptops and phones
+    (0x5C2B10, "Pocketwave Mobile", "mobile"),
+    (0x5C2B14, "Starling Handsets", "mobile"),
+    (0x5C2B18, "Orchard Mobile Division", "mobile"),
+    (0x2C3C20, "HearthHub Smart Home", "iot"),
+    (0x2C3C24, "EchoNest Speakers", "iot"),
+    (0x2C3C28, "BrightBulb Labs", "iot"),
+    (0x2C3C2C, "StreamBox Media", "iot"),
+    (0x2C3C30, "WattWatch Appliances", "iot"),
+    (0x6C4D40, "Kyoto Game Systems", "console"),   # Switch-like handhelds
+    (0x6C4D44, "Meridian Consoles", "console"),    # desktop consoles
+    (0x8C5E50, "Campus Infrastructure Group", "generic"),
+)
+
+
+class OuiDatabase:
+    """Maps 24-bit OUIs to vendor records."""
+
+    def __init__(self, records: Iterable[OuiRecord]):
+        self._by_oui: Dict[int, OuiRecord] = {}
+        for record in records:
+            if record.oui in self._by_oui:
+                raise ValueError(f"duplicate OUI {record.oui:#08x}")
+            self._by_oui[record.oui] = record
+
+    def lookup_oui(self, oui: int) -> Optional[OuiRecord]:
+        """Return the vendor record for a bare 24-bit OUI, or None."""
+        return self._by_oui.get(oui)
+
+    def lookup(self, mac: MacAddress) -> Optional[OuiRecord]:
+        """Return the vendor record for a MAC, or None.
+
+        Locally-administered (randomized) addresses never resolve, just
+        as with the real IEEE registry.
+        """
+        if mac.is_locally_administered:
+            return None
+        return self._by_oui.get(mac.oui)
+
+    def vendor_ouis(self, category_hint: str) -> Tuple[int, ...]:
+        """Return all registered OUIs carrying a given category hint."""
+        return tuple(
+            record.oui
+            for record in self._by_oui.values()
+            if record.category_hint == category_hint
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_oui)
+
+    def __iter__(self):
+        return iter(self._by_oui.values())
+
+
+def default_oui_database() -> OuiDatabase:
+    """Return the registry used by the synthetic campus."""
+    return OuiDatabase(
+        OuiRecord(oui, vendor, hint) for oui, vendor, hint in _DEFAULT_REGISTRY
+    )

@@ -1,0 +1,89 @@
+"""Wire-level event records seen by the passive tap.
+
+The mirror port sees layer-3 traffic only, so client devices appear
+exclusively as (dynamic) IP addresses -- recovering the device identity
+is the job of DHCP-log normalization downstream, exactly as in the
+paper. Three record kinds cross the tap:
+
+* :class:`SegmentBurst` -- a burst of packets in one direction pair of a
+  TCP/UDP connection. The Zeek flow engine reassembles bursts sharing a
+  five-tuple into connection records.
+* :class:`WireConnection` -- a fully-formed connection observation, used
+  by components (and tests) that operate at connection granularity.
+* :class:`DnsQueryEvent` -- a resolver transaction (query + answers)
+  observed on the wire, the raw material of the DNS log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SegmentBurst:
+    """A unidirectional-pair burst of packets within one connection.
+
+    ``user_agent`` is populated on at most the first burst of plaintext
+    HTTP connections, mirroring what Zeek's http.log would surface.
+    ``is_final`` marks the burst carrying the connection teardown.
+    """
+
+    ts: float
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    proto: str
+    orig_bytes: int
+    resp_bytes: int
+    user_agent: Optional[str] = None
+    #: Host header visible on plaintext HTTP requests (None under TLS).
+    http_host: Optional[str] = None
+    is_final: bool = False
+
+    @property
+    def five_tuple(self) -> Tuple[int, int, int, int, str]:
+        """The connection key used for flow reassembly."""
+        return (
+            self.client_ip,
+            self.client_port,
+            self.server_ip,
+            self.server_port,
+            self.proto,
+        )
+
+
+@dataclass(frozen=True)
+class WireConnection:
+    """One complete connection as observed at the tap."""
+
+    start: float
+    duration: float
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    proto: str
+    orig_bytes: int
+    resp_bytes: int
+    user_agent: Optional[str] = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def total_bytes(self) -> int:
+        return self.orig_bytes + self.resp_bytes
+
+
+@dataclass(frozen=True)
+class DnsQueryEvent:
+    """A DNS transaction: who asked for what, and what came back."""
+
+    ts: float
+    client_ip: int
+    qname: str
+    answers: Tuple[int, ...]
+    ttl: float = 300.0

@@ -1,0 +1,272 @@
+"""Columnar storage of annotated, anonymized flows.
+
+Analyses over four months of flows need array math, not row objects:
+the builder accumulates compact typed arrays and finalizes into numpy,
+with side tables for domains and per-device profiles. All analysis
+modules consume this one structure.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.pipeline.anonymize import AnonymizedDevice
+from repro.util.timeutil import DAY
+
+PROTO_TCP = 0
+PROTO_UDP = 1
+_PROTO_CODES = {"tcp": PROTO_TCP, "udp": PROTO_UDP}
+_PROTO_NAMES = {code: name for name, code in _PROTO_CODES.items()}
+
+#: Domain index used for flows with no DNS annotation.
+NO_DOMAIN = -1
+
+
+@dataclass
+class DeviceProfile:
+    """Everything the pipeline retains about one device."""
+
+    index: int
+    token: str
+    oui: Optional[int]
+    is_locally_administered: bool
+    user_agents: Set[str] = field(default_factory=set)
+    days_seen: Set[int] = field(default_factory=set)
+    flow_count: int = 0
+    total_bytes: int = 0
+    first_ts: float = float("inf")
+    last_ts: float = float("-inf")
+
+    @property
+    def active_day_count(self) -> int:
+        return len(self.days_seen)
+
+
+class FlowDataset:
+    """Finalized columnar flow data plus device/domain side tables."""
+
+    def __init__(self, *, ts: np.ndarray, duration: np.ndarray,
+                 device: np.ndarray, resp_h: np.ndarray, resp_p: np.ndarray,
+                 proto: np.ndarray, orig_bytes: np.ndarray,
+                 resp_bytes: np.ndarray, domain: np.ndarray,
+                 day: np.ndarray, domains: List[str],
+                 devices: List[DeviceProfile], day0: float):
+        self.ts = ts
+        self.duration = duration
+        self.device = device
+        self.resp_h = resp_h
+        self.resp_p = resp_p
+        self.proto = proto
+        self.orig_bytes = orig_bytes
+        self.resp_bytes = resp_bytes
+        self.domain = domain
+        self.day = day
+        self.domains = domains
+        self.devices = devices
+        self.day0 = day0
+
+    # -- basic shape -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        """Per-flow byte totals (both directions)."""
+        return self.orig_bytes + self.resp_bytes
+
+    def proto_name(self, code: int) -> str:
+        return _PROTO_NAMES[code]
+
+    # -- lookups ----------------------------------------------------------
+
+    def domain_index(self, name: str) -> Optional[int]:
+        """Index of a domain string in the table, or None."""
+        try:
+            return self.domains.index(name)
+        except ValueError:
+            return None
+
+    def domain_indices(self, names: Sequence[str]) -> np.ndarray:
+        """Indices of the given domain names that exist in the table."""
+        wanted = set(names)
+        return np.array(
+            [i for i, name in enumerate(self.domains) if name in wanted],
+            dtype=np.int32)
+
+    def flows_to_domains(self, names: Sequence[str]) -> np.ndarray:
+        """Boolean flow mask: annotated with any of the given domains."""
+        indices = self.domain_indices(names)
+        if len(indices) == 0:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(self.domain, indices)
+
+    def flows_of_devices(self, device_mask: np.ndarray) -> np.ndarray:
+        """Boolean flow mask selecting flows of the masked devices."""
+        if device_mask.shape != (self.n_devices,):
+            raise ValueError("device_mask must have one entry per device")
+        return device_mask[self.device]
+
+    def select(self, flow_mask: np.ndarray) -> "FlowDataset":
+        """A new dataset restricted to the masked flows.
+
+        Device and domain side tables are shared (indices stay valid);
+        call :meth:`compact` afterwards to prune devices that lost all
+        their flows.
+        """
+        return FlowDataset(
+            ts=self.ts[flow_mask],
+            duration=self.duration[flow_mask],
+            device=self.device[flow_mask],
+            resp_h=self.resp_h[flow_mask],
+            resp_p=self.resp_p[flow_mask],
+            proto=self.proto[flow_mask],
+            orig_bytes=self.orig_bytes[flow_mask],
+            resp_bytes=self.resp_bytes[flow_mask],
+            domain=self.domain[flow_mask],
+            day=self.day[flow_mask],
+            domains=self.domains,
+            devices=self.devices,
+            day0=self.day0,
+        )
+
+    def compact(self) -> "FlowDataset":
+        """Drop device profiles with no remaining flows, re-indexing.
+
+        After the visitor filter, dropped devices must not linger in the
+        device table: per-device analyses (classification counts,
+        sub-population fractions) iterate that table.
+        """
+        import dataclasses
+
+        used = np.unique(self.device)
+        remap = np.full(len(self.devices), -1, dtype=np.int32)
+        remap[used] = np.arange(used.size, dtype=np.int32)
+        new_devices = [
+            dataclasses.replace(self.devices[int(old)],
+                                index=int(remap[old]))
+            for old in used
+        ]
+        return FlowDataset(
+            ts=self.ts,
+            duration=self.duration,
+            device=remap[self.device],
+            resp_h=self.resp_h,
+            resp_p=self.resp_p,
+            proto=self.proto,
+            orig_bytes=self.orig_bytes,
+            resp_bytes=self.resp_bytes,
+            domain=self.domain,
+            day=self.day,
+            domains=self.domains,
+            devices=new_devices,
+            day0=self.day0,
+        )
+
+
+class FlowDatasetBuilder:
+    """Accumulates flows into compact typed arrays."""
+
+    def __init__(self, day0: float):
+        self.day0 = day0
+        self._ts = array("d")
+        self._duration = array("d")
+        self._device = array("l")
+        self._resp_h = array("q")
+        self._resp_p = array("l")
+        self._proto = array("b")
+        self._orig_bytes = array("q")
+        self._resp_bytes = array("q")
+        self._domain = array("l")
+        self._day = array("l")
+
+        self._domains: List[str] = []
+        self._domain_index: Dict[str, int] = {}
+        self._devices: List[DeviceProfile] = []
+        self._device_index: Dict[str, int] = {}
+
+    # -- registries -------------------------------------------------------
+
+    def device_index(self, anon: AnonymizedDevice) -> int:
+        """Index for an anonymized device, creating its profile."""
+        index = self._device_index.get(anon.token)
+        if index is None:
+            index = len(self._devices)
+            self._device_index[anon.token] = index
+            self._devices.append(DeviceProfile(
+                index=index,
+                token=anon.token,
+                oui=anon.oui,
+                is_locally_administered=anon.is_locally_administered,
+            ))
+        return index
+
+    def domain_index(self, name: Optional[str]) -> int:
+        if name is None:
+            return NO_DOMAIN
+        index = self._domain_index.get(name)
+        if index is None:
+            index = len(self._domains)
+            self._domain_index[name] = index
+            self._domains.append(name)
+        return index
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add_flow(self, *, ts: float, duration: float, device_idx: int,
+                 resp_h: int, resp_p: int, proto: str, orig_bytes: int,
+                 resp_bytes: int, domain_idx: int,
+                 user_agent: Optional[str]) -> None:
+        """Append one annotated flow and update its device profile."""
+        day = int((ts - self.day0) // DAY)
+        self._ts.append(ts)
+        self._duration.append(duration)
+        self._device.append(device_idx)
+        self._resp_h.append(resp_h)
+        self._resp_p.append(resp_p)
+        self._proto.append(_PROTO_CODES[proto])
+        self._orig_bytes.append(orig_bytes)
+        self._resp_bytes.append(resp_bytes)
+        self._domain.append(domain_idx)
+        self._day.append(day)
+
+        profile = self._devices[device_idx]
+        profile.flow_count += 1
+        profile.total_bytes += orig_bytes + resp_bytes
+        profile.days_seen.add(day)
+        end_day = int((ts + duration - self.day0) // DAY)
+        if end_day != day:
+            profile.days_seen.add(end_day)
+        profile.first_ts = min(profile.first_ts, ts)
+        profile.last_ts = max(profile.last_ts, ts + duration)
+        if user_agent is not None:
+            profile.user_agents.add(user_agent)
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def finalize(self) -> FlowDataset:
+        """Freeze into numpy arrays."""
+        return FlowDataset(
+            ts=np.frombuffer(self._ts, dtype=np.float64).copy(),
+            duration=np.frombuffer(self._duration, dtype=np.float64).copy(),
+            device=np.array(self._device, dtype=np.int32),
+            resp_h=np.array(self._resp_h, dtype=np.int64),
+            resp_p=np.array(self._resp_p, dtype=np.int32),
+            proto=np.array(self._proto, dtype=np.int8),
+            orig_bytes=np.array(self._orig_bytes, dtype=np.int64),
+            resp_bytes=np.array(self._resp_bytes, dtype=np.int64),
+            domain=np.array(self._domain, dtype=np.int32),
+            day=np.array(self._day, dtype=np.int32),
+            domains=list(self._domains),
+            devices=list(self._devices),
+            day0=self.day0,
+        )

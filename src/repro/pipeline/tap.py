@@ -1,0 +1,50 @@
+"""The traffic mirror ("tap") with excluded networks.
+
+The paper's mirror specifically excludes several high-volume operator
+networks (parts of UC San Diego, Google Cloud, Amazon, Microsoft Azure,
+Riot Games, Twitch, Qualys, Apple). The tap drops any burst whose
+remote endpoint falls in an excluded block before the flow engine ever
+sees it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.net.ip import Prefix
+from repro.net.wire import SegmentBurst
+
+
+class Tap:
+    """Filters wire events against an excluded-prefix list."""
+
+    def __init__(self, excluded: Sequence[Prefix] = ()):
+        entries = sorted(
+            ((prefix.first, prefix.last) for prefix in excluded))
+        merged: List[Tuple[int, int]] = []
+        for first, last in entries:
+            if merged and first <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], last))
+            else:
+                merged.append((first, last))
+        self._firsts = [span[0] for span in merged]
+        self._lasts = [span[1] for span in merged]
+        self.dropped_bursts = 0
+        self.dropped_bytes = 0
+
+    def is_excluded(self, address: int) -> bool:
+        """True when an address falls in an excluded block."""
+        index = bisect.bisect_right(self._firsts, address) - 1
+        return index >= 0 and address <= self._lasts[index]
+
+    def filter(self, bursts: Iterable[SegmentBurst]) -> List[SegmentBurst]:
+        """Return the bursts the mirror forwards, tallying the drops."""
+        kept: List[SegmentBurst] = []
+        for burst in bursts:
+            if self.is_excluded(burst.server_ip):
+                self.dropped_bursts += 1
+                self.dropped_bytes += burst.orig_bytes + burst.resp_bytes
+            else:
+                kept.append(burst)
+        return kept

@@ -1,0 +1,18 @@
+"""User-session reconstruction from overlapping flows (Section 5.2).
+
+Social platforms serve one user session from several domains at once,
+so per-flow durations undercount and double-count simultaneously. The
+paper "find[s] the bounds of overlapping flows from different domains
+belonging to the same site" -- an interval-union per device -- and, for
+the shared Facebook/Instagram infrastructure, labels a merged session
+Instagram when any constituent flow hit an Instagram-only domain.
+"""
+
+from repro.sessions.duration import monthly_duration_hours
+from repro.sessions.stitch import StitchedSession, stitch_sessions
+
+__all__ = [
+    "StitchedSession",
+    "monthly_duration_hours",
+    "stitch_sessions",
+]

@@ -1,0 +1,31 @@
+"""Per-device monthly duration aggregation over stitched sessions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sessions.stitch import StitchedSession
+from repro.util.timeutil import HOUR, month_key
+
+
+def monthly_duration_hours(
+        sessions_by_device: Dict[int, List[StitchedSession]],
+        only_marked: Optional[bool] = None,
+) -> Dict[Tuple[int, int], Dict[int, float]]:
+    """Aggregate session hours per (year, month) per device.
+
+    A session belongs to the month containing its start. ``only_marked``
+    filters sessions by their marker flag: True keeps marked sessions
+    (Instagram under the disambiguation rule), False keeps unmarked ones
+    (Facebook), None keeps all.
+    """
+    result: Dict[Tuple[int, int], Dict[int, float]] = {}
+    for device, sessions in sessions_by_device.items():
+        for session in sessions:
+            if only_marked is not None and session.marked != only_marked:
+                continue
+            month = month_key(session.start)
+            per_device = result.setdefault(month, {})
+            per_device[device] = (per_device.get(device, 0.0)
+                                  + session.duration / HOUR)
+    return result

@@ -1,0 +1,98 @@
+"""Overlapping-flow session stitching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.pipeline.dataset import FlowDataset
+
+#: Flows whose gap is at most this many seconds are considered one
+#: session even without strict overlap (handshake gaps, retries).
+DEFAULT_SLACK_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class StitchedSession:
+    """One reconstructed user session on one device."""
+
+    device: int
+    start: float
+    end: float
+    total_bytes: int
+    flow_count: int
+    #: True when any constituent flow matched the marker mask (used for
+    #: the Instagram-only disambiguation rule).
+    marked: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def stitch_sessions(dataset: FlowDataset,
+                    flow_mask: np.ndarray,
+                    marker_mask: Optional[np.ndarray] = None,
+                    slack: float = DEFAULT_SLACK_SECONDS,
+                    ) -> Dict[int, List[StitchedSession]]:
+    """Merge a platform's flows into per-device sessions.
+
+    ``flow_mask`` selects the platform's flows; ``marker_mask`` (a
+    subset) marks flows whose presence relabels the whole session
+    (e.g. Instagram-only domains inside Facebook-platform sessions).
+    Returns device index -> sessions sorted by start time.
+    """
+    if marker_mask is None:
+        marker_mask = np.zeros(len(dataset), dtype=bool)
+
+    selected = np.flatnonzero(flow_mask)
+    if selected.size == 0:
+        return {}
+
+    device = dataset.device[selected]
+    start = dataset.ts[selected]
+    end = start + dataset.duration[selected]
+    flow_bytes = dataset.total_bytes[selected]
+    marked = marker_mask[selected]
+
+    order = np.lexsort((start, device))
+    sessions: Dict[int, List[StitchedSession]] = {}
+
+    current_device = -1
+    cur_start = cur_end = 0.0
+    cur_bytes = 0
+    cur_flows = 0
+    cur_marked = False
+
+    def _flush() -> None:
+        if cur_flows:
+            sessions.setdefault(current_device, []).append(StitchedSession(
+                device=current_device,
+                start=cur_start,
+                end=cur_end,
+                total_bytes=int(cur_bytes),
+                flow_count=cur_flows,
+                marked=cur_marked,
+            ))
+
+    for row in order:
+        dev = int(device[row])
+        flow_start = float(start[row])
+        flow_end = float(end[row])
+        if dev != current_device or flow_start > cur_end + slack:
+            _flush()
+            current_device = dev
+            cur_start, cur_end = flow_start, flow_end
+            cur_bytes = int(flow_bytes[row])
+            cur_flows = 1
+            cur_marked = bool(marked[row])
+        else:
+            cur_end = max(cur_end, flow_end)
+            cur_bytes += int(flow_bytes[row])
+            cur_flows += 1
+            cur_marked = cur_marked or bool(marked[row])
+    _flush()
+
+    return sessions

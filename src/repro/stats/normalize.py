@@ -1,0 +1,20 @@
+"""Normalization helpers (Figure 3 normalizes by the global minimum)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_by_min(values, floor: float = 0.0) -> np.ndarray:
+    """Divide a series by its smallest positive value.
+
+    Figure 3 normalizes hourly volumes "by the minimum volume of
+    traffic across all weeks"; zeros (hours with no traffic) stay zero
+    and do not define the scale. ``floor`` lets callers clip noisy
+    minima.
+    """
+    data = np.asarray(values, dtype=np.float64)
+    positive = data[data > floor]
+    if positive.size == 0:
+        return np.zeros_like(data)
+    return data / positive.min()

@@ -1,0 +1,28 @@
+"""Series smoothing: the moving average used in Figure 8."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Trailing moving average with a warm-up-shrunk window.
+
+    The first ``window - 1`` outputs average over the elements seen so
+    far (no NaN padding), matching how a "3-day moving average" series
+    is usually plotted from the first day.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    data = np.asarray(values, dtype=np.float64)
+    if data.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if data.size == 0:
+        return data.copy()
+    cumulative = np.cumsum(data)
+    out = np.empty_like(data)
+    for index in range(data.size):
+        lo = max(0, index - window + 1)
+        total = cumulative[index] - (cumulative[lo - 1] if lo > 0 else 0.0)
+        out[index] = total / (index - lo + 1)
+    return out

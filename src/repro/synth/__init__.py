@@ -1,0 +1,37 @@
+"""The synthetic campus: population, behaviour, and wire-event generation.
+
+This package is the stand-in for the proprietary residential-network
+traces the paper measures. It produces *wire-level observations only*
+(segment bursts keyed by dynamic IP, DNS transactions, DHCP exchanges);
+everything the analysis knows about devices and applications must be
+recovered by the measurement stack, exactly as in the paper.
+
+Ground-truth behavioural assumptions are concentrated in
+:mod:`repro.synth.behavior` and documented against the paper section
+they reproduce.
+"""
+
+from repro.synth.archetypes import AppArchetype, default_archetypes
+from repro.synth.behavior import BehaviorModel
+from repro.synth.devices import DeviceKind, SimDevice
+from repro.synth.generator import CampusTraceGenerator, DayTrace
+from repro.synth.personas import StudentPersona
+from repro.synth.population import Population, build_population
+from repro.synth.sessions import AppSession
+from repro.synth.timeline import Phase, phase_of
+
+__all__ = [
+    "AppArchetype",
+    "AppSession",
+    "BehaviorModel",
+    "CampusTraceGenerator",
+    "DayTrace",
+    "DeviceKind",
+    "Phase",
+    "Population",
+    "SimDevice",
+    "StudentPersona",
+    "build_population",
+    "default_archetypes",
+    "phase_of",
+]

@@ -1,0 +1,615 @@
+"""Wire-behaviour archetypes: how each application looks on the network.
+
+The paper built per-application signatures by manually observing what a
+laptop and a phone emit while using each app (Section 5.2). The
+archetypes here are that observation's generative inverse: one
+application session fans out into connections across a *mix of domains*
+(e.g. a Facebook session touches facebook.com, facebook.net and
+fbcdn.net simultaneously), with characteristic session lengths, byte
+volumes and flow shapes. The measurement stack never reads archetypes;
+it must re-identify applications from domains/IPs alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.world.services import ServiceDirectory
+
+
+@dataclass(frozen=True)
+class DomainComponent:
+    """One domain participating in an app's sessions.
+
+    ``weight`` is the share of the session's connections that go to the
+    domain; ``byte_share`` the share of the session's bytes. They can
+    differ (a CDN component carries most bytes over few connections).
+    """
+
+    service: str
+    domain: str
+    weight: float
+    byte_share: float
+
+
+@dataclass(frozen=True)
+class AppArchetype:
+    """Session-level wire behaviour of one application."""
+
+    name: str
+    components: Tuple[DomainComponent, ...]
+    #: Lognormal session-length model (minutes).
+    mean_session_minutes: float
+    session_minutes_sigma: float
+    #: Poisson connection arrival intensity within a session.
+    connections_per_minute: float
+    #: Lognormal total-bytes-per-session model.
+    mean_session_bytes: float
+    bytes_sigma: float
+    #: Fraction of bytes flowing client->server.
+    upload_fraction: float = 0.08
+    #: "long" flows span most of the session (video, games);
+    #: "bursty" flows last seconds; "mixed" draws from both.
+    flow_style: str = "mixed"
+    #: Device kinds that run this app (persona model consults this).
+    device_kinds: Tuple[str, ...] = ("laptop", "desktop", "phone", "tablet")
+    #: Fraction of connections redirected to a Zipf-sampled long-tail
+    #: site instead of the fixed components (general browsing only).
+    longtail_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError(f"archetype {self.name!r} has no components")
+        weight_sum = sum(c.weight for c in self.components)
+        byte_sum = sum(c.byte_share for c in self.components)
+        if abs(weight_sum - 1.0) > 1e-6 or abs(byte_sum - 1.0) > 1e-6:
+            raise ValueError(
+                f"archetype {self.name!r}: component weights must each sum"
+                f" to 1 (got {weight_sum:.4f} connections, {byte_sum:.4f} bytes)"
+            )
+        if self.flow_style not in ("long", "bursty", "mixed"):
+            raise ValueError(f"unknown flow_style {self.flow_style!r}")
+        if not 0.0 <= self.longtail_fraction <= 1.0:
+            raise ValueError("longtail_fraction must lie in [0, 1]")
+
+
+def _c(service: str, domain: str, weight: float, byte_share: float) -> DomainComponent:
+    return DomainComponent(service, domain, weight, byte_share)
+
+
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+_MOBILE = ("phone", "tablet")
+_COMPUTER = ("laptop", "desktop")
+_ALL_PERSONAL = _COMPUTER + _MOBILE
+
+
+def default_archetypes(directory: ServiceDirectory) -> Dict[str, AppArchetype]:
+    """Build and validate the default archetype table against a catalog."""
+    table = {arch.name: arch for arch in _build()}
+    for arch in table.values():
+        for component in arch.components:
+            service = directory.find_domain(component.domain)
+            if service is None:
+                raise ValueError(
+                    f"archetype {arch.name!r} uses unregistered domain "
+                    f"{component.domain!r}"
+                )
+            if service.name != component.service:
+                raise ValueError(
+                    f"archetype {arch.name!r}: domain {component.domain!r} "
+                    f"belongs to {service.name!r}, not {component.service!r}"
+                )
+    return table
+
+
+def _build() -> Tuple[AppArchetype, ...]:
+    return (
+        # ------------------------------------------------------------------
+        # Work: Zoom classes (Section 5.1). Media is byte-dominant and
+        # half of it is dnsless (IP-only), per the catalog's zoom entry.
+        AppArchetype(
+            "zoom_class",
+            components=(
+                _c("zoom", "zoom.us", 0.50, 0.75),
+                _c("zoom", "us04web.zoom.us", 0.25, 0.05),
+                _c("zoom", "zoomcdn.net", 0.25, 0.20),
+            ),
+            mean_session_minutes=62, session_minutes_sigma=0.25,
+            connections_per_minute=0.12,
+            mean_session_bytes=180 * MB, bytes_sigma=0.5,
+            upload_fraction=0.35, flow_style="long",
+        ),
+        AppArchetype(
+            "zoom_social",
+            components=(
+                _c("zoom", "zoom.us", 0.6, 0.8),
+                _c("zoom", "zoomcdn.net", 0.4, 0.2),
+            ),
+            mean_session_minutes=38, session_minutes_sigma=0.45,
+            connections_per_minute=0.15,
+            mean_session_bytes=90 * MB, bytes_sigma=0.6,
+            upload_fraction=0.35, flow_style="long",
+        ),
+        # Education tools around classes.
+        AppArchetype(
+            "education",
+            components=(
+                _c("canvas", "canvas.instructure.com", 0.35, 0.4),
+                _c("canvas", "instructure.com", 0.15, 0.1),
+                _c("piazza", "piazza.com", 0.15, 0.1),
+                _c("gradescope", "gradescope.com", 0.15, 0.15),
+                _c("ucsd-web", "ucsd.edu", 0.20, 0.25),
+            ),
+            mean_session_minutes=22, session_minutes_sigma=0.5,
+            connections_per_minute=0.8,
+            mean_session_bytes=14 * MB, bytes_sigma=0.7,
+        ),
+
+        # ------------------------------------------------------------------
+        # Social media (Section 5.2). Facebook and Instagram share
+        # facebook.net / fbcdn.net; only instagram.com+cdninstagram.com
+        # mark a session as Instagram -- the disambiguation heuristic's
+        # exact input structure.
+        AppArchetype(
+            "facebook",
+            components=(
+                _c("facebook", "facebook.com", 0.30, 0.22),
+                _c("facebook", "facebook.net", 0.20, 0.08),
+                _c("fbcdn", "fbcdn.net", 0.25, 0.35),
+                _c("fbcdn", "scontent.fbcdn.net", 0.10, 0.10),
+                _c("akamai", "akamaiedge.net", 0.15, 0.25),
+            ),
+            mean_session_minutes=12, session_minutes_sigma=0.7,
+            connections_per_minute=1.2,
+            mean_session_bytes=22 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+        # Both photo/video feeds push a sizable byte share through the
+        # Akamai POP (geo-excluded in the midpoint analysis, like the
+        # rest of US media delivery).
+        AppArchetype(
+            "instagram",
+            components=(
+                _c("instagram", "instagram.com", 0.25, 0.12),
+                _c("instagram", "i.instagram.com", 0.15, 0.05),
+                _c("instagram", "cdninstagram.com", 0.15, 0.28),
+                _c("facebook", "facebook.net", 0.15, 0.05),
+                _c("fbcdn", "fbcdn.net", 0.15, 0.25),
+                _c("akamai", "akamaiedge.net", 0.15, 0.25),
+            ),
+            mean_session_minutes=16, session_minutes_sigma=0.7,
+            connections_per_minute=1.4,
+            mean_session_bytes=55 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "tiktok",
+            components=(
+                _c("tiktok", "tiktok.com", 0.30, 0.10),
+                _c("tiktok", "tiktokv.com", 0.20, 0.10),
+                _c("tiktok-cdn", "tiktokcdn.com", 0.20, 0.40),
+                _c("tiktok-cdn", "muscdn.com", 0.10, 0.10),
+                _c("akamai", "akamaized.net", 0.20, 0.30),
+            ),
+            mean_session_minutes=24, session_minutes_sigma=0.8,
+            connections_per_minute=1.6,
+            mean_session_bytes=130 * MB, bytes_sigma=0.9,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "twitter",
+            components=(
+                _c("twitter", "twitter.com", 0.6, 0.4),
+                _c("twitter", "twimg.com", 0.4, 0.6),
+            ),
+            mean_session_minutes=9, session_minutes_sigma=0.7,
+            connections_per_minute=1.0,
+            mean_session_bytes=9 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "snapchat",
+            components=(
+                _c("snapchat", "snapchat.com", 0.55, 0.35),
+                _c("snapchat", "sc-cdn.net", 0.45, 0.65),
+            ),
+            mean_session_minutes=8, session_minutes_sigma=0.7,
+            connections_per_minute=1.2,
+            mean_session_bytes=18 * MB, bytes_sigma=0.8,
+            flow_style="bursty", device_kinds=_MOBILE,
+        ),
+        AppArchetype(
+            "discord",
+            components=(
+                _c("discord", "discord.com", 0.6, 0.5),
+                _c("discord", "discord.gg", 0.4, 0.5),
+            ),
+            mean_session_minutes=55, session_minutes_sigma=0.6,
+            connections_per_minute=0.25,
+            mean_session_bytes=35 * MB, bytes_sigma=0.8,
+            upload_fraction=0.3, flow_style="long",
+        ),
+
+        # ------------------------------------------------------------------
+        # Gaming (Section 5.3).
+        AppArchetype(
+            "steam_store",
+            components=(
+                _c("steam", "store.steampowered.com", 0.45, 0.45),
+                _c("steam", "steamcommunity.com", 0.30, 0.20),
+                _c("steam", "steamstatic.com", 0.25, 0.35),
+            ),
+            mean_session_minutes=11, session_minutes_sigma=0.6,
+            connections_per_minute=1.1,
+            mean_session_bytes=12 * MB, bytes_sigma=0.8,
+            flow_style="bursty", device_kinds=_COMPUTER,
+        ),
+        AppArchetype(
+            "steam_download",
+            components=(
+                _c("steam-content", "steamcontent.com", 0.6, 0.8),
+                _c("steam-content", "steamusercontent.com", 0.2, 0.15),
+                _c("steam", "api.steampowered.com", 0.2, 0.05),
+            ),
+            mean_session_minutes=35, session_minutes_sigma=0.5,
+            connections_per_minute=0.5,
+            mean_session_bytes=2.2 * GB, bytes_sigma=0.7,
+            flow_style="long", device_kinds=_COMPUTER,
+        ),
+        AppArchetype(
+            "steam_game",
+            components=(
+                _c("steam", "api.steampowered.com", 0.55, 0.35),
+                _c("steam", "steamcommunity.com", 0.20, 0.15),
+                _c("steam-content", "steamcontent.com", 0.25, 0.50),
+            ),
+            mean_session_minutes=85, session_minutes_sigma=0.5,
+            connections_per_minute=0.35,
+            mean_session_bytes=70 * MB, bytes_sigma=0.7,
+            upload_fraction=0.25, flow_style="long", device_kinds=_COMPUTER,
+        ),
+        AppArchetype(
+            "switch_gameplay",
+            components=(
+                _c("nintendo-gameplay", "nns.srv.nintendo.net", 0.45, 0.35),
+                _c("nintendo-gameplay", "mm.p2p.srv.nintendo.net", 0.30, 0.45),
+                _c("nintendo-gameplay", "g.lp1.srv.nintendo.net", 0.25, 0.20),
+            ),
+            mean_session_minutes=75, session_minutes_sigma=0.55,
+            connections_per_minute=0.30,
+            mean_session_bytes=45 * MB, bytes_sigma=0.7,
+            upload_fraction=0.3, flow_style="long", device_kinds=("switch",),
+        ),
+        AppArchetype(
+            "switch_infra",
+            components=(
+                _c("nintendo-infra", "atum.hac.lp1.d4c.nintendo.net", 0.35, 0.70),
+                _c("nintendo-infra", "sun.hac.lp1.d4c.nintendo.net", 0.20, 0.20),
+                _c("nintendo-infra", "ctest.cdn.nintendo.net", 0.15, 0.02),
+                _c("nintendo-telemetry", "receive-lp1.dg.srv.nintendo.net", 0.20, 0.03),
+                _c("nintendo-telemetry", "accounts.nintendo.com", 0.10, 0.05),
+            ),
+            mean_session_minutes=18, session_minutes_sigma=0.6,
+            connections_per_minute=0.7,
+            mean_session_bytes=900 * MB, bytes_sigma=1.0,
+            flow_style="long", device_kinds=("switch",),
+        ),
+        AppArchetype(
+            "switch_idle",
+            components=(
+                _c("nintendo-telemetry", "receive-lp1.dg.srv.nintendo.net", 0.55, 0.5),
+                _c("nintendo-telemetry", "accounts.nintendo.com", 0.20, 0.2),
+                _c("nintendo-infra", "ctest.cdn.nintendo.net", 0.25, 0.3),
+            ),
+            mean_session_minutes=2, session_minutes_sigma=0.4,
+            connections_per_minute=1.5,
+            mean_session_bytes=0.4 * MB, bytes_sigma=0.6,
+            flow_style="bursty", device_kinds=("switch",),
+        ),
+        AppArchetype(
+            "console_game",
+            components=(
+                _c("meridian-online", "online.meridian-games.com", 0.7, 0.75),
+                _c("meridian-online", "store.meridian-games.com", 0.3, 0.25),
+            ),
+            mean_session_minutes=70, session_minutes_sigma=0.5,
+            connections_per_minute=0.3,
+            mean_session_bytes=85 * MB, bytes_sigma=0.8,
+            upload_fraction=0.25, flow_style="long", device_kinds=("console",),
+        ),
+
+        # ------------------------------------------------------------------
+        # Streaming and leisure (visible networks). A large share of US
+        # streaming bytes rides Akamai's local POP -- traffic the
+        # midpoint analysis excludes (Section 4.2), which is precisely
+        # what lets moderate direct-to-origin foreign traffic dominate
+        # an international student's geolocatable byte mix.
+        AppArchetype(
+            "youtube",
+            components=(
+                _c("youtube", "youtube.com", 0.40, 0.12),
+                _c("youtube", "googlevideo.com", 0.35, 0.38),
+                _c("akamai", "akamaized.net", 0.25, 0.50),
+            ),
+            mean_session_minutes=28, session_minutes_sigma=0.7,
+            connections_per_minute=0.6,
+            mean_session_bytes=380 * MB, bytes_sigma=0.8,
+            flow_style="long",
+        ),
+        AppArchetype(
+            "netflix",
+            components=(
+                _c("netflix", "netflix.com", 0.35, 0.05),
+                _c("netflix", "nflxvideo.net", 0.35, 0.35),
+                _c("akamai", "akamaiedge.net", 0.30, 0.60),
+            ),
+            mean_session_minutes=55, session_minutes_sigma=0.55,
+            connections_per_minute=0.35,
+            mean_session_bytes=1.3 * GB, bytes_sigma=0.6,
+            flow_style="long",
+        ),
+        AppArchetype(
+            "spotify",
+            components=(
+                _c("spotify", "spotify.com", 0.45, 0.15),
+                _c("spotify", "scdn.co", 0.30, 0.35),
+                _c("akamai", "akamaiedge.net", 0.25, 0.50),
+            ),
+            mean_session_minutes=65, session_minutes_sigma=0.6,
+            connections_per_minute=0.25,
+            mean_session_bytes=75 * MB, bytes_sigma=0.7,
+            flow_style="long",
+        ),
+
+        # ------------------------------------------------------------------
+        # General web. Akamai/Optimizely components exercise the geo
+        # CDN-exclusion path: the CDN geolocates to campus, the origin
+        # does not.
+        AppArchetype(
+            "web_browse",
+            components=(
+                _c("wikipedia", "wikipedia.org", 0.14, 0.10),
+                _c("reddit", "reddit.com", 0.16, 0.16),
+                _c("github", "github.com", 0.08, 0.08),
+                _c("stackoverflow", "stackoverflow.com", 0.08, 0.04),
+                _c("nytimes", "nytimes.com", 0.09, 0.08),
+                _c("espn", "espn.com", 0.06, 0.06),
+                _c("weather", "weather.com", 0.05, 0.02),
+                _c("gmail", "gmail.com", 0.10, 0.08),
+                _c("bbc", "bbc.co.uk", 0.05, 0.05),
+                _c("spiegel", "spiegel.de", 0.02, 0.02),
+                _c("akamai", "akamaiedge.net", 0.12, 0.22),
+                _c("akamai", "akamaized.net", 0.03, 0.07),
+                _c("optimizely", "optimizely.com", 0.02, 0.02),
+            ),
+            mean_session_minutes=11, session_minutes_sigma=0.7,
+            connections_per_minute=1.8,
+            mean_session_bytes=9 * MB, bytes_sigma=0.9,
+            flow_style="bursty",
+            longtail_fraction=0.35,
+        ),
+
+        # ------------------------------------------------------------------
+        # Tap-excluded destinations (Section 3): generated, then dropped
+        # by the mirror. Keeps the exclusion code path honest.
+        AppArchetype(
+            "riot_game",
+            components=(
+                _c("riot-games", "riotgames.com", 0.5, 0.4),
+                _c("riot-games", "leagueoflegends.com", 0.5, 0.6),
+            ),
+            mean_session_minutes=65, session_minutes_sigma=0.5,
+            connections_per_minute=0.3,
+            mean_session_bytes=55 * MB, bytes_sigma=0.7,
+            upload_fraction=0.25, flow_style="long", device_kinds=_COMPUTER,
+        ),
+        AppArchetype(
+            "twitch_watch",
+            components=(
+                _c("twitch", "twitch.tv", 0.5, 0.2),
+                _c("twitch", "ttvnw.net", 0.5, 0.8),
+            ),
+            mean_session_minutes=45, session_minutes_sigma=0.6,
+            connections_per_minute=0.4,
+            mean_session_bytes=750 * MB, bytes_sigma=0.7,
+            flow_style="long",
+        ),
+        AppArchetype(
+            "apple_services",
+            components=(
+                _c("apple", "apple.com", 0.3, 0.2),
+                _c("apple", "icloud.com", 0.45, 0.55),
+                _c("apple", "mzstatic.com", 0.25, 0.25),
+            ),
+            mean_session_minutes=7, session_minutes_sigma=0.6,
+            connections_per_minute=1.5,
+            mean_session_bytes=45 * MB, bytes_sigma=1.0,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "amazon_shop",
+            components=(
+                _c("amazon-retail", "amazon.com", 0.55, 0.4),
+                _c("amazon-retail", "images-amazon.com", 0.25, 0.3),
+                _c("cloudfront", "cloudfront.net", 0.20, 0.3),
+            ),
+            mean_session_minutes=9, session_minutes_sigma=0.7,
+            connections_per_minute=1.6,
+            mean_session_bytes=11 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "cloud_sync",
+            components=(
+                _c("google-cloud", "storage.googleapis.com", 0.35, 0.35),
+                _c("google-cloud", "googleusercontent.com", 0.25, 0.25),
+                _c("azure", "blob.core.windows.net", 0.25, 0.30),
+                _c("azure", "azureedge.net", 0.15, 0.10),
+            ),
+            mean_session_minutes=6, session_minutes_sigma=0.8,
+            connections_per_minute=1.2,
+            mean_session_bytes=60 * MB, bytes_sigma=1.1,
+            upload_fraction=0.45, flow_style="mixed",
+        ),
+
+        # ------------------------------------------------------------------
+        # Foreign services, by home region (drive international students'
+        # geographic midpoints abroad).
+        AppArchetype(
+            "foreign_social_cn",
+            components=(
+                _c("wechat", "weixin.qq.com", 0.40, 0.40),
+                _c("wechat", "qq.com", 0.20, 0.15),
+                _c("weibo", "weibo.com", 0.25, 0.30),
+                _c("weibo", "sinaimg.cn", 0.15, 0.15),
+            ),
+            mean_session_minutes=18, session_minutes_sigma=0.7,
+            connections_per_minute=1.0,
+            mean_session_bytes=28 * MB, bytes_sigma=0.8,
+            upload_fraction=0.2, flow_style="bursty",
+        ),
+        AppArchetype(
+            "foreign_video_cn",
+            components=(
+                _c("bilibili", "bilibili.com", 0.35, 0.20),
+                _c("bilibili", "hdslb.com", 0.30, 0.50),
+                _c("iqiyi", "iqiyi.com", 0.20, 0.20),
+                _c("netease", "music.163.com", 0.15, 0.10),
+            ),
+            mean_session_minutes=42, session_minutes_sigma=0.6,
+            connections_per_minute=0.5,
+            mean_session_bytes=420 * MB, bytes_sigma=0.8,
+            flow_style="long",
+        ),
+        AppArchetype(
+            "foreign_web_cn",
+            components=(
+                _c("baidu", "baidu.com", 0.55, 0.5),
+                _c("baidu", "bdstatic.com", 0.25, 0.3),
+                _c("netease", "163.com", 0.20, 0.2),
+            ),
+            mean_session_minutes=10, session_minutes_sigma=0.7,
+            connections_per_minute=1.5,
+            mean_session_bytes=7 * MB, bytes_sigma=0.9,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "foreign_social_kr",
+            components=(
+                _c("kakao", "kakao.com", 0.45, 0.45),
+                _c("kakao", "kakaocdn.net", 0.25, 0.30),
+                _c("naver", "naver.com", 0.30, 0.25),
+            ),
+            mean_session_minutes=16, session_minutes_sigma=0.7,
+            connections_per_minute=1.1,
+            mean_session_bytes=24 * MB, bytes_sigma=0.8,
+            upload_fraction=0.2, flow_style="bursty",
+        ),
+        AppArchetype(
+            "foreign_web_kr",
+            components=(
+                _c("naver", "naver.com", 0.5, 0.4),
+                _c("naver", "pstatic.net", 0.3, 0.4),
+                _c("kakao", "kakao.com", 0.2, 0.2),
+            ),
+            mean_session_minutes=12, session_minutes_sigma=0.7,
+            connections_per_minute=1.4,
+            mean_session_bytes=10 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+        AppArchetype(
+            "foreign_social_jp",
+            components=(
+                _c("line", "line.me", 0.55, 0.5),
+                _c("line", "line-scdn.net", 0.25, 0.3),
+                _c("yahoo-japan", "yahoo.co.jp", 0.20, 0.2),
+            ),
+            mean_session_minutes=14, session_minutes_sigma=0.7,
+            connections_per_minute=1.1,
+            mean_session_bytes=20 * MB, bytes_sigma=0.8,
+            upload_fraction=0.2, flow_style="bursty",
+        ),
+        AppArchetype(
+            "foreign_video_in",
+            components=(
+                _c("hotstar", "hotstar.com", 0.7, 0.85),
+                _c("flipkart", "flipkart.com", 0.3, 0.15),
+            ),
+            mean_session_minutes=40, session_minutes_sigma=0.6,
+            connections_per_minute=0.5,
+            mean_session_bytes=350 * MB, bytes_sigma=0.8,
+            flow_style="long",
+        ),
+        AppArchetype(
+            "foreign_web_misc",
+            components=(
+                _c("straitstimes", "straitstimes.com", 0.25, 0.25),
+                _c("abc-au", "abc.net.au", 0.25, 0.25),
+                _c("televisa", "televisa.com", 0.25, 0.25),
+                _c("globo", "globo.com", 0.25, 0.25),
+            ),
+            mean_session_minutes=10, session_minutes_sigma=0.7,
+            connections_per_minute=1.2,
+            mean_session_bytes=8 * MB, bytes_sigma=0.8,
+            flow_style="bursty",
+        ),
+
+        # ------------------------------------------------------------------
+        # IoT device behaviours (Section 3's classification substrate).
+        AppArchetype(
+            "iot_hub",
+            components=(
+                _c("hearthhub", "api.hearthhub-home.com", 0.6, 0.55),
+                _c("hearthhub", "telemetry.hearthhub-home.com", 0.4, 0.45),
+            ),
+            mean_session_minutes=1.5, session_minutes_sigma=0.4,
+            connections_per_minute=2.0,
+            mean_session_bytes=0.25 * MB, bytes_sigma=0.6,
+            upload_fraction=0.5, flow_style="bursty", device_kinds=("iot_hub",),
+        ),
+        AppArchetype(
+            "iot_speaker",
+            components=(
+                _c("echonest", "cloud.echonest-audio.com", 0.8, 0.85),
+                _c("campus-ntp", "ntp.ucsd-online.net", 0.2, 0.15),
+            ),
+            mean_session_minutes=25, session_minutes_sigma=0.7,
+            connections_per_minute=0.5,
+            mean_session_bytes=35 * MB, bytes_sigma=0.8,
+            flow_style="long", device_kinds=("iot_speaker",),
+        ),
+        AppArchetype(
+            "iot_bulb",
+            components=(
+                _c("brightbulb", "cloud.brightbulb.io", 1.0, 1.0),
+            ),
+            mean_session_minutes=1.0, session_minutes_sigma=0.3,
+            connections_per_minute=1.5,
+            mean_session_bytes=0.05 * MB, bytes_sigma=0.5,
+            upload_fraction=0.5, flow_style="bursty", device_kinds=("iot_bulb",),
+        ),
+        AppArchetype(
+            "iot_tv",
+            components=(
+                _c("streambox", "api.streambox.tv", 0.35, 0.05),
+                _c("streambox", "cdn.streambox.tv", 0.65, 0.95),
+            ),
+            mean_session_minutes=95, session_minutes_sigma=0.6,
+            connections_per_minute=0.3,
+            mean_session_bytes=1.6 * GB, bytes_sigma=0.8,
+            flow_style="long", device_kinds=("iot_tv",),
+        ),
+        AppArchetype(
+            "iot_meter",
+            components=(
+                _c("wattwatch", "metrics.wattwatch.net", 1.0, 1.0),
+            ),
+            mean_session_minutes=0.8, session_minutes_sigma=0.3,
+            connections_per_minute=2.0,
+            mean_session_bytes=0.03 * MB, bytes_sigma=0.4,
+            upload_fraction=0.8, flow_style="bursty", device_kinds=("iot_meter",),
+        ),
+    )

@@ -1,0 +1,447 @@
+"""Phase- and month-dependent behaviour of the synthetic population.
+
+This module concentrates every "how did usage change" assumption of the
+simulation, each traceable to a finding the paper reports:
+
+* Zoom appears with online instruction and runs 8am-6pm on weekdays,
+  with small weekend social use (Section 5.1, Figure 5);
+* domestic students' Facebook/Instagram hold steady then sag in May,
+  international students' rise under lock-down (Section 5.2, Figure 6);
+* TikTok grows, with a "grower" minority pushing the upper quartiles up
+  month over month, and adoption spreading (rising n) (Figure 6c);
+* Steam spikes in March (downloads more than play), then fades --
+  harder and longer for international students (Section 5.3.1,
+  Figure 7);
+* Switch gameplay spikes over break and early spring term, returns to
+  near-baseline in late April, then rises again in late May
+  (Section 5.3.2, Figure 8);
+* per-device traffic of the "trapped" population increases ~58% from
+  February into April/May, with the weekday curve peaking earlier and
+  higher while weekends stay put (Section 4.1, Figure 3); the
+  international cohort stays elevated longer, most visibly during break
+  (Figure 4).
+
+The tables below are *generative* ground truth; the measurement stack
+must recover the shapes from flows alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.synth.archetypes import AppArchetype
+from repro.synth.devices import DeviceKind, SimDevice
+from repro.synth.personas import StudentPersona
+from repro.synth.timeline import (
+    Phase,
+    is_instruction_day,
+    phase_of,
+    weeks_into_online_term,
+)
+from repro.util.timeutil import DAY, is_weekend, month_key
+
+# ---------------------------------------------------------------------------
+# Rate modifiers. Each entry maps a phase or month to a (domestic,
+# international) multiplier on the persona's baseline session rate.
+# Unlisted phases/months default to 1.0.
+
+_Mod = Tuple[float, float]
+
+#: Phase-level modifiers (captures the March sub-structure).
+RATE_PHASE: Dict[str, Dict[str, _Mod]] = {
+    "zoom_class": {
+        Phase.PRE: (0.02, 0.02),
+        Phase.EMERGENCY: (0.05, 0.05),
+        Phase.PANDEMIC_DECLARED: (0.45, 0.45),
+        Phase.STAY_AT_HOME: (0.55, 0.55),
+        Phase.BREAK: (0.06, 0.06),
+        Phase.ONLINE_TERM: (1.0, 1.0),
+    },
+    "zoom_social": {
+        Phase.PRE: (0.03, 0.03),
+        Phase.EMERGENCY: (0.08, 0.08),
+        Phase.PANDEMIC_DECLARED: (0.35, 0.35),
+        Phase.STAY_AT_HOME: (0.6, 0.6),
+        Phase.BREAK: (0.7, 0.7),
+        Phase.ONLINE_TERM: (1.0, 1.0),
+    },
+    "education": {
+        Phase.BREAK: (0.15, 0.15),
+        Phase.ONLINE_TERM: (1.5, 1.5),
+    },
+    # Steam's March spike concentrates in the escalation/break window,
+    # and is download-led: bytes rise much harder than session counts
+    # (the Figure 7a vs. 7b divergence).
+    "steam_download": {
+        Phase.PANDEMIC_DECLARED: (2.6, 3.2),
+        Phase.STAY_AT_HOME: (3.0, 3.8),
+        Phase.BREAK: (3.2, 4.2),
+    },
+    "steam_game": {
+        Phase.PANDEMIC_DECLARED: (1.0, 1.5),
+        Phase.STAY_AT_HOME: (1.0, 1.7),
+        Phase.BREAK: (1.1, 1.8),
+    },
+    "steam_store": {
+        Phase.PANDEMIC_DECLARED: (1.1, 1.5),
+        Phase.STAY_AT_HOME: (1.1, 1.6),
+        Phase.BREAK: (1.2, 1.7),
+    },
+    # Switch download surge around the big late-March game release.
+    "switch_infra": {
+        Phase.STAY_AT_HOME: (1.8, 1.8),
+        Phase.BREAK: (3.0, 3.0),
+    },
+    "switch_gameplay": {
+        Phase.PANDEMIC_DECLARED: (1.15, 1.15),
+        Phase.STAY_AT_HOME: (1.4, 1.4),
+        Phase.BREAK: (2.3, 2.3),
+    },
+}
+
+#: Month-level modifiers, keyed by (year, month).
+RATE_MONTH: Dict[str, Dict[Tuple[int, int], _Mod]] = {
+    "facebook": {
+        (2020, 2): (1.0, 0.55),
+        (2020, 3): (1.0, 0.85),
+        (2020, 4): (0.95, 1.0),
+        (2020, 5): (0.7, 1.0),
+    },
+    "instagram": {
+        (2020, 2): (1.0, 0.7),
+        (2020, 3): (1.0, 0.9),
+        (2020, 4): (0.95, 0.9),
+        (2020, 5): (0.75, 1.05),
+    },
+    "tiktok": {
+        (2020, 2): (1.0, 1.0),
+        (2020, 3): (1.35, 1.3),
+        (2020, 4): (0.9, 1.4),
+        (2020, 5): (1.0, 1.1),
+    },
+    "steam_download": {
+        (2020, 4): (1.1, 1.9),
+        (2020, 5): (0.7, 0.75),
+    },
+    "steam_game": {
+        (2020, 3): (0.75, 1.0),
+        (2020, 4): (0.62, 0.95),
+        (2020, 5): (0.52, 0.68),
+    },
+    "steam_store": {
+        (2020, 3): (0.8, 1.0),
+        (2020, 4): (0.7, 1.05),
+        (2020, 5): (0.6, 0.75),
+    },
+    # Streaming rises with the lock-down and only partially recedes.
+    "netflix": {(2020, 3): (1.2, 1.3), (2020, 4): (1.35, 1.5), (2020, 5): (1.1, 1.35)},
+    "youtube": {(2020, 3): (1.2, 1.25), (2020, 4): (1.35, 1.45), (2020, 5): (1.1, 1.3)},
+    "spotify": {(2020, 3): (1.1, 1.1), (2020, 4): (1.2, 1.25), (2020, 5): (1.05, 1.15)},
+    "web_browse": {(2020, 3): (1.15, 1.2), (2020, 4): (1.35, 1.4), (2020, 5): (1.2, 1.3)},
+    "twitter": {(2020, 3): (1.2, 1.2), (2020, 4): (1.25, 1.25), (2020, 5): (1.1, 1.1)},
+    "snapchat": {(2020, 4): (1.1, 1.1), (2020, 5): (0.95, 1.0)},
+    "discord": {(2020, 3): (1.3, 1.3), (2020, 4): (1.5, 1.5), (2020, 5): (1.4, 1.4)},
+    # Foreign usage climbs for the international cohort stuck on campus.
+    "foreign_social_cn": {(2020, 3): (1.0, 1.25), (2020, 4): (1.0, 1.45), (2020, 5): (1.0, 1.35)},
+    "foreign_video_cn": {(2020, 3): (1.0, 1.3), (2020, 4): (1.0, 1.5), (2020, 5): (1.0, 1.4)},
+    "foreign_web_cn": {(2020, 3): (1.0, 1.2), (2020, 4): (1.0, 1.3), (2020, 5): (1.0, 1.25)},
+    "foreign_social_kr": {(2020, 3): (1.0, 1.25), (2020, 4): (1.0, 1.4), (2020, 5): (1.0, 1.3)},
+    "foreign_web_kr": {(2020, 3): (1.0, 1.2), (2020, 4): (1.0, 1.3), (2020, 5): (1.0, 1.25)},
+    "foreign_social_jp": {(2020, 3): (1.0, 1.25), (2020, 4): (1.0, 1.4), (2020, 5): (1.0, 1.3)},
+    "foreign_video_in": {(2020, 3): (1.0, 1.3), (2020, 4): (1.0, 1.5), (2020, 5): (1.0, 1.4)},
+    "foreign_web_misc": {(2020, 3): (1.0, 1.2), (2020, 4): (1.0, 1.3), (2020, 5): (1.0, 1.25)},
+    "console_game": {(2020, 3): (1.3, 1.3), (2020, 4): (1.4, 1.4), (2020, 5): (1.2, 1.2)},
+    "riot_game": {(2020, 3): (1.3, 1.3), (2020, 4): (1.4, 1.4), (2020, 5): (1.3, 1.3)},
+    "twitch_watch": {(2020, 3): (1.2, 1.2), (2020, 4): (1.4, 1.4), (2020, 5): (1.3, 1.3)},
+}
+
+#: Archetypes considered leisure for the break-time boost: during the
+#: academic break, international students (with nowhere to go and no
+#: classes) markedly increase traffic while domestic students hold
+#: steady (Figure 4).
+_BREAK_LEISURE_BOOST: _Mod = (1.05, 1.65)
+_LEISURE_CATEGORIES = {
+    "facebook", "instagram", "tiktok", "twitter", "snapchat", "discord",
+    "netflix", "youtube", "spotify", "web_browse",
+    "foreign_social_cn", "foreign_video_cn", "foreign_web_cn",
+    "foreign_social_kr", "foreign_web_kr", "foreign_social_jp",
+    "foreign_video_in", "foreign_web_misc",
+    "twitch_watch", "amazon_shop", "apple_services",
+}
+
+#: TikTok growers multiply their rate by this, per month.
+_TIKTOK_GROWER_RAMP = {
+    (2020, 2): 1.0,
+    (2020, 3): 1.6,
+    (2020, 4): 2.3,
+    (2020, 5): 3.1,
+}
+
+#: Per device kind, how strongly each archetype runs on it (multiplier
+#: on the persona rate). Archetypes absent here use 1.0 for every kind
+#: their archetype declares.
+DEVICE_AFFINITY: Dict[str, Dict[str, float]] = {
+    "facebook": {"phone": 1.0, "tablet": 0.35, "laptop": 0.12, "desktop": 0.08},
+    "instagram": {"phone": 1.0, "tablet": 0.3, "laptop": 0.06, "desktop": 0.04},
+    "tiktok": {"phone": 1.0, "tablet": 0.25, "laptop": 0.03, "desktop": 0.02},
+    "twitter": {"phone": 1.0, "tablet": 0.3, "laptop": 0.3, "desktop": 0.2},
+    "snapchat": {"phone": 1.0, "tablet": 0.2},
+    "zoom_class": {"laptop": 1.0, "desktop": 1.0, "phone": 0.15, "tablet": 0.25},
+    "zoom_social": {"laptop": 1.0, "desktop": 0.8, "phone": 0.5, "tablet": 0.5},
+    "education": {"laptop": 1.0, "desktop": 0.9, "phone": 0.25, "tablet": 0.3},
+    "web_browse": {"laptop": 1.0, "desktop": 0.9, "phone": 0.55, "tablet": 0.5},
+    "youtube": {"laptop": 0.8, "desktop": 0.7, "phone": 0.6, "tablet": 0.8},
+    "netflix": {"laptop": 0.8, "desktop": 0.5, "phone": 0.2, "tablet": 0.6},
+    "spotify": {"laptop": 0.6, "desktop": 0.5, "phone": 1.0, "tablet": 0.3},
+    "discord": {"laptop": 0.9, "desktop": 1.0, "phone": 0.4, "tablet": 0.2},
+    "apple_services": {"phone": 1.0, "tablet": 0.7, "laptop": 0.5, "desktop": 0.1},
+    "amazon_shop": {"phone": 0.7, "tablet": 0.5, "laptop": 1.0, "desktop": 0.8},
+    "cloud_sync": {"laptop": 1.0, "desktop": 1.0, "phone": 0.6, "tablet": 0.4},
+    "foreign_social_cn": {"phone": 1.0, "tablet": 0.3, "laptop": 0.35, "desktop": 0.2},
+    "foreign_video_cn": {"phone": 0.85, "tablet": 0.5, "laptop": 1.0, "desktop": 0.8},
+    "foreign_web_cn": {"phone": 0.7, "laptop": 1.0, "desktop": 0.8, "tablet": 0.4},
+    "foreign_social_kr": {"phone": 1.0, "tablet": 0.3, "laptop": 0.35, "desktop": 0.2},
+    "foreign_web_kr": {"phone": 0.7, "laptop": 1.0, "desktop": 0.8, "tablet": 0.4},
+    "foreign_social_jp": {"phone": 1.0, "tablet": 0.3, "laptop": 0.35, "desktop": 0.2},
+    "foreign_video_in": {"phone": 0.85, "tablet": 0.5, "laptop": 1.0, "desktop": 0.8},
+    "foreign_web_misc": {"phone": 0.7, "laptop": 1.0, "desktop": 0.8, "tablet": 0.4},
+    "twitch_watch": {"laptop": 0.8, "desktop": 1.0, "phone": 0.4, "tablet": 0.4},
+}
+
+# ---------------------------------------------------------------------------
+# Hour-of-day schedules (probability weight per start hour).
+
+
+def _curve(pairs) -> np.ndarray:
+    weights = np.zeros(24)
+    for hour, weight in pairs:
+        weights[hour] = weight
+    return weights
+
+
+#: Pre-lockdown weekday: students in (physical) class during the day,
+#: leisure concentrated in the evening.
+_WEEKDAY_PRE = _curve([
+    (0, 1.6), (1, 1.0), (2, 0.5), (3, 0.2), (4, 0.1), (5, 0.1),
+    (6, 0.3), (7, 0.6), (8, 0.8), (9, 0.7), (10, 0.7), (11, 0.8),
+    (12, 1.2), (13, 0.9), (14, 0.9), (15, 1.0), (16, 1.2), (17, 1.5),
+    (18, 1.9), (19, 2.3), (20, 2.7), (21, 3.0), (22, 2.9), (23, 2.3),
+])
+
+#: Lock-down weekday: confined to the dorm room, activity ramps up
+#: earlier and peaks higher (Figure 3's weekday change).
+_WEEKDAY_LOCKDOWN = _curve([
+    (0, 1.8), (1, 1.2), (2, 0.7), (3, 0.3), (4, 0.15), (5, 0.15),
+    (6, 0.4), (7, 0.8), (8, 1.3), (9, 1.7), (10, 2.0), (11, 2.2),
+    (12, 2.4), (13, 2.3), (14, 2.4), (15, 2.5), (16, 2.7), (17, 2.9),
+    (18, 3.1), (19, 3.4), (20, 3.6), (21, 3.5), (22, 3.1), (23, 2.4),
+])
+
+#: Weekends are "relatively unchanged" through the study (Figure 3).
+_WEEKEND = _curve([
+    (0, 2.0), (1, 1.6), (2, 1.0), (3, 0.5), (4, 0.2), (5, 0.2),
+    (6, 0.2), (7, 0.3), (8, 0.5), (9, 0.8), (10, 1.2), (11, 1.6),
+    (12, 1.9), (13, 2.0), (14, 2.1), (15, 2.2), (16, 2.2), (17, 2.3),
+    (18, 2.5), (19, 2.7), (20, 2.9), (21, 3.0), (22, 2.8), (23, 2.4),
+])
+
+#: Online classes meet 8am-6pm on weekdays (Figure 5).
+_CLASS_HOURS = _curve([
+    (8, 2.0), (9, 2.5), (10, 2.5), (11, 2.5), (12, 1.8), (13, 2.3),
+    (14, 2.5), (15, 2.3), (16, 2.0), (17, 1.4),
+])
+
+#: Weekend Zoom: the small afternoon bump of social calls.
+_ZOOM_WEEKEND = _curve([
+    (10, 0.8), (11, 1.0), (12, 1.2), (13, 1.5), (14, 1.6), (15, 1.5),
+    (16, 1.3), (17, 1.1), (18, 1.0), (19, 1.0), (20, 0.8),
+])
+
+#: Always-on embedded devices chatter around the clock.
+_FLAT = np.ones(24)
+
+
+class BehaviorModel:
+    """Evaluates session rates, schedules and size scalings per device-day.
+
+    ``phase_override`` pins every day to one pandemic phase regardless
+    of the calendar (month modifiers are disabled too). Overriding to
+    :data:`Phase.PRE` produces the no-pandemic counterfactual: the
+    spring term as it would have unfolded without a lock-down.
+    """
+
+    def __init__(self, archetypes: Dict[str, AppArchetype],
+                 phase_override: Optional[str] = None):
+        if phase_override is not None and phase_override not in Phase.all():
+            raise ValueError(f"unknown phase {phase_override!r}")
+        self.archetypes = archetypes
+        self.phase_override = phase_override
+
+    def _phase_of(self, ts: float) -> str:
+        if self.phase_override is not None:
+            return self.phase_override
+        return phase_of(ts)
+
+    def _lockdown_at(self, ts: float) -> bool:
+        if self.phase_override is not None:
+            return self.phase_override in (Phase.STAY_AT_HOME, Phase.BREAK,
+                                           Phase.ONLINE_TERM)
+        return ts >= constants.STAY_AT_HOME
+
+    # -- rates ---------------------------------------------------------
+
+    def expected_sessions(self, persona: StudentPersona, device: SimDevice,
+                          archetype_name: str, day_start: float) -> float:
+        """Expected number of sessions of an app on a device for a day."""
+        archetype = self.archetypes[archetype_name]
+        if device.kind not in archetype.device_kinds:
+            return 0.0
+        base = persona.rate(archetype_name)
+        if base <= 0.0:
+            return 0.0
+        start_ts = persona.app_start.get(archetype_name)
+        if start_ts is not None and day_start < start_ts:
+            return 0.0
+
+        affinity = DEVICE_AFFINITY.get(archetype_name, {}).get(device.kind, 1.0)
+        modifier = self._rate_modifier(archetype_name, day_start,
+                                       persona.is_international)
+        weekend = self._weekend_factor(archetype_name, day_start)
+        grower = self._grower_factor(persona, archetype_name, day_start)
+        rate = base * affinity * modifier * weekend * grower
+        if archetype_name.startswith("zoom_class"):
+            rate *= persona.course_load
+        return rate * persona.activity_scale
+
+    def _rate_modifier(self, archetype_name: str, day_start: float,
+                       international: bool) -> float:
+        index = 1 if international else 0
+        phase = self._phase_of(day_start)
+        phase_mod = RATE_PHASE.get(archetype_name, {}).get(phase, (1.0, 1.0))
+        if self.phase_override is not None:
+            month_mod = (1.0, 1.0)
+        else:
+            month_mod = RATE_MONTH.get(archetype_name, {}).get(
+                month_key(day_start), (1.0, 1.0))
+        value = phase_mod[index] * month_mod[index]
+        if (phase == Phase.BREAK
+                and archetype_name in _LEISURE_CATEGORIES):
+            value *= _BREAK_LEISURE_BOOST[index]
+        if (archetype_name == "switch_gameplay"
+                and self.phase_override is None):
+            value *= self._switch_term_drift(day_start)
+        return value
+
+    @staticmethod
+    def _switch_term_drift(day_start: float) -> float:
+        """Figure 8's spring-term shape: early-term spike, mid-term
+        return to near-baseline, late-May boredom rise."""
+        weeks = weeks_into_online_term(day_start)
+        if weeks < 0:
+            return 1.0
+        if weeks < 2:
+            return 1.6
+        if weeks < 5:
+            return 1.0
+        return 1.5
+
+    def _weekend_factor(self, archetype_name: str, day_start: float) -> float:
+        weekend = is_weekend(day_start)
+        if archetype_name == "zoom_class":
+            return 0.0 if weekend else 1.0
+        if archetype_name == "education":
+            return 0.35 if weekend else 1.0
+        if archetype_name == "zoom_social":
+            return 1.2 if weekend else 0.5
+        if archetype_name in ("switch_gameplay", "console_game",
+                              "steam_game", "riot_game"):
+            return 1.25 if weekend else 1.0
+        if archetype_name in _LEISURE_CATEGORIES:
+            # Weekend *device* dips outweigh per-session changes; keep
+            # leisure rates nearly flat so weekends stay "unchanged".
+            return 1.0
+        return 1.0
+
+    def _grower_factor(self, persona: StudentPersona, archetype_name: str,
+                       day_start: float) -> float:
+        if self.phase_override is not None:
+            return 1.0
+        if archetype_name == "tiktok" and persona.tiktok_grower:
+            return _TIKTOK_GROWER_RAMP.get(month_key(day_start), 1.0)
+        return 1.0
+
+    # -- schedules -----------------------------------------------------
+
+    def hourly_weights(self, persona: StudentPersona, archetype_name: str,
+                       day_start: float) -> np.ndarray:
+        """Return the 24-hour start-time weight vector for a device-day."""
+        weekend = is_weekend(day_start)
+        if archetype_name == "zoom_class":
+            base = _CLASS_HOURS.copy()
+        elif archetype_name == "zoom_social":
+            base = _ZOOM_WEEKEND.copy() if weekend else _curve(
+                [(16, 0.8), (17, 1.0), (18, 1.3), (19, 1.5), (20, 1.4), (21, 1.0)])
+        elif archetype_name in ("iot_hub", "iot_bulb", "iot_meter", "switch_idle"):
+            base = _FLAT.copy()
+        elif weekend:
+            base = _WEEKEND.copy()
+        elif self._lockdown_at(day_start):
+            base = _WEEKDAY_LOCKDOWN.copy()
+        else:
+            base = _WEEKDAY_PRE.copy()
+
+        shift = int(round(persona.night_owl_shift))
+        if shift and archetype_name not in ("zoom_class", "education"):
+            base = np.roll(base, shift)
+        total = base.sum()
+        if total <= 0:
+            return np.full(24, 1.0 / 24.0)
+        return base / total
+
+    # -- presence ------------------------------------------------------
+
+    def device_active_probability(self, persona: StudentPersona,
+                                  device: SimDevice, day_start: float) -> float:
+        """Probability the device produces any traffic on the day.
+
+        Weekday/weekend asymmetry produces Figure 1's regular dips;
+        infrastructure-like devices are essentially always on.
+        """
+        weekend = is_weekend(day_start)
+        kind = device.kind
+        if kind in DeviceKind.IOT_KINDS:
+            return 0.97
+        if kind == DeviceKind.PHONE:
+            return 0.90 if weekend else 0.96
+        if kind in (DeviceKind.LAPTOP, DeviceKind.DESKTOP):
+            if self._lockdown_at(day_start):
+                return 0.88 if weekend else 0.95
+            return 0.78 if weekend else 0.90
+        if kind == DeviceKind.TABLET:
+            return 0.55 if weekend else 0.6
+        if kind in (DeviceKind.CONSOLE, DeviceKind.SWITCH):
+            if self._lockdown_at(day_start):
+                return 0.75
+            return 0.65 if weekend else 0.55
+        return 0.8
+
+    # -- sizes ---------------------------------------------------------
+
+    def bytes_scale(self, persona: StudentPersona, archetype_name: str,
+                    day_start: float) -> float:
+        """Multiplier on the archetype's session byte volume.
+
+        Steam's bytes-vs-connections divergence (Figure 7a vs. 7b) is
+        carried by the download/game archetype split, so no extra byte
+        scaling is needed there; the hook exists for volume shaping that
+        should not change session counts.
+        """
+        if archetype_name in ("facebook", "instagram", "tiktok"):
+            # Session lengths stretch a little under lock-down: people
+            # scroll longer when there is nowhere to go.
+            if self._lockdown_at(day_start):
+                return 1.15
+        return 1.0

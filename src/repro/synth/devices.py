@@ -1,0 +1,239 @@
+"""Device models for the synthetic campus.
+
+Each student owns a small fleet of devices; each device has ground-truth
+attributes (kind, MAC, User-Agent) that the measurement stack must
+*re-discover* from wire observations. The mechanisms that frustrate the
+paper's classifier are modelled explicitly:
+
+* randomized (locally-administered) MACs defeat OUI lookup;
+* TLS hides User-Agents except on the few plaintext HTTP connections;
+* foreign-brand hardware carries OUIs absent from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.net.mac import MacAddress, random_laa_mac, vendor_mac
+from repro.net.oui_db import OuiDatabase
+
+
+class DeviceKind:
+    """Ground-truth device kinds (string constants)."""
+
+    LAPTOP = "laptop"
+    DESKTOP = "desktop"
+    PHONE = "phone"
+    TABLET = "tablet"
+    IOT_HUB = "iot_hub"
+    IOT_SPEAKER = "iot_speaker"
+    IOT_BULB = "iot_bulb"
+    IOT_TV = "iot_tv"
+    IOT_METER = "iot_meter"
+    CONSOLE = "console"
+    SWITCH = "switch"
+
+    IOT_KINDS = (IOT_HUB, IOT_SPEAKER, IOT_BULB, IOT_TV, IOT_METER)
+    MOBILE_KINDS = (PHONE, TABLET)
+    COMPUTER_KINDS = (LAPTOP, DESKTOP)
+
+    @classmethod
+    def all(cls) -> Tuple[str, ...]:
+        return (
+            cls.LAPTOP, cls.DESKTOP, cls.PHONE, cls.TABLET,
+            *cls.IOT_KINDS, cls.CONSOLE, cls.SWITCH,
+        )
+
+    @classmethod
+    def coarse_class(cls, kind: str) -> str:
+        """Map a ground-truth kind onto the paper's coarse classes.
+
+        The paper reports mobile, laptop & desktop, IoT, and
+        unclassified; game consoles are surfaced through the IoT/console
+        detection machinery, so they fall in the IoT coarse class here.
+        """
+        if kind in cls.MOBILE_KINDS:
+            return "mobile"
+        if kind in cls.COMPUTER_KINDS:
+            return "laptop_desktop"
+        if kind in cls.IOT_KINDS or kind in (cls.CONSOLE, cls.SWITCH):
+            return "iot"
+        raise ValueError(f"unknown device kind {kind!r}")
+
+
+#: User-Agent templates per kind. ``None`` entries are devices that
+#: never emit a browser-style UA.
+_USER_AGENTS = {
+    DeviceKind.LAPTOP: (
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3) AppleWebKit/605.1.15",
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36",
+        "Mozilla/5.0 (X11; Linux x86_64; rv:73.0) Gecko/20100101 Firefox/73.0",
+    ),
+    DeviceKind.DESKTOP: (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36",
+        "Mozilla/5.0 (Windows NT 10.0; WOW64) AppleWebKit/537.36",
+    ),
+    DeviceKind.PHONE: (
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3_1 like Mac OS X) AppleWebKit/605.1.15 Mobile/15E148",
+        "Mozilla/5.0 (Linux; Android 10; SM-G973F) AppleWebKit/537.36 Mobile Safari/537.36",
+        "Mozilla/5.0 (Linux; Android 9; Pixel 3) AppleWebKit/537.36 Mobile Safari/537.36",
+    ),
+    DeviceKind.TABLET: (
+        "Mozilla/5.0 (iPad; CPU OS 13_3 like Mac OS X) AppleWebKit/605.1.15 Mobile/15E148",
+        "Mozilla/5.0 (Linux; Android 9; SM-T510) AppleWebKit/537.36 Safari/537.36",
+    ),
+    DeviceKind.IOT_HUB: ("HearthHub/2.4 (linux; armv7l)",),
+    DeviceKind.IOT_SPEAKER: ("EchoNestAudio/5.1 CFNetwork",),
+    DeviceKind.IOT_BULB: ("BrightBulb-Firmware/1.0.9",),
+    DeviceKind.IOT_TV: ("StreamBoxOS/7.2 (smarttv)",),
+    DeviceKind.IOT_METER: ("WattWatch/3.3 embedded",),
+    DeviceKind.CONSOLE: ("MeridianOS/4.2 console",),
+    DeviceKind.SWITCH: ("NintendoBrowser/5.1.0.13343 NX",),
+}
+
+#: Probability a device uses a randomized (LAA) MAC, by kind. Modern
+#: phone operating systems randomize aggressively; embedded devices
+#: never do.
+_LAA_PROBABILITY = {
+    DeviceKind.PHONE: 0.58,
+    DeviceKind.TABLET: 0.45,
+    DeviceKind.LAPTOP: 0.22,
+    DeviceKind.DESKTOP: 0.05,
+}
+
+#: Probability a device *never* exposes a User-Agent on the wire (apps
+#: pin TLS end to end; no plaintext browsing). Combined with MAC
+#: randomization this is what feeds the paper's large unclassified
+#: class.
+_NO_UA_PROBABILITY = {
+    DeviceKind.PHONE: 0.65,
+    DeviceKind.TABLET: 0.60,
+    DeviceKind.LAPTOP: 0.55,
+    DeviceKind.DESKTOP: 0.40,
+}
+
+#: Probability a (non-randomized) device carries a foreign-brand OUI
+#: that is absent from the registry, by kind.
+_UNREGISTERED_OUI_PROBABILITY = {
+    DeviceKind.PHONE: 0.20,
+    DeviceKind.LAPTOP: 0.20,
+    DeviceKind.TABLET: 0.15,
+}
+
+#: International students skew toward hardware brands outside the
+#: registry, inflating their unclassified share (Section 4's fig. 1
+#: shows unclassified dominating the post-shutdown population).
+_INTERNATIONAL_UNREGISTERED_BOOST = 3.0
+
+#: OUI blocks that exist in the world but not in the registry (clear
+#: U/L and I/G bits). Lookups on these return no vendor.
+_UNREGISTERED_OUIS = (0xD41E70, 0xD41E74, 0xD41E78)
+
+#: Which registered category hint each kind draws its OUI from.
+_OUI_HINT = {
+    DeviceKind.LAPTOP: "laptop",
+    DeviceKind.DESKTOP: "laptop",
+    DeviceKind.PHONE: "mobile",
+    DeviceKind.TABLET: "mobile",
+    DeviceKind.IOT_HUB: "iot",
+    DeviceKind.IOT_SPEAKER: "iot",
+    DeviceKind.IOT_BULB: "iot",
+    DeviceKind.IOT_TV: "iot",
+    DeviceKind.IOT_METER: "iot",
+    DeviceKind.CONSOLE: "console",
+    DeviceKind.SWITCH: "console",
+}
+
+#: Probability that a plaintext-HTTP connection from this kind carries
+#: the device's User-Agent (apps often pin TLS even when the service
+#: offers HTTP).
+_UA_EXPOSURE = {
+    DeviceKind.LAPTOP: 0.5,
+    DeviceKind.DESKTOP: 0.5,
+    DeviceKind.PHONE: 0.3,
+    DeviceKind.TABLET: 0.3,
+    DeviceKind.IOT_HUB: 0.8,
+    DeviceKind.IOT_SPEAKER: 0.6,
+    DeviceKind.IOT_BULB: 0.8,
+    DeviceKind.IOT_TV: 0.4,
+    DeviceKind.IOT_METER: 0.8,
+    DeviceKind.CONSOLE: 0.3,
+    DeviceKind.SWITCH: 0.3,
+}
+
+
+@dataclass(frozen=True)
+class SimDevice:
+    """One physical device on the residential network (ground truth)."""
+
+    device_id: int
+    owner_id: int
+    kind: str
+    mac: MacAddress
+    user_agent: Optional[str]
+    #: Probability a plaintext HTTP connection exposes the UA.
+    ua_exposure: float
+    #: First/last timestamps the device can be on the network; the
+    #: owner's presence further gates activity.
+    arrival_ts: float
+    departure_ts: Optional[float]
+
+    @property
+    def coarse_class(self) -> str:
+        return DeviceKind.coarse_class(self.kind)
+
+    def active_at(self, ts: float) -> bool:
+        """Ground-truth presence test for the device itself."""
+        if ts < self.arrival_ts:
+            return False
+        return self.departure_ts is None or ts < self.departure_ts
+
+
+def make_device(device_id: int,
+                owner_id: int,
+                kind: str,
+                oui_db: OuiDatabase,
+                rng: np.random.Generator,
+                arrival_ts: float,
+                departure_ts: Optional[float],
+                international_owner: bool = False) -> SimDevice:
+    """Sample a device's MAC and UA attributes for its kind."""
+    if kind not in DeviceKind.all():
+        raise ValueError(f"unknown device kind {kind!r}")
+
+    laa_probability = _LAA_PROBABILITY.get(kind, 0.0)
+    if rng.random() < laa_probability:
+        mac = random_laa_mac(rng)
+    else:
+        unregistered = _UNREGISTERED_OUI_PROBABILITY.get(kind, 0.0)
+        if international_owner:
+            unregistered = min(1.0, unregistered * _INTERNATIONAL_UNREGISTERED_BOOST)
+        if rng.random() < unregistered:
+            oui = int(rng.choice(_UNREGISTERED_OUIS))
+        else:
+            choices = oui_db.vendor_ouis(_OUI_HINT[kind])
+            if not choices:
+                raise ValueError(f"no registered OUI for hint {_OUI_HINT[kind]!r}")
+            oui = int(rng.choice(choices))
+        mac = vendor_mac(oui, rng)
+
+    templates = _USER_AGENTS[kind]
+    user_agent = str(templates[int(rng.integers(0, len(templates)))])
+    if rng.random() < _NO_UA_PROBABILITY.get(kind, 0.0):
+        ua_exposure = 0.0
+    else:
+        ua_exposure = _UA_EXPOSURE[kind]
+
+    return SimDevice(
+        device_id=device_id,
+        owner_id=owner_id,
+        kind=kind,
+        mac=mac,
+        user_agent=user_agent,
+        ua_exposure=ua_exposure,
+        arrival_ts=arrival_ts,
+        departure_ts=departure_ts,
+    )

@@ -1,0 +1,90 @@
+"""Student personas: who is on campus and what they tend to do online.
+
+A persona captures everything about a student that is stable over the
+study: origin (domestic vs. international, home region), whether and
+when they leave campus, their overall traffic appetite, schedule
+chronotype, and their baseline per-application session rates. Phase-
+and month-dependent behaviour *changes* live in
+:mod:`repro.synth.behavior`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+#: Home regions for international students, with sampling weights
+#: loosely following UC San Diego's international enrolment mix.
+HOME_REGIONS: Tuple[Tuple[str, float], ...] = (
+    ("CN", 0.55),
+    ("KR", 0.12),
+    ("IN", 0.12),
+    ("JP", 0.08),
+    ("OTHER", 0.13),
+)
+
+#: Foreign archetypes each region's students use, with relative weight
+#: within their foreign traffic.
+REGION_FOREIGN_APPS: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "CN": (
+        ("foreign_social_cn", 0.45),
+        ("foreign_video_cn", 0.35),
+        ("foreign_web_cn", 0.20),
+    ),
+    "KR": (
+        ("foreign_social_kr", 0.55),
+        ("foreign_web_kr", 0.45),
+    ),
+    "JP": (
+        ("foreign_social_jp", 1.0),
+    ),
+    "IN": (
+        ("foreign_video_in", 0.7),
+        ("foreign_web_misc", 0.3),
+    ),
+    "OTHER": (
+        ("foreign_web_misc", 1.0),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class StudentPersona:
+    """Stable per-student ground truth."""
+
+    student_id: int
+    is_international: bool
+    #: Region key for international students, None for domestic.
+    home_region: Optional[str]
+    #: True when the student stays in the dorms through the lock-down.
+    remains_on_campus: bool
+    #: When a leaver departs (None for remainers).
+    departure_ts: Optional[float]
+    #: Overall multiplicative traffic appetite (lognormal around 1).
+    activity_scale: float
+    #: Hours by which leisure activity shifts later in the day.
+    night_owl_shift: float
+    #: Baseline sessions/day per archetype name, before phase modifiers.
+    #: Archetypes absent from the mapping are never used by the student.
+    app_rates: Dict[str, float] = field(default_factory=dict)
+    #: Apps adopted mid-study: archetype name -> first day the student
+    #: uses it. Models the growing user counts of TikTok and Steam
+    #: (the rising n in Figures 6c and 7).
+    app_start: Dict[str, float] = field(default_factory=dict)
+    #: Students in the "TikTok grower" minority keep increasing usage
+    #: through the lock-down (Figure 6c's rising upper quartiles).
+    tiktok_grower: bool = False
+    #: Transient guests rather than residents; their devices appear for
+    #: under two weeks and must be dropped by the visitor filter.
+    is_visitor: bool = False
+    #: Credit hours proxy: scales Zoom class sessions per weekday.
+    course_load: float = 1.0
+
+    def on_campus_at(self, ts: float) -> bool:
+        """True while the student is living in the dorms."""
+        return self.departure_ts is None or ts < self.departure_ts
+
+    def rate(self, archetype: str) -> float:
+        """Baseline daily session rate for an archetype (0 if unused)."""
+        return self.app_rates.get(archetype, 0.0)

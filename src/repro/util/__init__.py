@@ -1,0 +1,44 @@
+"""Shared utilities: deterministic RNG streams, time math, interval algebra."""
+
+from repro.util.intervals import Interval, merge_intervals, total_covered
+from repro.util.rng import RngFactory, substream
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    day_bounds,
+    day_index,
+    day_of_week,
+    days_between,
+    format_day,
+    hour_of_week,
+    is_weekend,
+    iter_days,
+    month_bounds,
+    month_key,
+    utc_ts,
+)
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "Interval",
+    "MINUTE",
+    "RngFactory",
+    "WEEK",
+    "day_bounds",
+    "day_index",
+    "day_of_week",
+    "days_between",
+    "format_day",
+    "hour_of_week",
+    "is_weekend",
+    "iter_days",
+    "merge_intervals",
+    "month_bounds",
+    "month_key",
+    "substream",
+    "total_covered",
+    "utc_ts",
+]

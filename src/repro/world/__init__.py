@@ -1,0 +1,25 @@
+"""The synthetic internet: geography, service catalog, and address plan.
+
+This package is *ground truth* for the simulation. The measurement side
+of the library (:mod:`repro.pipeline`, :mod:`repro.geo`,
+:mod:`repro.apps`) never reads it directly -- it must recover structure
+from wire observations, DHCP/DNS logs, and published signatures, the
+same way the paper does against the real internet.
+"""
+
+from repro.world.geo import GeoDatabase, GeoLocation, LOCATIONS
+from repro.world.services import Service, ServiceCategory, ServiceDirectory
+from repro.world.catalog import default_directory
+from repro.world.addressing import AddressPlan, build_address_plan
+
+__all__ = [
+    "AddressPlan",
+    "GeoDatabase",
+    "GeoLocation",
+    "LOCATIONS",
+    "Service",
+    "ServiceCategory",
+    "ServiceDirectory",
+    "build_address_plan",
+    "default_directory",
+]

@@ -1,0 +1,317 @@
+"""The default service catalog of the synthetic internet.
+
+The catalog mirrors the destination landscape the paper measures:
+
+* the applications studied in Section 5 (Zoom; Facebook / Instagram /
+  TikTok; Steam; Nintendo Switch backends, split into gameplay and
+  infrastructure domains exactly as the 90DNS / SwitchBlocker lists do);
+* the operator networks the mirror *excludes* (parts of UC San Diego,
+  Google Cloud, Amazon, Microsoft Azure, Riot Games, Twitch, Qualys,
+  Apple) -- traffic to these is generated and then dropped by the tap;
+* the CDNs the midpoint analysis excludes (Akamai, Cloudfront,
+  Optimizely; AWS is already tap-excluded as part of Amazon);
+* foreign services whose hosting drives international students'
+  geographic midpoints abroad;
+* IoT backends contacted by smart-home devices, used by the Saidi-style
+  detector;
+* a spread of ordinary web / streaming / education destinations.
+
+Domain names follow the real-world names the paper's signatures use
+(zoom.us, fbcdn.net, steampowered.com, ...) so the signature modules in
+:mod:`repro.apps` read like the published lists they stand in for.
+"""
+
+from __future__ import annotations
+
+from repro.world.services import Endpoint, Service, ServiceCategory, ServiceDirectory
+
+_HTTPS = (Endpoint(443, "tcp"),)
+_HTTP_HTTPS = (Endpoint(443, "tcp"), Endpoint(80, "tcp"))
+
+
+def _svc(name, category, domains, locations, **kwargs) -> Service:
+    return Service(
+        name=name,
+        category=category,
+        domains=tuple(domains),
+        locations=tuple(locations),
+        **kwargs,
+    )
+
+
+#: Number of long-tail web sites in the default catalog. The tail is
+#: what makes the "distinct sites per user" statistic (Section 4.1)
+#: meaningful: heavier browsing reaches deeper into it.
+DEFAULT_LONGTAIL_SITES = 800
+
+#: Prefix identifying long-tail services (wiregen samples these).
+LONGTAIL_NAME_PREFIX = "tail-"
+
+
+def default_directory(longtail_sites: int = DEFAULT_LONGTAIL_SITES,
+                      ) -> ServiceDirectory:
+    """Build the full default catalog."""
+    directory = ServiceDirectory()
+    for service in _catalog():
+        directory.add(service)
+    for service in _longtail_services(longtail_sites):
+        directory.add(service)
+    return directory
+
+
+_TAIL_SYLLABLES = (
+    "ar", "bel", "cor", "dun", "fen", "gar", "hol", "ivo", "jun", "kel",
+    "lor", "mar", "nor", "oak", "pel", "quin", "rav", "sol", "tam", "ull",
+    "vex", "wil", "xan", "yar", "zel",
+)
+
+#: Hosting rotation for the tail: predominantly US, a sliver of EU.
+_TAIL_LOCATIONS = (
+    "ashburn", "chicago", "dallas", "new_york", "seattle", "san_jose",
+    "ashburn", "chicago", "dallas", "new_york", "london", "frankfurt",
+)
+
+
+def _longtail_services(count: int):
+    """Deterministically generate small generic web sites."""
+    n = len(_TAIL_SYLLABLES)
+    for index in range(count):
+        word = (_TAIL_SYLLABLES[index % n]
+                + _TAIL_SYLLABLES[(index * 7 + 3) % n])
+        yield Service(
+            name=f"{LONGTAIL_NAME_PREFIX}{index:03d}",
+            category=ServiceCategory.WEB,
+            domains=(f"{word}{index}.com",),
+            locations=(_TAIL_LOCATIONS[index % len(_TAIL_LOCATIONS)],),
+            http_fraction=0.05,
+            prefix_length=30,
+        )
+
+
+def _catalog():
+    C = ServiceCategory
+    return [
+        # ------------------------------------------------------------------
+        # Video conferencing (Section 5.1). Zoom media servers are often
+        # contacted by bare IP, hence the dnsless fraction and the larger
+        # address blocks that back the published-range signature.
+        _svc(
+            "zoom", C.VIDEO_CONF,
+            ["zoom.us", "us04web.zoom.us", "zoomcdn.net"],
+            ["san_jose", "ashburn", "dallas"],
+            endpoints=(Endpoint(443, "tcp"), Endpoint(8801, "udp")),
+            dnsless_fraction=0.5,
+            prefix_length=26,
+        ),
+        # Teams and Meet live on tap-excluded clouds, mirroring why the
+        # paper's vantage concentrates on Zoom.
+        _svc(
+            "microsoft-teams", C.VIDEO_CONF,
+            ["teams.microsoft.com"], ["ashburn"],
+            operator="microsoft_azure",
+        ),
+        _svc(
+            "google-meet", C.VIDEO_CONF,
+            ["meet.google.com"], ["san_jose"],
+            operator="google_cloud",
+        ),
+
+        # ------------------------------------------------------------------
+        # Social media (Section 5.2). facebook.com/facebook.net/fbcdn.net
+        # serve both Facebook and Instagram sessions; instagram.com and
+        # cdninstagram.com are Instagram-only -- the disambiguation
+        # heuristic depends on this exact structure.
+        _svc(
+            "facebook", C.SOCIAL,
+            ["facebook.com", "facebook.net"],
+            ["ashburn", "san_jose"],
+            http_fraction=0.02,
+        ),
+        _svc(
+            "fbcdn", C.CDN,
+            ["fbcdn.net", "scontent.fbcdn.net"],
+            ["san_diego"],
+            is_cdn=True,
+        ),
+        _svc(
+            "instagram", C.SOCIAL,
+            ["instagram.com", "i.instagram.com", "cdninstagram.com"],
+            ["ashburn"],
+        ),
+        _svc(
+            "tiktok", C.SOCIAL,
+            ["tiktok.com", "tiktokv.com"],
+            ["ashburn", "san_jose"],
+        ),
+        _svc(
+            "tiktok-cdn", C.CDN,
+            ["tiktokcdn.com", "muscdn.com"],
+            ["san_diego"],
+            is_cdn=True,
+        ),
+        _svc("twitter", C.SOCIAL, ["twitter.com", "twimg.com"], ["san_jose"]),
+        _svc("snapchat", C.SOCIAL, ["snapchat.com", "sc-cdn.net"], ["san_jose"]),
+        _svc("discord", C.SOCIAL, ["discord.com", "discord.gg"],
+             ["ashburn"], endpoints=(Endpoint(443, "tcp"), Endpoint(50001, "udp"))),
+
+        # ------------------------------------------------------------------
+        # Gaming (Section 5.3). Steam's domain list follows the support-
+        # page whitelist; Nintendo domains are split gameplay vs.
+        # infrastructure per the 90DNS / SwitchBlocker lists.
+        _svc(
+            "steam", C.GAMING,
+            ["store.steampowered.com", "api.steampowered.com",
+             "steamcommunity.com", "steamstatic.com"],
+            ["seattle", "chicago"],
+            endpoints=(Endpoint(443, "tcp"), Endpoint(27017, "udp")),
+        ),
+        _svc(
+            "steam-content", C.GAMING,
+            ["steamcontent.com", "steamusercontent.com"],
+            ["seattle"],
+            prefix_length=27,
+        ),
+        _svc(
+            "nintendo-gameplay", C.GAMING,
+            ["nns.srv.nintendo.net", "mm.p2p.srv.nintendo.net",
+             "g.lp1.srv.nintendo.net"],
+            ["seattle", "tokyo"],
+            endpoints=(Endpoint(443, "tcp"), Endpoint(45000, "udp")),
+            dnsless_fraction=0.2,
+        ),
+        _svc(
+            "nintendo-infra", C.GAMING,
+            ["atum.hac.lp1.d4c.nintendo.net", "sun.hac.lp1.d4c.nintendo.net",
+             "aqua.hac.lp1.d4c.nintendo.net", "ctest.cdn.nintendo.net"],
+            ["seattle"],
+            prefix_length=27,
+        ),
+        _svc(
+            "nintendo-telemetry", C.GAMING,
+            ["receive-lp1.dg.srv.nintendo.net", "accounts.nintendo.com"],
+            ["seattle"],
+        ),
+        _svc(
+            "meridian-online", C.GAMING,
+            ["online.meridian-games.com", "store.meridian-games.com"],
+            ["chicago"],
+            endpoints=(Endpoint(443, "tcp"), Endpoint(3074, "udp")),
+        ),
+
+        # ------------------------------------------------------------------
+        # Tap-excluded operator networks (Section 3): generated traffic to
+        # these never reaches the flow logs.
+        _svc("riot-games", C.GAMING, ["riotgames.com", "leagueoflegends.com"],
+             ["chicago"], operator="riot_games",
+             endpoints=(Endpoint(443, "tcp"), Endpoint(5223, "tcp"))),
+        _svc("twitch", C.STREAMING, ["twitch.tv", "ttvnw.net"],
+             ["san_jose"], operator="twitch"),
+        _svc("apple", C.WEB, ["apple.com", "icloud.com", "mzstatic.com"],
+             ["san_jose"], operator="apple"),
+        _svc("amazon-retail", C.WEB, ["amazon.com", "images-amazon.com"],
+             ["seattle"], operator="amazon"),
+        _svc("aws", C.CDN, ["amazonaws.com"], ["ashburn"],
+             operator="amazon", is_cdn=True),
+        _svc("cloudfront", C.CDN, ["cloudfront.net"], ["san_diego"],
+             operator="amazon", is_cdn=True),
+        _svc("google-cloud", C.INFRASTRUCTURE,
+             ["storage.googleapis.com", "googleusercontent.com"],
+             ["san_jose"], operator="google_cloud"),
+        _svc("azure", C.INFRASTRUCTURE,
+             ["blob.core.windows.net", "azureedge.net"],
+             ["ashburn"], operator="microsoft_azure"),
+        _svc("qualys", C.INFRASTRUCTURE, ["qualys.com", "qualysguard.com"],
+             ["dallas"], operator="qualys"),
+        _svc("ucsd-internal", C.EDUCATION,
+             ["internal.ucsd.edu", "acs.ucsd.edu"],
+             ["san_diego"], operator="ucsd"),
+
+        # ------------------------------------------------------------------
+        # Geo-excluded (but tap-visible) CDNs: they geolocate to the local
+        # POP and would drag every midpoint toward campus.
+        _svc("akamai", C.CDN,
+             ["akamaiedge.net", "akamaitechnologies.com", "akamaized.net"],
+             ["san_diego"], is_cdn=True, prefix_length=26),
+        _svc("optimizely", C.CDN, ["optimizely.com", "optimizelyedge.com"],
+             ["san_diego"], is_cdn=True),
+
+        # ------------------------------------------------------------------
+        # Streaming and entertainment (visible).
+        _svc("youtube", C.STREAMING, ["youtube.com", "googlevideo.com"],
+             ["san_jose"], prefix_length=26),
+        _svc("netflix", C.STREAMING, ["netflix.com", "nflxvideo.net"],
+             ["san_jose"], prefix_length=27),
+        _svc("hulu", C.STREAMING, ["hulu.com", "hulustream.com"], ["seattle"]),
+        _svc("spotify", C.STREAMING, ["spotify.com", "scdn.co"], ["ashburn"]),
+
+        # ------------------------------------------------------------------
+        # Education technology (visible; Section 2 notes the e-learning
+        # uptick reported at other campuses).
+        _svc("canvas", C.EDUCATION, ["canvas.instructure.com", "instructure.com"],
+             ["ashburn"]),
+        _svc("piazza", C.EDUCATION, ["piazza.com"], ["san_jose"]),
+        _svc("gradescope", C.EDUCATION, ["gradescope.com"], ["san_jose"]),
+        _svc("ucsd-web", C.EDUCATION, ["ucsd.edu", "www.ucsd.edu"],
+             ["san_diego"], http_fraction=0.1),
+
+        # ------------------------------------------------------------------
+        # General web (visible, US/EU).
+        _svc("wikipedia", C.WEB, ["wikipedia.org", "wikimedia.org"],
+             ["ashburn"], http_fraction=0.05),
+        _svc("reddit", C.WEB, ["reddit.com", "redd.it"], ["san_jose"]),
+        _svc("github", C.WEB, ["github.com", "githubusercontent.com"],
+             ["ashburn"]),
+        _svc("stackoverflow", C.WEB, ["stackoverflow.com", "sstatic.net"],
+             ["new_york"]),
+        _svc("nytimes", C.WEB, ["nytimes.com", "nyt.com"], ["new_york"]),
+        _svc("espn", C.WEB, ["espn.com"], ["chicago"]),
+        _svc("weather", C.WEB, ["weather.com"], ["dallas"], http_fraction=0.2),
+        _svc("gmail", C.WEB, ["gmail.com", "mail.google.com"], ["san_jose"]),
+        _svc("bbc", C.WEB, ["bbc.co.uk", "bbci.co.uk"], ["london"]),
+        _svc("spiegel", C.WEB, ["spiegel.de"], ["frankfurt"]),
+
+        # ------------------------------------------------------------------
+        # Foreign services: the destinations that pull international
+        # students' byte-weighted midpoints outside the United States.
+        _svc("wechat", C.SOCIAL, ["weixin.qq.com", "wx.qq.com", "qq.com"],
+             ["shenzhen"], prefix_length=27),
+        _svc("bilibili", C.STREAMING, ["bilibili.com", "hdslb.com"],
+             ["shanghai"], prefix_length=27),
+        _svc("weibo", C.SOCIAL, ["weibo.com", "sinaimg.cn"], ["beijing"]),
+        _svc("baidu", C.WEB, ["baidu.com", "bdstatic.com"], ["beijing"]),
+        _svc("netease", C.STREAMING, ["163.com", "music.163.com"],
+             ["shanghai"]),
+        _svc("iqiyi", C.STREAMING, ["iqiyi.com", "qiyipic.com"], ["beijing"]),
+        _svc("naver", C.WEB, ["naver.com", "pstatic.net"], ["seoul"]),
+        _svc("kakao", C.SOCIAL, ["kakao.com", "kakaocdn.net"], ["seoul"]),
+        _svc("line", C.SOCIAL, ["line.me", "line-scdn.net"], ["tokyo"]),
+        _svc("yahoo-japan", C.WEB, ["yahoo.co.jp", "yimg.jp"], ["tokyo"]),
+        _svc("hotstar", C.STREAMING, ["hotstar.com"], ["mumbai"]),
+        _svc("flipkart", C.WEB, ["flipkart.com"], ["mumbai"]),
+        _svc("straitstimes", C.WEB, ["straitstimes.com"], ["singapore"]),
+        _svc("abc-au", C.WEB, ["abc.net.au"], ["sydney"]),
+        _svc("televisa", C.WEB, ["televisa.com"], ["mexico_city"]),
+        _svc("globo", C.WEB, ["globo.com"], ["sao_paulo"]),
+
+        # ------------------------------------------------------------------
+        # IoT backends (Section 3's device classification; Saidi-style
+        # destination signatures). StreamBox is the high-volume outlier
+        # archetype behind Figure 2's mean/median skew.
+        _svc("hearthhub", C.IOT_BACKEND,
+             ["api.hearthhub-home.com", "telemetry.hearthhub-home.com"],
+             ["san_jose"], http_fraction=0.3),
+        _svc("echonest", C.IOT_BACKEND, ["cloud.echonest-audio.com"],
+             ["seattle"]),
+        _svc("brightbulb", C.IOT_BACKEND, ["cloud.brightbulb.io"],
+             ["ashburn"], http_fraction=0.5),
+        _svc("streambox", C.IOT_BACKEND,
+             ["api.streambox.tv", "cdn.streambox.tv"],
+             ["san_jose"], prefix_length=27),
+        _svc("wattwatch", C.IOT_BACKEND, ["metrics.wattwatch.net"],
+             ["dallas"], http_fraction=0.5),
+
+        # ------------------------------------------------------------------
+        # Shared infrastructure the campus itself provides.
+        _svc("campus-ntp", C.INFRASTRUCTURE, ["ntp.ucsd-online.net"],
+             ["san_diego"], endpoints=(Endpoint(123, "udp"),)),
+    ]

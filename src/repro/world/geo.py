@@ -1,0 +1,112 @@
+"""Geographic ground truth and the synthetic geolocation database.
+
+The paper geolocates every destination IP with a commercial database;
+we substitute a prefix-indexed table built alongside the address plan.
+The analysis-side classifier (:mod:`repro.geo`) consumes only the
+``lookup(ip) -> GeoLocation`` interface, so swapping in a real GeoIP
+backend would be a one-class change.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.ip import Prefix
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A geolocation result: ISO country code plus coordinates."""
+
+    country: str
+    lat: float
+    lon: float
+    city: str = ""
+
+    @property
+    def is_us(self) -> bool:
+        return self.country == "US"
+
+
+#: Named hosting locations used by the service catalog. Coordinates are
+#: approximate city centroids; only country membership and rough great-
+#: circle geometry matter to the midpoint analysis.
+LOCATIONS: Dict[str, GeoLocation] = {
+    "san_diego": GeoLocation("US", 32.72, -117.16, "San Diego"),
+    "san_jose": GeoLocation("US", 37.34, -121.89, "San Jose"),
+    "seattle": GeoLocation("US", 47.61, -122.33, "Seattle"),
+    "ashburn": GeoLocation("US", 39.04, -77.49, "Ashburn"),
+    "dallas": GeoLocation("US", 32.78, -96.80, "Dallas"),
+    "chicago": GeoLocation("US", 41.88, -87.63, "Chicago"),
+    "new_york": GeoLocation("US", 40.71, -74.01, "New York"),
+    "frankfurt": GeoLocation("DE", 50.11, 8.68, "Frankfurt"),
+    "london": GeoLocation("GB", 51.51, -0.13, "London"),
+    "beijing": GeoLocation("CN", 39.90, 116.41, "Beijing"),
+    "shanghai": GeoLocation("CN", 31.23, 121.47, "Shanghai"),
+    "shenzhen": GeoLocation("CN", 22.54, 114.06, "Shenzhen"),
+    "seoul": GeoLocation("KR", 37.57, 126.98, "Seoul"),
+    "tokyo": GeoLocation("JP", 35.68, 139.69, "Tokyo"),
+    "mumbai": GeoLocation("IN", 19.08, 72.88, "Mumbai"),
+    "singapore": GeoLocation("SG", 1.35, 103.82, "Singapore"),
+    "sao_paulo": GeoLocation("BR", -23.55, -46.63, "Sao Paulo"),
+    "mexico_city": GeoLocation("MX", 19.43, -99.13, "Mexico City"),
+    "sydney": GeoLocation("AU", -33.87, 151.21, "Sydney"),
+}
+
+
+class GeoDatabase:
+    """Longest-prefix geolocation over a static prefix table.
+
+    Prefixes are kept sorted by network base; a lookup bisects to the
+    candidate with the greatest base at or below the address and then
+    walks back through enclosing candidates, preferring the longest
+    (most specific) match -- standard GeoIP semantics.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Prefix, GeoLocation]] = []
+        self._sorted = True
+
+    def add(self, prefix: Prefix, location: GeoLocation) -> None:
+        """Register a prefix's location."""
+        if prefix.length < self.MIN_PREFIX_LENGTH:
+            raise ValueError(
+                f"prefix {prefix} shorter than /{self.MIN_PREFIX_LENGTH}"
+            )
+        self._entries.append((prefix, location))
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._entries.sort(key=lambda item: (item[0].network, item[0].length))
+            self._keys = [entry[0].network for entry in self._entries]
+            self._sorted = True
+
+    #: No registered prefix is shorter than this, which bounds how far a
+    #: lookup must scan left of its bisect point.
+    MIN_PREFIX_LENGTH = 8
+
+    def lookup(self, address: int) -> Optional[GeoLocation]:
+        """Return the location of the most specific prefix covering ``address``."""
+        self._ensure_sorted()
+        if not self._entries:
+            return None
+        idx = bisect.bisect_right(self._keys, address) - 1
+        # Any prefix containing `address` starts at or after this floor
+        # (its size is at most 2**(32 - MIN_PREFIX_LENGTH)).
+        floor = address - (1 << (32 - self.MIN_PREFIX_LENGTH)) + 1
+        best: Optional[Tuple[Prefix, GeoLocation]] = None
+        while idx >= 0:
+            prefix, location = self._entries[idx]
+            if prefix.network < floor:
+                break
+            if prefix.contains(address):
+                if best is None or prefix.length > best[0].length:
+                    best = (prefix, location)
+            idx -= 1
+        return best[1] if best else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

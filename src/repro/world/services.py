@@ -1,0 +1,151 @@
+"""Service model for the synthetic internet.
+
+A :class:`Service` is a named destination (Zoom, a social platform, a
+game backend, a news site ...) with the attributes the simulation and
+the measurement stack care about: the DNS domains it serves, where it is
+hosted, whether it is a CDN, which transport endpoints it uses, and --
+for the mirror-exclusion code path -- which operator network it belongs
+to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ServiceCategory:
+    """Coarse traffic classes used by persona behaviour models.
+
+    Plain string constants rather than an Enum so catalog definitions
+    stay terse and serializable; :meth:`all` enumerates the closed set.
+    """
+
+    VIDEO_CONF = "video_conf"
+    SOCIAL = "social"
+    STREAMING = "streaming"
+    GAMING = "gaming"
+    EDUCATION = "education"
+    WEB = "web"
+    IOT_BACKEND = "iot_backend"
+    CDN = "cdn"
+    INFRASTRUCTURE = "infrastructure"
+
+    @classmethod
+    def all(cls) -> Tuple[str, ...]:
+        return (
+            cls.VIDEO_CONF,
+            cls.SOCIAL,
+            cls.STREAMING,
+            cls.GAMING,
+            cls.EDUCATION,
+            cls.WEB,
+            cls.IOT_BACKEND,
+            cls.CDN,
+            cls.INFRASTRUCTURE,
+        )
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A transport endpoint offered by a service."""
+
+    port: int
+    proto: str = "tcp"
+
+
+@dataclass(frozen=True)
+class Service:
+    """One destination service of the synthetic internet."""
+
+    name: str
+    category: str
+    domains: Tuple[str, ...]
+    #: Keys into :data:`repro.world.geo.LOCATIONS`; one hosting prefix
+    #: is allocated per location by the address plan.
+    locations: Tuple[str, ...]
+    endpoints: Tuple[Endpoint, ...] = (Endpoint(443, "tcp"),)
+    #: CDNs geolocate near the *user*, not the content origin; the paper
+    #: excludes them from the midpoint computation.
+    is_cdn: bool = False
+    #: Operator network label ("google_cloud", "amazon", ...) used by the
+    #: tap's excluded-network list; None means an independent network.
+    operator: Optional[str] = None
+    #: Fraction of this service's connections that are plaintext HTTP and
+    #: therefore expose a User-Agent to the tap.
+    http_fraction: float = 0.0
+    #: Fraction of connections made straight to an IP address with no
+    #: preceding DNS query (e.g. Zoom media servers, console P2P).
+    #: Such flows cannot be annotated from DNS logs and are only
+    #: attributable through published IP-range signatures.
+    dnsless_fraction: float = 0.0
+    #: Addresses per hosting prefix (determines allocated prefix length).
+    prefix_length: int = 28
+
+    def __post_init__(self) -> None:
+        if self.category not in ServiceCategory.all():
+            raise ValueError(f"unknown category {self.category!r}")
+        if not self.domains:
+            raise ValueError(f"service {self.name!r} has no domains")
+        if not self.locations:
+            raise ValueError(f"service {self.name!r} has no locations")
+        if not 0.0 <= self.http_fraction <= 1.0:
+            raise ValueError("http_fraction must lie in [0, 1]")
+        if not 0.0 <= self.dnsless_fraction <= 1.0:
+            raise ValueError("dnsless_fraction must lie in [0, 1]")
+
+    @property
+    def primary_domain(self) -> str:
+        return self.domains[0]
+
+
+class ServiceDirectory:
+    """Registry of all services, indexed by name and by domain."""
+
+    def __init__(self, services: Iterable[Service] = ()):
+        self._by_name: Dict[str, Service] = {}
+        self._by_domain: Dict[str, Service] = {}
+        for service in services:
+            self.add(service)
+
+    def add(self, service: Service) -> None:
+        """Register a service; names and domains must be unique."""
+        if service.name in self._by_name:
+            raise ValueError(f"duplicate service name {service.name!r}")
+        for domain in service.domains:
+            if domain in self._by_domain:
+                raise ValueError(
+                    f"domain {domain!r} already registered to "
+                    f"{self._by_domain[domain].name!r}"
+                )
+        self._by_name[service.name] = service
+        for domain in service.domains:
+            self._by_domain[domain] = service
+
+    def get(self, name: str) -> Service:
+        """Return a service by name; raises KeyError when absent."""
+        return self._by_name[name]
+
+    def find_domain(self, domain: str) -> Optional[Service]:
+        """Return the service serving ``domain``, or None."""
+        return self._by_domain.get(domain)
+
+    def by_category(self, category: str) -> List[Service]:
+        """Return all services in a category, in registration order."""
+        return [
+            service
+            for service in self._by_name.values()
+            if service.category == category
+        ]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name

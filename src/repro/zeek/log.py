@@ -1,0 +1,67 @@
+"""JSONL serialization of connection records."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from repro.net.ip import int_to_ip, ip_to_int
+from repro.zeek.conn import ConnRecord
+
+
+def conn_to_json(record: ConnRecord) -> str:
+    """Serialize one connection record."""
+    payload = {
+        "uid": record.uid,
+        "ts": record.ts,
+        "duration": record.duration,
+        "orig_h": int_to_ip(record.orig_h),
+        "orig_p": record.orig_p,
+        "resp_h": int_to_ip(record.resp_h),
+        "resp_p": record.resp_p,
+        "proto": record.proto,
+        "orig_bytes": record.orig_bytes,
+        "resp_bytes": record.resp_bytes,
+    }
+    if record.user_agent is not None:
+        payload["user_agent"] = record.user_agent
+    if record.http_host is not None:
+        payload["http_host"] = record.http_host
+    return json.dumps(payload)
+
+
+def conn_from_json(line: str) -> ConnRecord:
+    """Parse one connection record."""
+    payload = json.loads(line)
+    return ConnRecord(
+        uid=int(payload["uid"]),
+        ts=float(payload["ts"]),
+        duration=float(payload["duration"]),
+        orig_h=ip_to_int(payload["orig_h"]),
+        orig_p=int(payload["orig_p"]),
+        resp_h=ip_to_int(payload["resp_h"]),
+        resp_p=int(payload["resp_p"]),
+        proto=str(payload["proto"]),
+        orig_bytes=int(payload["orig_bytes"]),
+        resp_bytes=int(payload["resp_bytes"]),
+        user_agent=payload.get("user_agent"),
+        http_host=payload.get("http_host"),
+    )
+
+
+def write_conn_log(records: Iterable[ConnRecord], fileobj: IO[str]) -> int:
+    """Serialize records as JSONL; returns the number written."""
+    count = 0
+    for record in records:
+        fileobj.write(conn_to_json(record))
+        fileobj.write("\n")
+        count += 1
+    return count
+
+
+def read_conn_log(fileobj: IO[str]) -> Iterator[ConnRecord]:
+    """Parse a JSONL connection log, skipping blank lines."""
+    for line in fileobj:
+        line = line.strip()
+        if line:
+            yield conn_from_json(line)

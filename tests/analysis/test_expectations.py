@@ -1,0 +1,69 @@
+"""Tests for the paper-expectations checklist."""
+
+import pytest
+
+from repro.analysis.expectations import (
+    FAIL,
+    PASS,
+    SKIP,
+    evaluate_all,
+    paper_expectations,
+    render_outcomes,
+)
+
+
+class TestChecklistStructure:
+    def test_ids_unique(self):
+        ids = [e.expectation_id for e in paper_expectations()]
+        assert len(ids) == len(set(ids))
+
+    def test_every_figure_covered(self):
+        figures = " ".join(e.figure for e in paper_expectations())
+        for marker in ("Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+                       "Fig. 6a", "Fig. 6b", "Fig. 6c", "Fig. 7a",
+                       "Fig. 7b", "Fig. 8", "§4.1", "§4.2", "§5.3.2"):
+            assert marker in figures, marker
+
+    def test_claims_carry_paper_values(self):
+        for expectation in paper_expectations():
+            assert expectation.paper_value
+            assert expectation.claim
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def outcomes(self, mini_artifacts):
+        return evaluate_all(mini_artifacts)
+
+    def test_all_expectations_evaluated(self, outcomes):
+        assert len(outcomes) == len(paper_expectations())
+        for outcome in outcomes:
+            assert outcome.status in (PASS, SKIP, FAIL)
+            assert outcome.measured
+
+    def test_robust_claims_pass_at_mini_scale(self, outcomes):
+        by_id = {o.expectation_id: o for o in outcomes}
+        for expectation_id in ("fig1-exodus", "fig5-ramp", "fig5-hours",
+                               "stats-traffic", "stats-sites"):
+            assert by_id[expectation_id].status == PASS, \
+                (expectation_id, by_id[expectation_id].measured)
+
+    def test_no_errors_in_measurement(self, outcomes):
+        for outcome in outcomes:
+            assert not outcome.measured.startswith("error:"), outcome
+
+    def test_most_claims_not_failing(self, outcomes):
+        """Even at 30 students, failures should be rare (thin subgroups
+        SKIP instead)."""
+        failed = [o for o in outcomes if o.status == FAIL]
+        assert len(failed) <= len(outcomes) // 4, [
+            (o.expectation_id, o.measured) for o in failed]
+
+    def test_render_is_markdown_table(self, outcomes):
+        text = render_outcomes(outcomes)
+        lines = text.splitlines()
+        assert lines[0].startswith("| id |")
+        assert lines[1].startswith("|---")
+        assert len([l for l in lines if l.startswith("| ")]) >= \
+            len(outcomes) + 1
+        assert "PASS" in text

@@ -1,0 +1,158 @@
+"""Tests for the extension analyses."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.analysis.extensions import (
+    compute_application_mix,
+    compute_departure_waves,
+    compute_diurnal_convergence,
+)
+from repro.net.mac import MacAddress
+from repro.pipeline.anonymize import Anonymizer
+from repro.pipeline.dataset import NO_DOMAIN, FlowDatasetBuilder
+from repro.util.timeutil import DAY, HOUR, utc_ts
+
+START = constants.STUDY_START
+
+
+def _dataset(rows):
+    """rows: (mac_value, ts, total_bytes, domain_or_None)."""
+    builder = FlowDatasetBuilder(day0=START)
+    anonymizer = Anonymizer("s")
+    for mac_value, ts, total_bytes, domain in rows:
+        idx = builder.device_index(
+            anonymizer.device(MacAddress(mac_value)))
+        builder.add_flow(
+            ts=ts, duration=1.0, device_idx=idx, resp_h=1, resp_p=443,
+            proto="tcp", orig_bytes=total_bytes // 2,
+            resp_bytes=total_bytes - total_bytes // 2,
+            domain_idx=(NO_DOMAIN if domain is None
+                        else builder.domain_index(domain)),
+            user_agent=None)
+    return builder.finalize()
+
+
+class TestApplicationMix:
+    def test_shares_sum_to_one(self):
+        feb = utc_ts(2020, 2, 10)
+        dataset = _dataset([
+            (1, feb, 600, "zoom.us"),
+            (1, feb + 10, 300, "netflix.com"),
+            (1, feb + 20, 100, "wikipedia.org"),
+        ])
+        mix = compute_application_mix(dataset)
+        shares = mix.shares[(2020, 2)]
+        assert shares["work"] == pytest.approx(0.6)
+        assert shares["leisure"] == pytest.approx(0.3)
+        assert shares["other"] == pytest.approx(0.1)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_subdomains_categorized(self):
+        feb = utc_ts(2020, 2, 10)
+        dataset = _dataset([
+            (1, feb, 100, "us04web.zoom.us"),
+            (1, feb + 1, 100, "canvas.instructure.com"),
+            (1, feb + 2, 200, "nns.srv.nintendo.net"),
+        ])
+        shares = compute_application_mix(dataset).shares[(2020, 2)]
+        assert shares["work"] == pytest.approx(0.5)
+        assert shares["leisure"] == pytest.approx(0.5)
+
+    def test_empty_month(self):
+        dataset = _dataset([(1, utc_ts(2020, 2, 10), 100, "zoom.us")])
+        mix = compute_application_mix(dataset)
+        assert mix.totals[(2020, 5)] == 0.0
+        assert mix.shares[(2020, 5)]["work"] == 0.0
+
+    def test_device_mask(self):
+        feb = utc_ts(2020, 2, 10)
+        dataset = _dataset([
+            (1, feb, 100, "zoom.us"),
+            (2, feb, 900, "netflix.com"),
+        ])
+        mix = compute_application_mix(dataset,
+                                      device_mask=np.array([True, False]))
+        assert mix.shares[(2020, 2)]["work"] == pytest.approx(1.0)
+
+    def test_unannotated_counts_as_other(self):
+        feb = utc_ts(2020, 2, 10)
+        dataset = _dataset([
+            (1, feb, 100, None),
+            (1, feb + 1, 100, "zoom.us"),
+        ])
+        shares = compute_application_mix(dataset).shares[(2020, 2)]
+        assert shares["other"] == pytest.approx(0.5)
+
+    def test_share_series_order(self):
+        dataset = _dataset([
+            (1, utc_ts(2020, 2, 5), 100, "zoom.us"),
+            (1, utc_ts(2020, 4, 5), 100, "zoom.us"),
+            (1, utc_ts(2020, 4, 5, 1), 100, "netflix.com"),
+        ])
+        series = compute_application_mix(dataset).share_series("work")
+        assert series[0] == pytest.approx(1.0)
+        assert series[2] == pytest.approx(0.5)
+
+
+class TestDiurnalConvergence:
+    def test_identical_profiles_score_one(self):
+        # Same 9am traffic every day of the first full week of February.
+        monday = utc_ts(2020, 2, 3)
+        rows = [(1, monday + d * DAY + 9 * HOUR, 100, None)
+                for d in range(7)]
+        result = compute_diurnal_convergence(_dataset(rows))
+        assert result.similarity[(2020, 2)] == pytest.approx(1.0)
+
+    def test_disjoint_hours_score_zero(self):
+        monday = utc_ts(2020, 2, 3)
+        rows = [
+            (1, monday + 9 * HOUR, 100, None),             # weekday 9am
+            (1, monday + 5 * DAY + 21 * HOUR, 100, None),  # Saturday 9pm
+        ]
+        result = compute_diurnal_convergence(_dataset(rows))
+        assert result.similarity[(2020, 2)] == pytest.approx(0.0)
+
+    def test_empty_side_is_nan(self):
+        monday = utc_ts(2020, 2, 3)
+        result = compute_diurnal_convergence(
+            _dataset([(1, monday + 9 * HOUR, 100, None)]))
+        assert np.isnan(result.similarity[(2020, 2)])
+
+    def test_profiles_are_24_bins(self):
+        monday = utc_ts(2020, 2, 3)
+        result = compute_diurnal_convergence(
+            _dataset([(1, monday, 100, None),
+                      (1, monday + 5 * DAY, 100, None)]))
+        weekday, weekend = result.profiles[(2020, 2)]
+        assert weekday.shape == (24,)
+        assert weekend.shape == (24,)
+
+
+class TestDepartureWaves:
+    def test_remainers_vs_leavers(self):
+        rows = [
+            # Device 1: active through the end -> remainer.
+            (1, START + 2 * DAY, 100, None),
+            (1, START + 118 * DAY, 100, None),
+            # Device 2: last active in week 6 -> a departure.
+            (2, START + 2 * DAY, 100, None),
+            (2, START + 44 * DAY, 100, None),
+        ]
+        result = compute_departure_waves(_dataset(rows))
+        assert result.remainer_count == 1
+        assert result.weekly_departures.sum() == 1
+        assert result.weekly_departures[44 // 7] == 1
+
+    def test_last_active_day(self):
+        rows = [(1, START + 3 * DAY, 100, None),
+                (1, START + 10 * DAY, 100, None)]
+        result = compute_departure_waves(_dataset(rows))
+        assert result.last_active_day[0] == 10
+
+    def test_week_starts_cover_window(self):
+        rows = [(1, START, 100, None)]
+        result = compute_departure_waves(_dataset(rows))
+        assert result.week_starts[0] == 0
+        assert len(result.week_starts) == len(result.weekly_departures)

@@ -1,0 +1,35 @@
+"""Shared fixtures: one small end-to-end study reused across suites.
+
+The mini study (30 students over the full four-month window) takes about
+a minute to synthesize and measure; it is session-scoped and lazily
+built, so unit-test-only runs never pay for it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LockdownStudy, StudyConfig
+from repro.core.validation import GroundTruthMatcher
+
+
+@pytest.fixture(scope="session")
+def mini_config():
+    return StudyConfig(n_students=30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mini_artifacts(mini_config):
+    """A complete study run at miniature scale."""
+    return LockdownStudy(mini_config).run()
+
+
+@pytest.fixture(scope="session")
+def ground_truth(mini_artifacts):
+    """Map analysis-side device indices back to simulation truth.
+
+    Returns (device_index -> SimDevice, device_index -> StudentPersona)
+    for every simulated device that survived into the filtered dataset.
+    """
+    matcher = GroundTruthMatcher(mini_artifacts)
+    return matcher._device_of, matcher._persona_of

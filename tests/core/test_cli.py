@@ -1,0 +1,118 @@
+"""Tests for the command-line interface (tiny windows to stay fast)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.students == 100
+        assert args.seed == 7
+        assert args.out is None
+
+    def test_checklist_flags(self):
+        args = build_parser().parse_args(
+            ["checklist", "--students", "12", "--baseline"])
+        assert args.students == 12
+        assert args.baseline
+
+
+class TestRunAndReport:
+    def test_run_persists_and_report_reloads(self, tmp_path, capsys,
+                                             monkeypatch):
+        """`run --out` writes a loadable bundle; `report` re-renders it.
+
+        A full four-month run is too slow for unit tests, so the study
+        window is shrunk via a patched default config period.
+        """
+        import repro.cli as cli
+        from repro import StudyConfig
+        from repro.util.timeutil import utc_ts
+
+        # Patch the CLI's config construction to a 10-day window.
+        def tiny_config(n_students, seed):
+            return StudyConfig(
+                n_students=n_students, seed=seed,
+                start_ts=utc_ts(2020, 2, 1), end_ts=utc_ts(2020, 2, 11),
+                visitor_min_days=3)
+
+        monkeypatch.setattr(cli, "StudyConfig", tiny_config)
+
+        out_dir = str(tmp_path / "bundle")
+        code = main(["run", "--students", "5", "--seed", "3",
+                     "--out", out_dir])
+        assert code == 0
+        run_output = capsys.readouterr().out
+        assert "Headline statistics" in run_output
+        assert os.path.exists(os.path.join(out_dir, "flows.npz"))
+        assert os.path.exists(os.path.join(out_dir, "config.json"))
+        assert os.path.exists(os.path.join(out_dir, "report.txt"))
+
+        # The saved config round-trips through `report`; the persisted
+        # window is honoured (config.json carries it). Restore the real
+        # constructor for the reload path.
+        monkeypatch.setattr(cli, "StudyConfig", StudyConfig)
+        with open(os.path.join(out_dir, "config.json")) as fileobj:
+            payload = json.load(fileobj)
+        assert payload["n_students"] == 5
+
+        code = main(["report", "--data", out_dir])
+        assert code == 0
+        report_output = capsys.readouterr().out
+        assert "Figure 1" in report_output
+
+
+class TestChecklistCommand:
+    def test_checklist_runs_on_tiny_window(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro import StudyConfig
+        from repro.util.timeutil import utc_ts
+
+        def tiny_config(n_students, seed):
+            return StudyConfig(
+                n_students=n_students, seed=seed,
+                start_ts=utc_ts(2020, 2, 1), end_ts=utc_ts(2020, 2, 11),
+                visitor_min_days=3)
+
+        monkeypatch.setattr(cli, "StudyConfig", tiny_config)
+        # A 10-day window cannot satisfy lock-down claims; the command
+        # must still complete and emit the table (exit code reflects
+        # failures).
+        code = main(["checklist", "--students", "5", "--seed", "3"])
+        output = capsys.readouterr().out
+        assert "| id |" in output
+        assert code in (0, 1)
+
+
+class TestExportIngest:
+    def test_export_then_ingest(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro import StudyConfig
+        from repro.util.timeutil import utc_ts
+
+        def tiny_config(n_students, seed):
+            return StudyConfig(
+                n_students=n_students, seed=seed,
+                start_ts=utc_ts(2020, 2, 1), end_ts=utc_ts(2020, 2, 8),
+                visitor_min_days=2)
+
+        monkeypatch.setattr(cli, "StudyConfig", tiny_config)
+        out_dir = str(tmp_path / "traces")
+        assert main(["export", "--students", "4", "--seed", "5",
+                     "--out", out_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(out_dir, "manifest.json"))
+
+        monkeypatch.setattr(cli, "StudyConfig", StudyConfig)
+        assert main(["ingest", "--traces", out_dir]) == 0
+        output = capsys.readouterr().out
+        assert "Headline statistics" in output

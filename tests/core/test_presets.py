@@ -1,0 +1,26 @@
+"""Tests for StudyConfig presets."""
+
+from repro import StudyConfig
+
+
+class TestPresets:
+    def test_ci_scale_is_small_and_valid(self):
+        config = StudyConfig.ci_scale()
+        assert config.n_students <= 10
+        assert (config.end_ts - config.start_ts) / 86400 <= 21
+        assert config.visitor_min_days < 14
+
+    def test_laptop_scale_full_window(self):
+        config = StudyConfig.laptop_scale(seed=3)
+        assert config.seed == 3
+        assert (config.end_ts - config.start_ts) / 86400 == 121
+
+    def test_recorded_scale_matches_experiments(self):
+        config = StudyConfig.recorded_scale()
+        assert config.n_students == 300
+        assert config.seed == 8
+
+    def test_ci_scale_runs_end_to_end(self):
+        from repro import LockdownStudy
+        artifacts = LockdownStudy(StudyConfig.ci_scale(seed=5)).run()
+        assert len(artifacts.dataset) > 0

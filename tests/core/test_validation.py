@@ -1,0 +1,63 @@
+"""Tests for ground-truth validation scoring (on the mini study)."""
+
+import math
+
+import pytest
+
+from repro.core.validation import GroundTruthMatcher
+
+
+@pytest.fixture(scope="module")
+def matcher(mini_artifacts):
+    return GroundTruthMatcher(mini_artifacts)
+
+
+class TestMatching:
+    def test_most_devices_matched(self, matcher, mini_artifacts):
+        """Every retained device originates from the simulation."""
+        assert matcher.matched_count == mini_artifacts.dataset.n_devices
+
+    def test_lookups_consistent(self, matcher):
+        artifacts = matcher.artifacts
+        for index in range(min(10, artifacts.dataset.n_devices)):
+            device = matcher.sim_device(index)
+            persona = matcher.persona(index)
+            assert device is not None
+            assert persona is not None
+            assert device.owner_id == persona.student_id
+
+    def test_unknown_index(self, matcher):
+        assert matcher.sim_device(10_000_000) is None
+
+
+class TestClassifierReview:
+    def test_review_mirrors_paper_error_structure(self, matcher):
+        review = matcher.review_classification()
+        assert review.reviewed == matcher.matched_count
+        assert (review.correct + review.misclassified + review.omitted
+                == review.reviewed)
+        # Affirmative decisions are overwhelmingly right; omissions are
+        # the dominant error mode (the paper found 14 omissions vs 2
+        # mislabels in 100 devices).
+        assert review.affirmative_accuracy > 0.9
+        assert review.omitted >= review.misclassified
+
+    def test_overall_accuracy_in_paper_ballpark(self, matcher):
+        review = matcher.review_classification()
+        assert 0.5 < review.overall_accuracy <= 1.0
+
+
+class TestBinaryScores:
+    def test_international_score_conservative(self, matcher):
+        score = matcher.score_international()
+        # High precision, deliberately partial recall.
+        if score.true_positive + score.false_positive > 0:
+            assert score.precision > 0.8
+        if not math.isnan(score.recall):
+            assert score.recall <= 1.0
+
+    def test_switch_detection_score(self, matcher):
+        score = matcher.score_switch_detection()
+        if score.true_positive + score.false_positive > 0:
+            assert score.precision > 0.8
+        assert score.true_negative > 0

@@ -1,0 +1,45 @@
+"""Tests for User-Agent classification."""
+
+import pytest
+
+from repro.devices.types import DeviceClass
+from repro.devices.useragent import classify_user_agent
+
+
+class TestClassifyUserAgent:
+    @pytest.mark.parametrize("ua", [
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3_1 like Mac OS X) AppleWebKit/605.1.15 Mobile/15E148",
+        "Mozilla/5.0 (Linux; Android 10; SM-G973F) AppleWebKit/537.36 Mobile Safari/537.36",
+        "Mozilla/5.0 (iPad; CPU OS 13_3 like Mac OS X) AppleWebKit/605.1.15",
+        "Mozilla/5.0 (Linux; Android 9; SM-T510) AppleWebKit/537.36",
+    ])
+    def test_mobile(self, ua):
+        assert classify_user_agent(ua) == DeviceClass.MOBILE
+
+    @pytest.mark.parametrize("ua", [
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36",
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3) AppleWebKit/605.1.15",
+        "Mozilla/5.0 (X11; Linux x86_64; rv:73.0) Gecko/20100101 Firefox/73.0",
+    ])
+    def test_desktop(self, ua):
+        assert classify_user_agent(ua) == DeviceClass.LAPTOP_DESKTOP
+
+    @pytest.mark.parametrize("ua", [
+        "HearthHub/2.4 (linux; armv7l)",
+        "StreamBoxOS/7.2 (smarttv)",
+        "WattWatch/3.3 embedded",
+        "NintendoBrowser/5.1.0.13343 NX",
+        "MeridianOS/4.2 console",
+        "EchoNestAudio/5.1 CFNetwork",
+    ])
+    def test_embedded(self, ua):
+        assert classify_user_agent(ua) == DeviceClass.IOT
+
+    def test_iphone_not_misread_as_mac(self):
+        """The 'like Mac OS X' token must not win over iPhone."""
+        ua = "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X)"
+        assert classify_user_agent(ua) == DeviceClass.MOBILE
+
+    @pytest.mark.parametrize("ua", ["", "Mozilla/5.0", "curl"])
+    def test_ambiguous(self, ua):
+        assert classify_user_agent(ua) is None

@@ -1,0 +1,121 @@
+"""Tests for message-level DHCP (DORA, renewal, NAK recovery)."""
+
+import pytest
+
+from repro.dhcp.protocol import (
+    ACK,
+    DISCOVER,
+    NAK,
+    OFFER,
+    REQUEST,
+    DhcpClient,
+    DhcpMessage,
+    DhcpProtocolServer,
+)
+from repro.dhcp.server import DhcpServer
+from repro.net.ip import Prefix
+from repro.net.mac import MacAddress
+
+
+def _mac(index):
+    return MacAddress(0x9C1A0000_0000 + index)
+
+
+@pytest.fixture()
+def server():
+    return DhcpProtocolServer(
+        DhcpServer([Prefix.parse("10.0.0.0/28")], lease_seconds=1000.0))
+
+
+class TestHandshake:
+    def test_dora(self, server):
+        offer = server.handle(DhcpMessage(DISCOVER, 0.0, _mac(1)))
+        assert offer.kind == OFFER
+        assert offer.ip is not None
+        reply = server.handle(DhcpMessage(REQUEST, 0.5, _mac(1),
+                                          ip=offer.ip))
+        assert reply.kind == ACK
+        assert reply.ip == offer.ip
+        assert reply.lease_end > 0.5
+
+    def test_request_for_foreign_address_nak(self, server):
+        offer = server.handle(DhcpMessage(DISCOVER, 0.0, _mac(1)))
+        reply = server.handle(DhcpMessage(REQUEST, 1.0, _mac(2),
+                                          ip=offer.ip))
+        assert reply.kind == NAK
+        assert server.naks_sent == 1
+
+    def test_rediscovery_keeps_address(self, server):
+        first = server.handle(DhcpMessage(DISCOVER, 0.0, _mac(1)))
+        again = server.handle(DhcpMessage(DISCOVER, 10.0, _mac(1)))
+        assert again.ip == first.ip
+
+    def test_unknown_message_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.handle(DhcpMessage(ACK, 0.0, _mac(1), ip=1))
+        with pytest.raises(ValueError):
+            server.handle(DhcpMessage(REQUEST, 0.0, _mac(1)))
+
+
+class TestClient:
+    def test_address_stable_within_lease(self, server):
+        client = DhcpClient(_mac(1))
+        first = client.ensure_address(server, 0.0)
+        again = client.ensure_address(server, 100.0)
+        assert again == first
+        assert client.handshakes == 1
+        assert client.renewals == 0
+
+    def test_renewal_at_t1(self, server):
+        client = DhcpClient(_mac(1))
+        address = client.ensure_address(server, 0.0)
+        renewed = client.ensure_address(server, 600.0)  # past T1=500
+        assert renewed == address
+        assert client.renewals == 1
+        assert client.lease.end == pytest.approx(1600.0)
+
+    def test_expiry_triggers_new_handshake(self, server):
+        client = DhcpClient(_mac(1))
+        client.ensure_address(server, 0.0)
+        client.ensure_address(server, 5000.0)  # long after expiry
+        assert client.handshakes == 2
+
+    def test_nak_recovery_after_reassignment(self):
+        """A client returning after its address moved on gets NAKed on
+        renewal and recovers with a fresh handshake."""
+        protocol = DhcpProtocolServer(
+            DhcpServer([Prefix.parse("10.0.0.0/30")], lease_seconds=100.0))
+        client_a = DhcpClient(_mac(1))
+        address_a = client_a.ensure_address(protocol, 0.0)
+
+        # A expires; B (and a filler) consume the tiny pool, reusing
+        # A's address.
+        client_b = DhcpClient(_mac(2))
+        address_b = client_b.ensure_address(protocol, 500.0)
+        filler = DhcpClient(_mac(3))
+        filler.ensure_address(protocol, 501.0)
+        assert address_a in (address_b, filler.lease.ip)
+
+        # A comes back mid-"lease" believing it still holds address_a;
+        # force the stale-lease path by faking a still-active lease.
+        from repro.dhcp.lease import Lease
+        client_a.lease = Lease(_mac(1), address_a, start=480.0, end=560.0)
+        with pytest.raises(Exception):
+            # The pool is now full: renewal NAKs and rediscovery cannot
+            # be satisfied either.
+            client_a.ensure_address(protocol, 540.0)
+        assert client_a.naks_received >= 1
+
+    def test_many_clients_distinct_addresses(self, server):
+        clients = [DhcpClient(_mac(i)) for i in range(10)]
+        addresses = [c.ensure_address(server, float(i))
+                     for i, c in enumerate(clients)]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_acks_reach_log(self, server):
+        client = DhcpClient(_mac(1))
+        client.ensure_address(server, 0.0)
+        client.ensure_address(server, 600.0)  # renewal
+        log = server.server.drain_log()
+        assert len(log) >= 2
+        assert all(record.mac == _mac(1) for record in log)

@@ -1,0 +1,110 @@
+"""Tests for the DHCP server simulation."""
+
+import pytest
+
+from repro.dhcp.server import DhcpServer, PoolExhaustedError
+from repro.net.ip import Prefix
+from repro.net.mac import MacAddress
+
+
+def _mac(index: int) -> MacAddress:
+    return MacAddress(0x9C1A0000_0000 + index)
+
+
+class TestAcquire:
+    def test_grant_assigns_pool_address(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/28")], 3600)
+        lease = server.acquire(_mac(1), 100.0)
+        assert Prefix.parse("10.0.0.0/28").contains(lease.ip)
+        assert lease.start == 100.0
+        assert lease.end == 3700.0
+
+    def test_skips_network_and_broadcast(self):
+        pool = Prefix.parse("10.0.0.0/29")
+        server = DhcpServer([pool], 3600)
+        ips = {server.acquire(_mac(i), 0.0).ip for i in range(6)}
+        assert pool.first not in ips
+        assert pool.last not in ips
+
+    def test_same_client_keeps_ip(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        first = server.acquire(_mac(1), 0.0)
+        again = server.acquire(_mac(1), 100.0)
+        assert again.ip == first.ip
+
+    def test_distinct_clients_distinct_ips(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        a = server.acquire(_mac(1), 0.0)
+        b = server.acquire(_mac(2), 0.0)
+        assert a.ip != b.ip
+
+    def test_renewal_extends_before_expiry(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        lease = server.acquire(_mac(1), 0.0)
+        renewed = server.acquire(_mac(1), 2000.0)  # past T1 (half-life)
+        assert renewed.ip == lease.ip
+        assert renewed.end == 2000.0 + 3600.0
+
+    def test_no_renewal_in_first_half(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        server.acquire(_mac(1), 0.0)
+        lease = server.acquire(_mac(1), 100.0)
+        assert lease.end == 3600.0  # unchanged
+
+    def test_expired_client_gets_fresh_grant(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        server.acquire(_mac(1), 0.0)
+        lease = server.acquire(_mac(1), 10_000.0)
+        assert lease.start == 10_000.0
+
+    def test_address_reuse_after_expiry(self):
+        """Expired addresses return to the pool and are reassigned."""
+        pool = Prefix.parse("10.0.0.0/29")  # 6 usable addresses
+        server = DhcpServer([pool], lease_seconds=100)
+        first_ips = {server.acquire(_mac(i), 0.0).ip for i in range(6)}
+        # All addresses are held; after expiry new clients reuse them.
+        lease = server.acquire(_mac(100), 1000.0)
+        assert lease.ip in first_ips
+
+    def test_pool_exhaustion(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/30")], 3600)
+        server.acquire(_mac(1), 0.0)
+        server.acquire(_mac(2), 0.0)
+        with pytest.raises(PoolExhaustedError):
+            server.acquire(_mac(3), 0.0)
+
+    def test_multiple_pools(self):
+        server = DhcpServer(
+            [Prefix.parse("10.0.0.0/30"), Prefix.parse("10.0.4.0/30")], 3600)
+        ips = {server.acquire(_mac(i), 0.0).ip for i in range(4)}
+        assert len(ips) == 4
+
+    def test_lease_of(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        assert server.lease_of(_mac(1), 0.0) is None
+        lease = server.acquire(_mac(1), 0.0)
+        assert server.lease_of(_mac(1), 100.0) == lease
+        assert server.lease_of(_mac(1), 5000.0) is None
+
+
+class TestLog:
+    def test_every_grant_and_renewal_logged(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        server.acquire(_mac(1), 0.0)
+        server.acquire(_mac(1), 2000.0)  # renewal
+        server.acquire(_mac(2), 2500.0)
+        log = server.drain_log()
+        assert len(log) == 3
+        assert [record.ts for record in log] == [0.0, 2000.0, 2500.0]
+
+    def test_drain_clears(self):
+        server = DhcpServer([Prefix.parse("10.0.0.0/24")], 3600)
+        server.acquire(_mac(1), 0.0)
+        assert len(server.drain_log()) == 1
+        assert server.drain_log() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DhcpServer([Prefix.parse("10.0.0.0/24")], 0)
+        with pytest.raises(ValueError):
+            DhcpServer([], 3600)

@@ -1,0 +1,26 @@
+"""Tests for registrable-domain grouping."""
+
+import pytest
+
+from repro.dns.domains import site_of
+
+
+class TestSiteOf:
+    @pytest.mark.parametrize("domain,expected", [
+        ("instagram.com", "instagram.com"),
+        ("i.instagram.com", "instagram.com"),
+        ("scontent.fbcdn.net", "fbcdn.net"),
+        ("news.bbc.co.uk", "bbc.co.uk"),
+        ("bbc.co.uk", "bbc.co.uk"),
+        ("music.163.com", "163.com"),
+        ("atum.hac.lp1.d4c.nintendo.net", "nintendo.net"),
+        ("yahoo.co.jp", "yahoo.co.jp"),
+        ("WWW.EXAMPLE.COM", "example.com"),
+        ("example.com.", "example.com"),
+    ])
+    def test_grouping(self, domain, expected):
+        assert site_of(domain) == expected
+
+    @pytest.mark.parametrize("bad", ["", "localhost", "co.uk", "..", "a..b"])
+    def test_malformed(self, bad):
+        assert site_of(bad) is None

@@ -1,0 +1,80 @@
+"""Tests for the spherical weighted midpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.midpoint import weighted_geographic_midpoint
+
+
+class TestMidpoint:
+    def test_single_point_identity(self):
+        lat, lon = weighted_geographic_midpoint([32.7], [-117.2], [1.0])
+        assert lat == pytest.approx(32.7, abs=1e-9)
+        assert lon == pytest.approx(-117.2, abs=1e-9)
+
+    def test_equal_weights_symmetric(self):
+        lat, lon = weighted_geographic_midpoint(
+            [0.0, 0.0], [-10.0, 10.0], [1.0, 1.0])
+        assert lat == pytest.approx(0.0, abs=1e-9)
+        assert lon == pytest.approx(0.0, abs=1e-9)
+
+    def test_weight_dominance(self):
+        lat, lon = weighted_geographic_midpoint(
+            [0.0, 0.0], [-100.0, 100.0], [1000.0, 1.0])
+        assert lon == pytest.approx(-100.0, abs=1.0)
+
+    def test_san_diego_beijing_mix_crosses_pacific(self):
+        """Majority-Beijing traffic pulls the midpoint out of the US."""
+        lat, lon = weighted_geographic_midpoint(
+            [32.7, 39.9], [-117.2, 116.4], [1.0, 3.0])
+        # Somewhere over the Pacific, closer to Asia.
+        assert lon > 130 or lon < -160
+
+    def test_empty_input(self):
+        assert weighted_geographic_midpoint([], [], []) is None
+
+    def test_zero_weights(self):
+        assert weighted_geographic_midpoint([1.0], [1.0], [0.0]) is None
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_geographic_midpoint([0.0], [0.0], [-1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_geographic_midpoint([0.0, 1.0], [0.0], [1.0])
+
+    def test_antipodal_degenerate(self):
+        assert weighted_geographic_midpoint(
+            [0.0, 0.0], [0.0, 180.0], [1.0, 1.0]) is None
+
+
+class TestMidpointProperties:
+    coords = st.tuples(
+        st.floats(min_value=-80, max_value=80),
+        st.floats(min_value=-179, max_value=179),
+    )
+
+    @given(st.lists(coords, min_size=1, max_size=20))
+    def test_output_in_valid_range(self, points):
+        lats = [p[0] for p in points]
+        lons = [p[1] for p in points]
+        result = weighted_geographic_midpoint(
+            lats, lons, [1.0] * len(points))
+        if result is not None:
+            lat, lon = result
+            assert -90 <= lat <= 90
+            assert -180 <= lon <= 180
+
+    @given(coords, st.floats(min_value=0.1, max_value=1e6))
+    def test_scaling_weights_invariant(self, point, scale):
+        lats, lons = [point[0], 10.0], [point[1], 20.0]
+        base = weighted_geographic_midpoint(lats, lons, [1.0, 2.0])
+        scaled = weighted_geographic_midpoint(
+            lats, lons, [scale, 2.0 * scale])
+        if base is None:
+            assert scaled is None
+        else:
+            assert base[0] == pytest.approx(scaled[0], abs=1e-6)
+            assert base[1] == pytest.approx(scaled[1], abs=1e-6)

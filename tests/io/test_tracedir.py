@@ -1,0 +1,118 @@
+"""Tests for trace-directory export and replay."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import StudyConfig
+from repro.io.tracedir import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    burst_from_json,
+    burst_to_json,
+    export_traces,
+    ingest_trace_dir,
+    iter_trace_days,
+    read_manifest,
+)
+from repro.net.wire import SegmentBurst
+from repro.pipeline.pipeline import MonitoringPipeline
+from repro.synth.generator import CampusTraceGenerator
+from repro.util.timeutil import utc_ts
+
+_CONFIG = StudyConfig(n_students=5, seed=31)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    generator = CampusTraceGenerator(_CONFIG)
+    traces = list(generator.iter_days(utc_ts(2020, 2, 3),
+                                      utc_ts(2020, 2, 6)))
+    excluded = generator.plan.excluded_blocks(_CONFIG.excluded_operators)
+    return traces, excluded
+
+
+class TestBurstSerialization:
+    def test_round_trip(self):
+        burst = SegmentBurst(
+            ts=12.5, client_ip=0x64400001, client_port=40123,
+            server_ip=0x32000001, server_port=443, proto="udp",
+            orig_bytes=111, resp_bytes=222,
+            user_agent="Mozilla/5.0 (iPad)", is_final=True)
+        assert burst_from_json(burst_to_json(burst)) == burst
+
+    def test_optional_fields_omitted(self):
+        burst = SegmentBurst(
+            ts=1.0, client_ip=1, client_port=2, server_ip=3,
+            server_port=4, proto="tcp", orig_bytes=5, resp_bytes=6)
+        line = burst_to_json(burst)
+        assert "ua" not in json.loads(line)
+        assert burst_from_json(line) == burst
+
+
+class TestExportAndReplay:
+    def test_export_layout(self, generated, tmp_path):
+        traces, _ = generated
+        root = str(tmp_path / "traces")
+        assert export_traces(traces, root) == 3
+        manifest = read_manifest(root)
+        assert manifest["days"] == ["2020-02-03", "2020-02-04",
+                                    "2020-02-05"]
+        for label in manifest["days"]:
+            for name in ("wire.jsonl.gz", "dhcp.jsonl.gz", "dns.jsonl.gz"):
+                assert os.path.exists(os.path.join(root, label, name))
+
+    def test_round_trip_records(self, generated, tmp_path):
+        traces, _ = generated
+        root = str(tmp_path / "traces")
+        export_traces(traces, root)
+        replayed = list(iter_trace_days(root))
+        assert len(replayed) == len(traces)
+        for original, restored in zip(traces, replayed):
+            assert restored.day_start == original.day_start
+            assert restored.dhcp_records == original.dhcp_records
+            assert restored.dns_records == original.dns_records
+            assert restored.bursts == original.bursts
+
+    def test_replay_equivalent_to_live_ingest(self, generated, tmp_path):
+        traces, excluded = generated
+        root = str(tmp_path / "traces")
+        export_traces(traces, root)
+
+        live = MonitoringPipeline(_CONFIG, excluded)
+        for trace in traces:
+            live.ingest_day(trace)
+        live_dataset = live.finalize()
+
+        replay = MonitoringPipeline(_CONFIG, excluded)
+        assert ingest_trace_dir(replay, root) == 3
+        replay_dataset = replay.finalize()
+
+        assert len(replay_dataset) == len(live_dataset)
+        assert np.array_equal(replay_dataset.ts, live_dataset.ts)
+        assert np.array_equal(replay_dataset.total_bytes,
+                              live_dataset.total_bytes)
+        assert np.array_equal(replay_dataset.domain, live_dataset.domain)
+        assert ([p.token for p in replay_dataset.devices]
+                == [p.token for p in live_dataset.devices])
+
+    def test_version_guard(self, generated, tmp_path):
+        traces, _ = generated
+        root = str(tmp_path / "traces")
+        export_traces(traces, root)
+        manifest_path = os.path.join(root, MANIFEST_NAME)
+        with open(manifest_path) as fileobj:
+            payload = json.load(fileobj)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with open(manifest_path, "w") as fileobj:
+            json.dump(payload, fileobj)
+        with pytest.raises(ValueError):
+            read_manifest(root)
+
+    def test_extra_manifest_fields(self, generated, tmp_path):
+        traces, _ = generated
+        root = str(tmp_path / "traces")
+        export_traces(traces, root, extra_manifest={"seed": 31})
+        assert read_manifest(root)["seed"] == 31

@@ -1,0 +1,74 @@
+"""Tests for repro.net.mac."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.mac import MacAddress, random_laa_mac, vendor_mac
+
+
+class TestMacAddress:
+    def test_parse_and_str_round_trip(self):
+        mac = MacAddress.parse("9c:1a:00:12:34:56")
+        assert str(mac) == "9c:1a:00:12:34:56"
+
+    def test_parse_dash_separator(self):
+        assert MacAddress.parse("9c-1a-00-12-34-56").value == \
+            MacAddress.parse("9c:1a:00:12:34:56").value
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("9c:1a:00:12:34")
+        with pytest.raises(ValueError):
+            MacAddress.parse("not a mac")
+
+    def test_value_range(self):
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+        with pytest.raises(ValueError):
+            MacAddress(2**48)
+
+    def test_oui_extraction(self):
+        mac = MacAddress.parse("9c:1a:04:ab:cd:ef")
+        assert mac.oui == 0x9C1A04
+
+    def test_laa_bit(self):
+        assert MacAddress.parse("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress.parse("9c:1a:00:00:00:01").is_locally_administered
+
+    def test_multicast_bit(self):
+        assert MacAddress.parse("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress.parse("9c:1a:00:00:00:01").is_multicast
+
+
+class TestVendorMac:
+    def test_carries_oui(self):
+        rng = np.random.default_rng(1)
+        mac = vendor_mac(0x9C1A00, rng)
+        assert mac.oui == 0x9C1A00
+        assert not mac.is_locally_administered
+
+    def test_rejects_bad_oui(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            vendor_mac(2**24, rng)
+        with pytest.raises(ValueError):
+            vendor_mac(0x020000, rng)  # U/L bit set
+
+    def test_deterministic_per_rng(self):
+        a = vendor_mac(0x9C1A00, np.random.default_rng(5))
+        b = vendor_mac(0x9C1A00, np.random.default_rng(5))
+        assert a == b
+
+
+class TestRandomLaaMac:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_always_laa_unicast(self, seed):
+        mac = random_laa_mac(np.random.default_rng(seed))
+        assert mac.is_locally_administered
+        assert not mac.is_multicast
+
+    def test_spread(self):
+        rng = np.random.default_rng(0)
+        macs = {random_laa_mac(rng).value for _ in range(100)}
+        assert len(macs) == 100

@@ -1,0 +1,50 @@
+"""Tests for the OUI registry."""
+
+import numpy as np
+import pytest
+
+from repro.net.mac import random_laa_mac, vendor_mac
+from repro.net.oui_db import OuiDatabase, OuiRecord, default_oui_database
+
+
+class TestDefaultDatabase:
+    def test_nonempty_and_unique(self):
+        db = default_oui_database()
+        assert len(db) > 10
+        ouis = [record.oui for record in db]
+        assert len(ouis) == len(set(ouis))
+
+    def test_every_hint_has_a_vendor(self):
+        db = default_oui_database()
+        for hint in ("laptop", "mobile", "iot", "console", "generic"):
+            assert db.vendor_ouis(hint), hint
+
+    def test_lookup_vendor_mac(self):
+        db = default_oui_database()
+        oui = db.vendor_ouis("mobile")[0]
+        mac = vendor_mac(oui, np.random.default_rng(0))
+        record = db.lookup(mac)
+        assert record is not None
+        assert record.oui == oui
+
+    def test_laa_never_resolves(self):
+        db = default_oui_database()
+        for seed in range(20):
+            mac = random_laa_mac(np.random.default_rng(seed))
+            assert db.lookup(mac) is None
+
+    def test_unknown_oui(self):
+        db = default_oui_database()
+        assert db.lookup_oui(0xD41E70) is None
+
+
+class TestOuiDatabase:
+    def test_duplicate_rejected(self):
+        records = [OuiRecord(1, "A", "iot"), OuiRecord(1, "B", "iot")]
+        with pytest.raises(ValueError):
+            OuiDatabase(records)
+
+    def test_lookup_oui(self):
+        db = OuiDatabase([OuiRecord(0x123456, "V", "laptop")])
+        assert db.lookup_oui(0x123456).vendor == "V"
+        assert db.lookup_oui(0x123457) is None

@@ -1,0 +1,37 @@
+"""Tests for wire-level record types."""
+
+from repro.net.wire import DnsQueryEvent, SegmentBurst, WireConnection
+
+
+class TestSegmentBurst:
+    def test_five_tuple(self):
+        burst = SegmentBurst(
+            ts=1.0, client_ip=10, client_port=20, server_ip=30,
+            server_port=443, proto="tcp", orig_bytes=1, resp_bytes=2)
+        assert burst.five_tuple == (10, 20, 30, 443, "tcp")
+
+    def test_defaults(self):
+        burst = SegmentBurst(
+            ts=1.0, client_ip=10, client_port=20, server_ip=30,
+            server_port=443, proto="udp", orig_bytes=1, resp_bytes=2)
+        assert burst.user_agent is None
+        assert burst.http_host is None
+        assert not burst.is_final
+
+
+class TestWireConnection:
+    def test_derived_fields(self):
+        conn = WireConnection(
+            start=10.0, duration=5.0, client_ip=1, client_port=2,
+            server_ip=3, server_port=4, proto="tcp", orig_bytes=100,
+            resp_bytes=200)
+        assert conn.end == 15.0
+        assert conn.total_bytes == 300
+
+
+class TestDnsQueryEvent:
+    def test_fields(self):
+        event = DnsQueryEvent(ts=1.0, client_ip=2, qname="zoom.us",
+                              answers=(3, 4))
+        assert event.ttl == 300.0
+        assert event.answers == (3, 4)

@@ -1,0 +1,52 @@
+"""Tests for the anonymization boundary."""
+
+import pytest
+
+from repro.net.mac import MacAddress
+from repro.pipeline.anonymize import Anonymizer
+
+MAC_VENDOR = MacAddress.parse("9c:1a:00:12:34:56")
+MAC_LAA = MacAddress.parse("02:12:34:56:78:9a")
+
+
+class TestAnonymizer:
+    def test_deterministic(self):
+        anon = Anonymizer("salt")
+        assert anon.device(MAC_VENDOR).token == anon.device(MAC_VENDOR).token
+
+    def test_distinct_macs_distinct_tokens(self):
+        anon = Anonymizer("salt")
+        assert anon.device(MAC_VENDOR).token != anon.device(MAC_LAA).token
+
+    def test_salt_changes_tokens(self):
+        assert (Anonymizer("a").device(MAC_VENDOR).token
+                != Anonymizer("b").device(MAC_VENDOR).token)
+
+    def test_token_is_opaque(self):
+        token = Anonymizer("salt").device(MAC_VENDOR).token
+        assert str(MAC_VENDOR).replace(":", "") not in token
+        assert len(token) == 2 * Anonymizer.TOKEN_BYTES
+
+    def test_oui_preserved_for_vendor_macs(self):
+        record = Anonymizer("salt").device(MAC_VENDOR)
+        assert record.oui == 0x9C1A00
+        assert not record.is_locally_administered
+
+    def test_oui_suppressed_for_laa(self):
+        record = Anonymizer("salt").device(MAC_LAA)
+        assert record.oui is None
+        assert record.is_locally_administered
+
+    def test_ip_tokens(self):
+        anon = Anonymizer("salt")
+        assert anon.ip_token(1) == anon.ip_token(1)
+        assert anon.ip_token(1) != anon.ip_token(2)
+
+    def test_empty_salt_rejected(self):
+        with pytest.raises(ValueError):
+            Anonymizer("")
+
+    def test_mac_and_ip_namespaces_separate(self):
+        anon = Anonymizer("salt")
+        # Same payload bytes under different personae must differ.
+        assert anon.ip_token(0) != anon.device(MacAddress(0)).token

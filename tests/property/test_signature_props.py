@@ -1,0 +1,60 @@
+"""Property-based tests for signature matching and site grouping."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.apps.signature import AppSignature
+from repro.dns.domains import site_of
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=10).filter(
+                     lambda s: not s.startswith("-") and not s.endswith("-"))
+_domain = st.lists(_label, min_size=2, max_size=5).map(".".join)
+
+
+class TestSignatureProperties:
+    @given(_domain)
+    def test_suffix_matches_itself_and_subdomains(self, domain):
+        signature = AppSignature("x", domain_suffixes=(domain,))
+        assert signature.matches_domain(domain)
+        assert signature.matches_domain("sub." + domain)
+        assert signature.matches_domain("a.b." + domain)
+
+    @given(_domain, _label)
+    def test_concatenation_never_matches(self, domain, prefix):
+        """'evilzoom.us' must not match the 'zoom.us' suffix."""
+        signature = AppSignature("x", domain_suffixes=(domain,))
+        assert not signature.matches_domain(prefix + domain)
+
+    @given(_domain, _label)
+    def test_suffix_extension_never_matches(self, domain, label):
+        """'zoom.us.evil' must not match the 'zoom.us' suffix.
+
+        Extensions that coincidentally recreate the suffix (e.g.
+        "0.0" + ".0" ends with ".0.0") are legitimately matched and
+        excluded from the property.
+        """
+        extended = domain + "." + label
+        assume(not extended.endswith("." + domain))
+        signature = AppSignature("x", domain_suffixes=(domain,))
+        assert not signature.matches_domain(extended)
+
+
+class TestSiteOfProperties:
+    @given(_domain)
+    def test_site_is_suffix_of_input(self, domain):
+        site = site_of(domain)
+        if site is not None:
+            assert domain.lower().endswith(site)
+            assert 2 <= len(site.split(".")) <= 3
+
+    @given(_domain)
+    def test_idempotent_under_subdomain_prefixing(self, domain):
+        site = site_of(domain)
+        if site is not None:
+            assert site_of("extra." + domain) == site
+
+    @given(_domain)
+    def test_site_of_site_is_site(self, domain):
+        site = site_of(domain)
+        if site is not None:
+            assert site_of(site) == site

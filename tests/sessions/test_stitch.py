@@ -1,0 +1,149 @@
+"""Tests for overlapping-flow session stitching."""
+
+import numpy as np
+import pytest
+
+from repro.net.mac import MacAddress
+from repro.pipeline.anonymize import Anonymizer
+from repro.pipeline.dataset import NO_DOMAIN, FlowDatasetBuilder
+from repro.sessions.duration import monthly_duration_hours
+from repro.sessions.stitch import StitchedSession, stitch_sessions
+from repro.util.timeutil import utc_ts
+
+FEB = utc_ts(2020, 2, 10)
+MAR = utc_ts(2020, 3, 10)
+
+
+def _dataset(rows):
+    """rows: (mac_value, ts, duration, domain)."""
+    builder = FlowDatasetBuilder(day0=utc_ts(2020, 2, 1))
+    anonymizer = Anonymizer("s")
+    for mac_value, ts, duration, domain in rows:
+        idx = builder.device_index(
+            anonymizer.device(MacAddress(mac_value)))
+        builder.add_flow(
+            ts=ts, duration=duration, device_idx=idx, resp_h=1,
+            resp_p=443, proto="tcp", orig_bytes=50, resp_bytes=50,
+            domain_idx=builder.domain_index(domain), user_agent=None)
+    return builder.finalize()
+
+
+def _masks(dataset, domains, markers=()):
+    flow = dataset.flows_to_domains(domains)
+    marker = dataset.flows_to_domains(markers) if markers else None
+    return flow, marker
+
+
+class TestStitching:
+    def test_overlapping_flows_merge(self):
+        dataset = _dataset([
+            (1, FEB, 100.0, "facebook.com"),
+            (1, FEB + 50, 100.0, "fbcdn.net"),
+            (1, FEB + 120, 60.0, "facebook.net"),
+        ])
+        flow_mask, _ = _masks(
+            dataset, ["facebook.com", "fbcdn.net", "facebook.net"])
+        sessions = stitch_sessions(dataset, flow_mask)
+        assert len(sessions[0]) == 1
+        session = sessions[0][0]
+        assert session.start == FEB
+        assert session.end == FEB + 180
+        assert session.flow_count == 3
+        assert session.total_bytes == 300
+
+    def test_gap_beyond_slack_splits(self):
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 1000, 10.0, "facebook.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = stitch_sessions(dataset, flow_mask, slack=60.0)
+        assert len(sessions[0]) == 2
+
+    def test_gap_within_slack_merges(self):
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 40, 10.0, "facebook.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = stitch_sessions(dataset, flow_mask, slack=60.0)
+        assert len(sessions[0]) == 1
+
+    def test_devices_never_mix(self):
+        dataset = _dataset([
+            (1, FEB, 100.0, "facebook.com"),
+            (2, FEB + 10, 100.0, "facebook.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = stitch_sessions(dataset, flow_mask)
+        assert set(sessions) == {0, 1}
+        assert all(len(s) == 1 for s in sessions.values())
+
+    def test_marker_labels_whole_session(self):
+        """One Instagram-only flow marks the merged session Instagram."""
+        dataset = _dataset([
+            (1, FEB, 100.0, "facebook.com"),
+            (1, FEB + 20, 100.0, "instagram.com"),
+            (1, FEB + 5000, 50.0, "facebook.com"),  # separate session
+        ])
+        flow_mask, marker = _masks(
+            dataset, ["facebook.com", "instagram.com"], ["instagram.com"])
+        sessions = stitch_sessions(dataset, flow_mask, marker_mask=marker)
+        flags = [s.marked for s in sessions[0]]
+        assert flags == [True, False]
+
+    def test_empty_mask(self):
+        dataset = _dataset([(1, FEB, 10.0, "facebook.com")])
+        sessions = stitch_sessions(dataset,
+                                   np.zeros(len(dataset), dtype=bool))
+        assert sessions == {}
+
+    def test_unsorted_input_handled(self):
+        dataset = _dataset([
+            (1, FEB + 120, 60.0, "facebook.net"),
+            (1, FEB, 100.0, "facebook.com"),
+            (1, FEB + 50, 100.0, "fbcdn.net"),
+        ])
+        flow_mask, _ = _masks(
+            dataset, ["facebook.com", "fbcdn.net", "facebook.net"])
+        sessions = stitch_sessions(dataset, flow_mask)
+        assert len(sessions[0]) == 1
+        assert sessions[0][0].duration == pytest.approx(180.0)
+
+
+class TestMonthlyDurations:
+    def test_aggregation_by_month(self):
+        sessions = {
+            0: [
+                StitchedSession(0, FEB, FEB + 3600, 1, 1, False),
+                StitchedSession(0, FEB + 7200, FEB + 9000, 1, 1, False),
+                StitchedSession(0, MAR, MAR + 1800, 1, 1, False),
+            ],
+        }
+        hours = monthly_duration_hours(sessions)
+        assert hours[(2020, 2)][0] == pytest.approx(1.5)
+        assert hours[(2020, 3)][0] == pytest.approx(0.5)
+
+    def test_marker_filtering(self):
+        sessions = {
+            0: [
+                StitchedSession(0, FEB, FEB + 3600, 1, 1, True),
+                StitchedSession(0, FEB + 7200, FEB + 10800, 1, 1, False),
+            ],
+        }
+        instagram = monthly_duration_hours(sessions, only_marked=True)
+        facebook = monthly_duration_hours(sessions, only_marked=False)
+        both = monthly_duration_hours(sessions)
+        assert instagram[(2020, 2)][0] == pytest.approx(1.0)
+        assert facebook[(2020, 2)][0] == pytest.approx(1.0)
+        assert both[(2020, 2)][0] == pytest.approx(2.0)
+
+    def test_session_month_from_start(self):
+        """A session starting in February belongs to February even if it
+        ends in March."""
+        feb_end = utc_ts(2020, 2, 29, 23)
+        sessions = {0: [StitchedSession(0, feb_end, feb_end + 7200, 1, 1,
+                                        False)]}
+        hours = monthly_duration_hours(sessions)
+        assert (2020, 2) in hours
+        assert (2020, 3) not in hours

@@ -1,0 +1,94 @@
+"""Tests for the app wire-behaviour archetypes."""
+
+import pytest
+
+from repro.synth.archetypes import (
+    AppArchetype,
+    DomainComponent,
+    default_archetypes,
+)
+from repro.world.catalog import default_directory
+
+
+@pytest.fixture(scope="module")
+def archetypes():
+    return default_archetypes(default_directory(longtail_sites=5))
+
+
+class TestDefaultTable:
+    def test_builds_and_validates(self, archetypes):
+        assert len(archetypes) > 25
+
+    def test_paper_apps_present(self, archetypes):
+        for name in ("zoom_class", "facebook", "instagram", "tiktok",
+                     "steam_game", "steam_download", "switch_gameplay",
+                     "switch_infra", "web_browse"):
+            assert name in archetypes, name
+
+    def test_every_domain_belongs_to_declared_service(self, archetypes):
+        directory = default_directory(longtail_sites=5)
+        for archetype in archetypes.values():
+            for component in archetype.components:
+                service = directory.find_domain(component.domain)
+                assert service is not None, component.domain
+                assert service.name == component.service
+
+    def test_facebook_instagram_share_infrastructure(self, archetypes):
+        fb_domains = {c.domain for c in archetypes["facebook"].components}
+        ig_domains = {c.domain for c in archetypes["instagram"].components}
+        assert fb_domains & ig_domains  # shared serving domains
+        assert "instagram.com" in ig_domains - fb_domains
+
+    def test_switch_gameplay_vs_infra_disjoint(self, archetypes):
+        gameplay = {c.domain for c in
+                    archetypes["switch_gameplay"].components}
+        infra = {c.domain for c in archetypes["switch_infra"].components}
+        assert not gameplay & infra
+
+    def test_iot_archetypes_bound_to_their_device_kind(self, archetypes):
+        for name in ("iot_hub", "iot_speaker", "iot_bulb", "iot_tv",
+                     "iot_meter"):
+            assert archetypes[name].device_kinds == (name,)
+
+    def test_download_archetype_is_byte_heavy(self, archetypes):
+        assert (archetypes["steam_download"].mean_session_bytes
+                > 10 * archetypes["steam_game"].mean_session_bytes)
+
+    def test_web_browse_uses_longtail(self, archetypes):
+        assert archetypes["web_browse"].longtail_fraction > 0
+
+
+class TestValidation:
+    def _component(self, weight=1.0, byte_share=1.0):
+        return DomainComponent("svc", "example.com", weight, byte_share)
+
+    def _kwargs(self):
+        return dict(
+            mean_session_minutes=10, session_minutes_sigma=0.5,
+            connections_per_minute=1.0, mean_session_bytes=1e6,
+            bytes_sigma=0.5)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            AppArchetype("bad", components=(self._component(0.5, 1.0),),
+                         **self._kwargs())
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            AppArchetype("bad", components=(), **self._kwargs())
+
+    def test_flow_style_checked(self):
+        with pytest.raises(ValueError):
+            AppArchetype("bad", components=(self._component(),),
+                         flow_style="wavy", **self._kwargs())
+
+    def test_longtail_fraction_checked(self):
+        with pytest.raises(ValueError):
+            AppArchetype("bad", components=(self._component(),),
+                         longtail_fraction=1.5, **self._kwargs())
+
+    def test_unknown_domain_rejected_at_build(self):
+        directory = default_directory(longtail_sites=0)
+        from repro.synth import archetypes as mod
+        table = mod.default_archetypes(directory)  # still fine
+        assert table

@@ -1,0 +1,271 @@
+"""Tests for the behaviour model's encoded paper shapes."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import StudyConfig
+from repro.net.oui_db import default_oui_database
+from repro.synth.archetypes import default_archetypes
+from repro.synth.behavior import BehaviorModel
+from repro.synth.devices import DeviceKind, make_device
+from repro.synth.personas import StudentPersona
+from repro.util.timeutil import utc_ts
+from repro.world.catalog import default_directory
+
+# Weekday anchors inside each phase/month.
+FEB_WEDNESDAY = utc_ts(2020, 2, 5)
+MAR_BREAK = utc_ts(2020, 3, 25)  # Wednesday in break
+APR_WEDNESDAY = utc_ts(2020, 4, 8)
+MAY_WEDNESDAY = utc_ts(2020, 5, 6)
+FEB_SATURDAY = utc_ts(2020, 2, 8)
+
+
+@pytest.fixture(scope="module")
+def behavior():
+    return BehaviorModel(default_archetypes(default_directory(
+        longtail_sites=5)))
+
+
+def _persona(international=False, rates=None, **kwargs):
+    return StudentPersona(
+        student_id=0,
+        is_international=international,
+        home_region="CN" if international else None,
+        remains_on_campus=True,
+        departure_ts=None,
+        activity_scale=1.0,
+        night_owl_shift=0.0,
+        app_rates=rates or {},
+        **kwargs,
+    )
+
+
+def _device(kind=DeviceKind.LAPTOP):
+    return make_device(
+        device_id=0, owner_id=0, kind=kind,
+        oui_db=default_oui_database(),
+        rng=np.random.default_rng(0), arrival_ts=0.0, departure_ts=None)
+
+
+class TestZoomShape:
+    def test_zoom_absent_before_pandemic(self, behavior):
+        persona = _persona(rates={"zoom_class": 3.0})
+        device = _device()
+        pre = behavior.expected_sessions(persona, device, "zoom_class",
+                                         FEB_WEDNESDAY)
+        online = behavior.expected_sessions(persona, device, "zoom_class",
+                                            APR_WEDNESDAY)
+        assert online > 10 * pre
+
+    def test_zoom_class_never_on_weekends(self, behavior):
+        persona = _persona(rates={"zoom_class": 3.0})
+        assert behavior.expected_sessions(
+            persona, _device(), "zoom_class", utc_ts(2020, 4, 11)) == 0.0
+
+    def test_zoom_class_pauses_during_break(self, behavior):
+        persona = _persona(rates={"zoom_class": 3.0})
+        device = _device()
+        in_break = behavior.expected_sessions(persona, device, "zoom_class",
+                                              MAR_BREAK)
+        online = behavior.expected_sessions(persona, device, "zoom_class",
+                                            APR_WEDNESDAY)
+        assert in_break < 0.15 * online
+
+    def test_zoom_class_hours(self, behavior):
+        persona = _persona(rates={"zoom_class": 3.0})
+        weights = behavior.hourly_weights(persona, "zoom_class",
+                                          APR_WEDNESDAY)
+        assert weights[8:18].sum() > 0.95
+        assert weights[2] == 0.0
+
+
+class TestSocialShapes:
+    def test_facebook_domestic_drops_in_may(self, behavior):
+        persona = _persona(rates={"facebook": 2.0})
+        device = _device(DeviceKind.PHONE)
+        feb = behavior.expected_sessions(persona, device, "facebook",
+                                         FEB_WEDNESDAY)
+        may = behavior.expected_sessions(persona, device, "facebook",
+                                         MAY_WEDNESDAY)
+        assert may < 0.85 * feb
+
+    def test_facebook_international_rises(self, behavior):
+        persona = _persona(international=True, rates={"facebook": 2.0})
+        device = _device(DeviceKind.PHONE)
+        feb = behavior.expected_sessions(persona, device, "facebook",
+                                         FEB_WEDNESDAY)
+        may = behavior.expected_sessions(persona, device, "facebook",
+                                         MAY_WEDNESDAY)
+        assert may > 1.3 * feb
+
+    def test_international_uses_less_us_social_in_feb(self, behavior):
+        dom = _persona(rates={"facebook": 2.0})
+        intl = _persona(international=True, rates={"facebook": 2.0})
+        device = _device(DeviceKind.PHONE)
+        assert (behavior.expected_sessions(intl, device, "facebook",
+                                           FEB_WEDNESDAY)
+                < behavior.expected_sessions(dom, device, "facebook",
+                                             FEB_WEDNESDAY))
+
+    def test_tiktok_grower_ramps(self, behavior):
+        base = _persona(rates={"tiktok": 1.0})
+        grower = _persona(rates={"tiktok": 1.0}, tiktok_grower=True)
+        device = _device(DeviceKind.PHONE)
+        base_may = behavior.expected_sessions(base, device, "tiktok",
+                                              MAY_WEDNESDAY)
+        grower_may = behavior.expected_sessions(grower, device, "tiktok",
+                                                MAY_WEDNESDAY)
+        assert grower_may > 2.5 * base_may
+
+    def test_app_start_gates_usage(self, behavior):
+        persona = _persona(rates={"tiktok": 1.0},
+                           app_start={"tiktok": utc_ts(2020, 4, 1)})
+        device = _device(DeviceKind.PHONE)
+        assert behavior.expected_sessions(persona, device, "tiktok",
+                                          FEB_WEDNESDAY) == 0.0
+        assert behavior.expected_sessions(persona, device, "tiktok",
+                                          APR_WEDNESDAY) > 0.0
+
+    def test_social_apps_prefer_phones(self, behavior):
+        persona = _persona(rates={"tiktok": 1.0})
+        phone = behavior.expected_sessions(
+            persona, _device(DeviceKind.PHONE), "tiktok", FEB_WEDNESDAY)
+        laptop = behavior.expected_sessions(
+            persona, _device(DeviceKind.LAPTOP), "tiktok", FEB_WEDNESDAY)
+        assert phone > 5 * laptop
+
+
+class TestSteamShapes:
+    def test_march_download_spike(self, behavior):
+        persona = _persona(rates={"steam_download": 0.2})
+        device = _device(DeviceKind.DESKTOP)
+        feb = behavior.expected_sessions(persona, device, "steam_download",
+                                         FEB_WEDNESDAY)
+        in_break = behavior.expected_sessions(persona, device,
+                                              "steam_download", MAR_BREAK)
+        may = behavior.expected_sessions(persona, device, "steam_download",
+                                         MAY_WEDNESDAY)
+        assert in_break > 2.5 * feb
+        assert may < feb
+
+    def test_domestic_connections_decline(self, behavior):
+        persona = _persona(rates={"steam_game": 1.0})
+        device = _device(DeviceKind.DESKTOP)
+        sessions = [
+            behavior.expected_sessions(persona, device, "steam_game", day)
+            for day in (FEB_WEDNESDAY, utc_ts(2020, 3, 4),
+                        APR_WEDNESDAY, MAY_WEDNESDAY)
+        ]
+        assert sessions[2] < sessions[0]
+        assert sessions[3] < sessions[2]
+
+    def test_international_march_rise(self, behavior):
+        persona = _persona(international=True, rates={"steam_game": 1.0})
+        device = _device(DeviceKind.DESKTOP)
+        feb = behavior.expected_sessions(persona, device, "steam_game",
+                                         FEB_WEDNESDAY)
+        in_break = behavior.expected_sessions(persona, device, "steam_game",
+                                              MAR_BREAK)
+        assert in_break > 1.4 * feb
+
+    def test_steam_not_on_phones(self, behavior):
+        persona = _persona(rates={"steam_game": 1.0})
+        assert behavior.expected_sessions(
+            persona, _device(DeviceKind.PHONE), "steam_game",
+            FEB_WEDNESDAY) == 0.0
+
+
+class TestSwitchShape:
+    def test_break_spike_and_late_term_rise(self, behavior):
+        persona = _persona(rates={"switch_gameplay": 1.0})
+        device = _device(DeviceKind.SWITCH)
+
+        def rate(day):
+            return behavior.expected_sessions(persona, device,
+                                              "switch_gameplay", day)
+
+        feb = rate(FEB_WEDNESDAY)
+        in_break = rate(MAR_BREAK)
+        mid_term = rate(utc_ts(2020, 4, 29))   # weeks 2-5: near baseline
+        late_may = rate(utc_ts(2020, 5, 20))   # boredom rise
+        assert in_break > 2 * feb
+        assert mid_term < 1.3 * feb
+        assert late_may > 1.2 * mid_term
+
+
+class TestSchedules:
+    def test_lockdown_weekday_shifts_earlier(self, behavior):
+        persona = _persona(rates={"web_browse": 2.0})
+        pre = behavior.hourly_weights(persona, "web_browse", FEB_WEDNESDAY)
+        locked = behavior.hourly_weights(persona, "web_browse",
+                                         APR_WEDNESDAY)
+        # Morning/midday share grows under lock-down.
+        assert locked[8:15].sum() > pre[8:15].sum()
+
+    def test_weekend_unchanged(self, behavior):
+        persona = _persona(rates={"web_browse": 2.0})
+        pre = behavior.hourly_weights(persona, "web_browse", FEB_SATURDAY)
+        locked = behavior.hourly_weights(persona, "web_browse",
+                                         utc_ts(2020, 4, 11))
+        assert np.allclose(pre, locked)
+
+    def test_night_owl_shift(self, behavior):
+        owl = _persona(rates={"web_browse": 2.0})
+        owl = StudentPersona(**{**owl.__dict__, "night_owl_shift": 3.0})
+        base = _persona(rates={"web_browse": 2.0})
+        owl_weights = behavior.hourly_weights(owl, "web_browse",
+                                              FEB_WEDNESDAY)
+        base_weights = behavior.hourly_weights(base, "web_browse",
+                                               FEB_WEDNESDAY)
+        assert np.allclose(owl_weights, np.roll(base_weights, 3))
+
+    def test_weights_normalized(self, behavior):
+        persona = _persona(rates={"web_browse": 2.0})
+        for name in ("web_browse", "zoom_class", "iot_hub", "zoom_social"):
+            weights = behavior.hourly_weights(persona, name, FEB_WEDNESDAY)
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_device_activity_weekend_dip(self, behavior):
+        persona = _persona()
+        phone = _device(DeviceKind.PHONE)
+        weekday = behavior.device_active_probability(persona, phone,
+                                                     FEB_WEDNESDAY)
+        weekend = behavior.device_active_probability(persona, phone,
+                                                     FEB_SATURDAY)
+        assert weekend < weekday
+
+
+class TestTableIntegrity:
+    """Every behaviour-table key must name a real archetype."""
+
+    def test_rate_phase_keys(self, behavior):
+        from repro.synth.behavior import RATE_PHASE
+        for name in RATE_PHASE:
+            assert name in behavior.archetypes, name
+
+    def test_rate_month_keys(self, behavior):
+        from repro.synth.behavior import RATE_MONTH
+        for name in RATE_MONTH:
+            assert name in behavior.archetypes, name
+
+    def test_device_affinity_keys(self, behavior):
+        from repro.synth.behavior import DEVICE_AFFINITY
+        from repro.synth.devices import DeviceKind
+        for name, affinities in DEVICE_AFFINITY.items():
+            assert name in behavior.archetypes, name
+            for kind in affinities:
+                assert kind in DeviceKind.all(), (name, kind)
+
+    def test_leisure_categories_are_archetypes(self, behavior):
+        from repro.synth.behavior import _LEISURE_CATEGORIES
+        for name in _LEISURE_CATEGORIES:
+            assert name in behavior.archetypes, name
+
+    def test_modifier_tuples_are_pairs(self):
+        from repro.synth.behavior import RATE_MONTH, RATE_PHASE
+        for table in (RATE_PHASE, RATE_MONTH):
+            for name, entries in table.items():
+                for key, pair in entries.items():
+                    assert len(pair) == 2, (name, key)
+                    assert all(value >= 0 for value in pair)

@@ -1,0 +1,94 @@
+"""Tests for device synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.net.oui_db import default_oui_database
+from repro.synth.devices import DeviceKind, make_device
+
+
+@pytest.fixture(scope="module")
+def oui_db():
+    return default_oui_database()
+
+
+def _make(kind, seed=0, international=False, oui_db=None):
+    return make_device(
+        device_id=1, owner_id=2, kind=kind, oui_db=oui_db,
+        rng=np.random.default_rng(seed), arrival_ts=0.0,
+        departure_ts=None, international_owner=international)
+
+
+class TestMakeDevice:
+    def test_unknown_kind_rejected(self, oui_db):
+        with pytest.raises(ValueError):
+            _make("toaster", oui_db=oui_db)
+
+    def test_iot_never_randomizes_mac(self, oui_db):
+        for seed in range(30):
+            device = _make(DeviceKind.IOT_HUB, seed, oui_db=oui_db)
+            assert not device.mac.is_locally_administered
+
+    def test_phone_macs_often_randomized(self, oui_db):
+        randomized = sum(
+            _make(DeviceKind.PHONE, seed, oui_db=oui_db)
+            .mac.is_locally_administered
+            for seed in range(200))
+        assert 90 < randomized < 170  # ~65%
+
+    def test_some_devices_never_expose_ua(self, oui_db):
+        silent = sum(
+            _make(DeviceKind.PHONE, seed, oui_db=oui_db).ua_exposure == 0.0
+            for seed in range(200))
+        assert silent > 100  # ~75%
+
+    def test_non_randomized_mac_from_registered_or_unregistered_oui(
+            self, oui_db):
+        device = _make(DeviceKind.IOT_SPEAKER, 3, oui_db=oui_db)
+        assert oui_db.lookup(device.mac) is not None
+
+    def test_international_unregistered_boost(self, oui_db):
+        def unregistered_count(international):
+            count = 0
+            for seed in range(400):
+                device = _make(DeviceKind.PHONE, seed,
+                               international=international, oui_db=oui_db)
+                if (not device.mac.is_locally_administered
+                        and oui_db.lookup(device.mac) is None):
+                    count += 1
+            return count
+        assert unregistered_count(True) > unregistered_count(False)
+
+    def test_user_agent_matches_kind(self, oui_db):
+        phone = _make(DeviceKind.PHONE, 1, oui_db=oui_db)
+        assert ("iPhone" in phone.user_agent
+                or "Android" in phone.user_agent)
+        switch = _make(DeviceKind.SWITCH, 1, oui_db=oui_db)
+        assert "Nintendo" in switch.user_agent
+
+    def test_active_window(self, oui_db):
+        device = make_device(
+            device_id=1, owner_id=2, kind=DeviceKind.LAPTOP,
+            oui_db=oui_db, rng=np.random.default_rng(0),
+            arrival_ts=100.0, departure_ts=200.0)
+        assert not device.active_at(50.0)
+        assert device.active_at(150.0)
+        assert not device.active_at(200.0)
+
+
+class TestCoarseClass:
+    def test_mapping(self):
+        assert DeviceKind.coarse_class(DeviceKind.PHONE) == "mobile"
+        assert DeviceKind.coarse_class(DeviceKind.TABLET) == "mobile"
+        assert DeviceKind.coarse_class(DeviceKind.LAPTOP) == "laptop_desktop"
+        assert DeviceKind.coarse_class(DeviceKind.IOT_TV) == "iot"
+        assert DeviceKind.coarse_class(DeviceKind.SWITCH) == "iot"
+        assert DeviceKind.coarse_class(DeviceKind.CONSOLE) == "iot"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DeviceKind.coarse_class("abacus")
+
+    def test_all_kinds_have_coarse_class(self):
+        for kind in DeviceKind.all():
+            assert DeviceKind.coarse_class(kind)

@@ -1,0 +1,99 @@
+"""Tests for the day-by-day trace generator."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import StudyConfig
+from repro.synth.generator import (
+    PRESENCE_ALL_RESIDENTS,
+    PRESENCE_STUDY,
+    CampusTraceGenerator,
+)
+from repro.util.timeutil import DAY, utc_ts
+
+_CONFIG = StudyConfig(n_students=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CampusTraceGenerator(_CONFIG)
+
+
+class TestGenerateDay:
+    def test_events_sorted(self, generator):
+        trace = generator.generate_day(utc_ts(2020, 2, 5))
+        burst_times = [b.ts for b in trace.bursts]
+        assert burst_times == sorted(burst_times)
+        dns_times = [r.ts for r in trace.dns_records]
+        assert dns_times == sorted(dns_times)
+
+    def test_dhcp_log_in_time_order(self, generator):
+        trace = generator.generate_day(utc_ts(2020, 2, 6))
+        times = [r.ts for r in trace.dhcp_records]
+        assert times == sorted(times)
+
+    def test_client_ips_come_from_pools(self, generator):
+        trace = generator.generate_day(utc_ts(2020, 2, 7))
+        pools = generator.plan.client_pools
+        for burst in trace.bursts[:500]:
+            assert any(pool.contains(burst.client_ip) for pool in pools)
+
+    def test_counts_populated(self, generator):
+        trace = generator.generate_day(utc_ts(2020, 2, 8))
+        assert trace.session_count > 0
+        assert trace.connection_count >= trace.session_count
+
+    def test_unknown_presence_mode_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_day(utc_ts(2020, 2, 5), presence="nonsense")
+
+
+class TestPresenceModes:
+    def test_study_mode_shrinks_after_exodus(self):
+        generator = CampusTraceGenerator(StudyConfig(n_students=12, seed=9))
+        before = generator.generate_day(utc_ts(2020, 2, 5))
+        after = generator.generate_day(utc_ts(2020, 4, 15))
+        assert after.session_count < before.session_count
+
+    def test_all_residents_mode_ignores_departures(self):
+        generator = CampusTraceGenerator(StudyConfig(n_students=12, seed=9))
+        april = generator.generate_day(utc_ts(2020, 4, 15),
+                                       presence=PRESENCE_ALL_RESIDENTS)
+        study = generator.generate_day(utc_ts(2020, 4, 15),
+                                       presence=PRESENCE_STUDY)
+        assert april.session_count > study.session_count
+
+    def test_all_residents_mode_excludes_visitors(self):
+        config = StudyConfig(n_students=12, seed=9, visitor_fraction=0.5)
+        generator = CampusTraceGenerator(config)
+        population = generator.population
+        visitor_macs = {
+            device.mac for device in population.devices
+            if population.personas[device.owner_id].is_visitor
+        }
+        trace = generator.generate_day(utc_ts(2019, 4, 10),
+                                       presence=PRESENCE_ALL_RESIDENTS)
+        leased_macs = {record.mac for record in trace.dhcp_records}
+        assert not leased_macs & visitor_macs
+
+    def test_prior_year_generation_works(self, generator):
+        """PRE-phase behaviour applies outside the study window."""
+        trace = generator.generate_day(utc_ts(2019, 4, 10),
+                                       presence=PRESENCE_ALL_RESIDENTS)
+        assert trace.session_count > 0
+        # Zoom is essentially absent pre-pandemic.
+        zoom_queries = [r for r in trace.dns_records
+                        if r.qname.endswith("zoom.us")]
+        assert len(zoom_queries) < max(1, len(trace.dns_records) // 50)
+
+
+class TestDeterminism:
+    def test_same_day_same_output(self):
+        def run():
+            generator = CampusTraceGenerator(_CONFIG)
+            trace = generator.generate_day(utc_ts(2020, 2, 5))
+            return (trace.session_count, trace.connection_count,
+                    len(trace.bursts),
+                    sum(b.orig_bytes + b.resp_bytes for b in trace.bursts))
+        assert run() == run()

@@ -1,0 +1,46 @@
+"""Tests for the persona dataclass and region tables."""
+
+import pytest
+
+from repro.synth.personas import (
+    HOME_REGIONS,
+    REGION_FOREIGN_APPS,
+    StudentPersona,
+)
+
+
+def _persona(**kwargs):
+    defaults = dict(
+        student_id=1, is_international=False, home_region=None,
+        remains_on_campus=True, departure_ts=None, activity_scale=1.0,
+        night_owl_shift=0.0, app_rates={"facebook": 2.0})
+    defaults.update(kwargs)
+    return StudentPersona(**defaults)
+
+
+class TestStudentPersona:
+    def test_on_campus_forever_when_no_departure(self):
+        persona = _persona()
+        assert persona.on_campus_at(0.0)
+        assert persona.on_campus_at(1e12)
+
+    def test_on_campus_until_departure(self):
+        persona = _persona(remains_on_campus=False, departure_ts=100.0)
+        assert persona.on_campus_at(99.0)
+        assert not persona.on_campus_at(100.0)
+
+    def test_rate_default_zero(self):
+        persona = _persona()
+        assert persona.rate("facebook") == 2.0
+        assert persona.rate("tiktok") == 0.0
+
+
+class TestRegionTables:
+    def test_weights_sum_to_one(self):
+        assert sum(weight for _, weight in HOME_REGIONS) == pytest.approx(1.0)
+
+    def test_every_region_has_foreign_apps(self):
+        for region, _ in HOME_REGIONS:
+            apps = REGION_FOREIGN_APPS[region]
+            assert apps
+            assert sum(weight for _, weight in apps) == pytest.approx(1.0)

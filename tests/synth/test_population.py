@@ -1,0 +1,123 @@
+"""Tests for population synthesis."""
+
+import pytest
+
+from repro import constants
+from repro.config import StudyConfig
+from repro.synth.devices import DeviceKind
+from repro.synth.population import build_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(StudyConfig(n_students=200, seed=13))
+
+
+class TestComposition:
+    def test_deterministic(self):
+        config = StudyConfig(n_students=30, seed=4)
+        a = build_population(config)
+        b = build_population(config)
+        assert [d.mac for d in a.devices] == [d.mac for d in b.devices]
+        assert a.counts() == b.counts()
+
+    def test_counts_structure(self, population):
+        counts = population.counts()
+        assert counts["students"] >= 200  # residents + visitors
+        assert 0 < counts["international"] < counts["students"]
+        assert 0 < counts["remainers"] < 200
+
+    def test_every_student_has_phone(self, population):
+        for student_id, persona in population.personas.items():
+            if persona.is_visitor:
+                continue
+            kinds = {d.kind for d in population.devices_of(student_id)}
+            assert DeviceKind.PHONE in kinds
+
+    def test_international_fraction_near_config(self, population):
+        residents = [p for p in population.personas.values()
+                     if not p.is_visitor]
+        fraction = sum(p.is_international for p in residents) / len(residents)
+        assert 0.15 < fraction < 0.35
+
+    def test_international_overrepresented_among_remainers(self, population):
+        residents = [p for p in population.personas.values()
+                     if not p.is_visitor]
+        remainers = [p for p in residents if p.remains_on_campus]
+        base = sum(p.is_international for p in residents) / len(residents)
+        remain = sum(p.is_international for p in remainers) / len(remainers)
+        assert remain > base
+
+    def test_home_regions_only_for_international(self, population):
+        for persona in population.personas.values():
+            if persona.is_international:
+                assert persona.home_region is not None
+            else:
+                assert persona.home_region is None
+
+
+class TestDepartures:
+    def test_remainers_have_no_departure(self, population):
+        for persona in population.personas.values():
+            if persona.remains_on_campus:
+                assert persona.departure_ts is None
+            elif not persona.is_visitor:
+                assert (constants.STATE_OF_EMERGENCY - 86400
+                        <= persona.departure_ts <= constants.BREAK_END)
+
+    def test_devices_inherit_departure(self, population):
+        for device in population.devices:
+            persona = population.personas[device.owner_id]
+            if persona.is_visitor:
+                continue
+            if device.arrival_ts == constants.STUDY_START:
+                assert device.departure_ts == persona.departure_ts
+
+
+class TestVisitors:
+    def test_visitors_stay_under_filter_threshold(self, population):
+        config = StudyConfig(n_students=200, seed=13)
+        visitors = [p for p in population.personas.values() if p.is_visitor]
+        assert visitors
+        for persona in visitors:
+            for device in population.devices_of(persona.student_id):
+                span_days = (device.departure_ts - device.arrival_ts) / 86400
+                assert span_days < config.visitor_min_days
+
+
+class TestNewSwitches:
+    def test_new_switches_belong_to_remainers(self, population):
+        new = [d for d in population.devices
+               if d.kind == DeviceKind.SWITCH
+               and d.arrival_ts > constants.STUDY_START]
+        assert new  # the fraction should produce some at n=200
+        for device in new:
+            persona = population.personas[device.owner_id]
+            assert persona.remains_on_campus
+            assert device.arrival_ts >= constants.BREAK_END
+
+
+class TestAppProfiles:
+    def test_everyone_zooms(self, population):
+        for persona in population.personas.values():
+            if persona.is_visitor:
+                continue
+            assert persona.rate("zoom_class") > 0
+
+    def test_foreign_apps_only_international(self, population):
+        foreign = [name for name in ("foreign_social_cn", "foreign_video_cn",
+                                     "foreign_social_kr")]
+        for persona in population.personas.values():
+            if persona.is_visitor or persona.is_international:
+                continue
+            for name in foreign:
+                assert persona.rate(name) == 0.0
+
+    def test_tiktok_adopters_have_start_dates(self, population):
+        adopters = [p for p in population.personas.values()
+                    if "tiktok" in p.app_start]
+        assert adopters
+        for persona in adopters:
+            assert persona.rate("tiktok") > 0
+            assert (constants.STUDY_START < persona.app_start["tiktok"]
+                    < constants.STUDY_END)

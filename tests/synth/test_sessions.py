@@ -1,0 +1,112 @@
+"""Tests for device-day session sampling."""
+
+import numpy as np
+import pytest
+
+from repro.net.oui_db import default_oui_database
+from repro.synth.archetypes import default_archetypes
+from repro.synth.behavior import BehaviorModel
+from repro.synth.devices import DeviceKind, make_device
+from repro.synth.personas import StudentPersona
+from repro.synth.sessions import lognormal_with_mean, sample_day_sessions
+from repro.util.timeutil import DAY, utc_ts
+from repro.world.catalog import default_directory
+
+DAY_START = utc_ts(2020, 2, 5)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    archetypes = default_archetypes(default_directory(longtail_sites=5))
+    return archetypes, BehaviorModel(archetypes)
+
+
+def _persona(rates):
+    return StudentPersona(
+        student_id=0, is_international=False, home_region=None,
+        remains_on_campus=True, departure_ts=None, activity_scale=1.0,
+        night_owl_shift=0.0, app_rates=rates)
+
+
+def _device(kind=DeviceKind.LAPTOP):
+    return make_device(
+        device_id=7, owner_id=0, kind=kind, oui_db=default_oui_database(),
+        rng=np.random.default_rng(1), arrival_ts=0.0, departure_ts=None)
+
+
+class TestLognormal:
+    def test_mean_approximately_preserved(self):
+        rng = np.random.default_rng(0)
+        samples = [lognormal_with_mean(rng, 100.0, 0.6)
+                   for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_positive(self):
+        rng = np.random.default_rng(0)
+        assert all(lognormal_with_mean(rng, 5.0, 1.0) > 0
+                   for _ in range(100))
+
+
+class TestSampling:
+    def test_sessions_sorted_and_in_day(self, setup):
+        archetypes, behavior = setup
+        persona = _persona({"web_browse": 5.0, "youtube": 2.0})
+        sessions = sample_day_sessions(
+            persona, _device(), behavior, archetypes, DAY_START,
+            np.random.default_rng(3))
+        starts = [s.start for s in sessions]
+        assert starts == sorted(starts)
+        for session in sessions:
+            assert DAY_START <= session.start < DAY_START + DAY
+            assert session.duration >= 30.0
+            assert session.total_bytes >= 500.0
+
+    def test_rate_scales_session_count(self, setup):
+        archetypes, behavior = setup
+        def total(persona):
+            return sum(
+                len(sample_day_sessions(persona, _device(), behavior,
+                                        archetypes, DAY_START,
+                                        np.random.default_rng(seed)))
+                for seed in range(30))
+
+        low = total(_persona({"web_browse": 1.0}))
+        high = total(_persona({"web_browse": 8.0}))
+        assert high > 4 * low
+
+    def test_cutoff_truncates(self, setup):
+        archetypes, behavior = setup
+        persona = _persona({"web_browse": 10.0})
+        cutoff = DAY_START + 6 * 3600.0
+        for seed in range(10):
+            sessions = sample_day_sessions(
+                persona, _device(), behavior, archetypes, DAY_START,
+                np.random.default_rng(seed), cutoff_ts=cutoff)
+            for session in sessions:
+                assert session.start < cutoff
+                assert session.end <= cutoff + 1e-6
+
+    def test_unknown_archetype_rejected(self, setup):
+        archetypes, behavior = setup
+        persona = _persona({"quantum_chess": 1.0})
+        with pytest.raises(KeyError):
+            sample_day_sessions(persona, _device(), behavior, archetypes,
+                                DAY_START, np.random.default_rng(0))
+
+    def test_kind_filter(self, setup):
+        """An app that doesn't run on the device yields no sessions."""
+        archetypes, behavior = setup
+        persona = _persona({"steam_game": 20.0})
+        sessions = sample_day_sessions(
+            persona, _device(DeviceKind.PHONE), behavior, archetypes,
+            DAY_START, np.random.default_rng(0))
+        assert sessions == []
+
+    def test_deterministic_given_rng(self, setup):
+        archetypes, behavior = setup
+        persona = _persona({"web_browse": 5.0})
+        a = sample_day_sessions(persona, _device(), behavior, archetypes,
+                                DAY_START, np.random.default_rng(9))
+        b = sample_day_sessions(persona, _device(), behavior, archetypes,
+                                DAY_START, np.random.default_rng(9))
+        assert a == b

@@ -1,0 +1,65 @@
+"""Tests for repro.util.rng: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngFactory, substream
+
+
+class TestSubstream:
+    def test_same_keys_same_stream(self):
+        a = substream(7, "device", 12).random(8)
+        b = substream(7, "device", 12).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = substream(7, "device", 12).random(8)
+        b = substream(7, "device", 13).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = substream(7, "x").random(8)
+        b = substream(8, "x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_key_types(self):
+        # str, int and bytes are all acceptable and distinct.
+        streams = [substream(1, key).random() for key in ("a", 97, b"a")]
+        assert len(set(streams)) == 3
+
+    def test_int_vs_str_key_distinct(self):
+        a = substream(1, "12").random(4)
+        b = substream(1, 12).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_unsupported_key_type(self):
+        with pytest.raises(TypeError):
+            substream(1, 3.14)
+
+    def test_order_independence(self):
+        """Requesting stream B first must not change stream A."""
+        a_first = substream(5, "a").random(4)
+        substream(5, "b").random(4)
+        a_again = substream(5, "a").random(4)
+        assert np.array_equal(a_first, a_again)
+
+
+class TestRngFactory:
+    def test_stream_matches_substream(self):
+        factory = RngFactory(42)
+        assert np.array_equal(
+            factory.stream("x", 1).random(4),
+            substream(42, "x", 1).random(4))
+
+    def test_child_namespaces_are_independent(self):
+        factory = RngFactory(42)
+        child_a = factory.child("population")
+        child_b = factory.child("traffic")
+        assert child_a.seed != child_b.seed
+        assert not np.array_equal(
+            child_a.stream("s").random(4),
+            child_b.stream("s").random(4))
+
+    def test_child_deterministic(self):
+        assert (RngFactory(9).child("k").seed
+                == RngFactory(9).child("k").seed)

@@ -1,0 +1,89 @@
+"""Tests for the address plan."""
+
+import pytest
+
+from repro.world.addressing import build_address_plan
+from repro.world.catalog import default_directory
+
+
+class TestAddressPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return build_address_plan(default_directory())
+
+    def test_every_service_has_prefixes(self, plan):
+        for service in plan.directory:
+            prefixes = plan.prefixes_for_service(service.name)
+            assert len(prefixes) == len(service.locations)
+
+    def test_prefixes_disjoint(self, plan):
+        spans = sorted(
+            (prefix.first, prefix.last)
+            for prefixes in plan.service_prefixes.values()
+            for prefix in prefixes)
+        for (a_first, a_last), (b_first, b_last) in zip(spans, spans[1:]):
+            assert a_last < b_first
+
+    def test_operator_services_inside_operator_block(self, plan):
+        for service in plan.directory:
+            if service.operator is None:
+                continue
+            block = plan.operator_blocks[service.operator]
+            for prefix in plan.prefixes_for_service(service.name):
+                assert block.contains(prefix.first)
+                assert block.contains(prefix.last)
+
+    def test_independent_services_outside_operator_blocks(self, plan):
+        blocks = list(plan.operator_blocks.values())
+        for service in plan.directory:
+            if service.operator is not None:
+                continue
+            for prefix in plan.prefixes_for_service(service.name):
+                assert not any(block.contains(prefix.first)
+                               for block in blocks), service.name
+
+    def test_geo_db_matches_declared_locations(self, plan):
+        from repro.world.geo import LOCATIONS
+        for service in plan.directory:
+            prefixes = plan.prefixes_for_service(service.name)
+            for prefix, key in zip(prefixes, service.locations):
+                location = plan.geo_db.lookup(prefix.first + 1)
+                assert location == LOCATIONS[key], service.name
+
+    def test_excluded_blocks(self, plan):
+        blocks = plan.excluded_blocks(("amazon", "apple"))
+        assert len(blocks) == 2
+        with pytest.raises(KeyError):
+            plan.excluded_blocks(("nonexistent",))
+
+    def test_service_of_address_ground_truth(self, plan):
+        zoom_prefix = plan.prefixes_for_service("zoom")[0]
+        assert plan.service_of_address(zoom_prefix.first + 1).name == "zoom"
+        assert plan.service_of_address(1) is None
+
+    def test_zoom_publication_split(self, plan):
+        publication = plan.zoom_publication()
+        assert publication.service == "zoom"
+        assert len(publication.current) == 2
+        assert len(publication.wayback) == 1
+        assert set(publication.all_ranges) == set(
+            plan.prefixes_for_service("zoom"))
+
+    def test_published_ranges_bounds(self, plan):
+        with pytest.raises(ValueError):
+            plan.published_ranges("zoom", wayback_locations=7)
+
+    def test_prefixes_for_domain(self, plan):
+        assert plan.prefixes_for_domain("zoom.us") == \
+            plan.prefixes_for_service("zoom")
+        assert plan.prefixes_for_domain("unknown.example") == ()
+
+    def test_client_pools(self, plan):
+        assert len(plan.client_pools) == 4
+        for pool in plan.client_pools:
+            assert pool.length == 18
+
+    def test_deterministic(self):
+        plan_a = build_address_plan(default_directory())
+        plan_b = build_address_plan(default_directory())
+        assert plan_a.service_prefixes == plan_b.service_prefixes

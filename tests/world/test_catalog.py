@@ -1,0 +1,127 @@
+"""Tests for the default service catalog."""
+
+import pytest
+
+from repro.world.catalog import (
+    DEFAULT_LONGTAIL_SITES,
+    LONGTAIL_NAME_PREFIX,
+    default_directory,
+)
+from repro.world.geo import LOCATIONS
+from repro.world.services import Service, ServiceCategory, ServiceDirectory
+
+
+class TestCatalogIntegrity:
+    def test_builds(self):
+        directory = default_directory()
+        assert len(directory) > 60 + DEFAULT_LONGTAIL_SITES - 1
+
+    def test_all_locations_exist(self):
+        for service in default_directory():
+            for key in service.locations:
+                assert key in LOCATIONS, (service.name, key)
+
+    def test_domain_uniqueness_enforced(self):
+        directory = default_directory()
+        with pytest.raises(ValueError):
+            directory.add(Service(
+                name="dup", category=ServiceCategory.WEB,
+                domains=("zoom.us",), locations=("ashburn",)))
+
+    def test_paper_services_present(self):
+        directory = default_directory()
+        for name in ("zoom", "facebook", "fbcdn", "instagram", "tiktok",
+                     "steam", "steam-content", "nintendo-gameplay",
+                     "nintendo-infra", "akamai", "optimizely"):
+            assert name in directory, name
+
+    def test_excluded_operators_covered(self):
+        directory = default_directory()
+        operators = {service.operator for service in directory
+                     if service.operator}
+        assert operators == {
+            "ucsd", "google_cloud", "amazon", "microsoft_azure",
+            "riot_games", "twitch", "qualys", "apple",
+        }
+
+    def test_facebook_instagram_domain_structure(self):
+        """The disambiguation heuristic depends on this exact layout."""
+        directory = default_directory()
+        assert directory.find_domain("facebook.net").name == "facebook"
+        assert directory.find_domain("fbcdn.net").name == "fbcdn"
+        assert directory.find_domain("instagram.com").name == "instagram"
+        assert directory.find_domain("cdninstagram.com").name == "instagram"
+
+    def test_zoom_has_dnsless_media(self):
+        zoom = default_directory().get("zoom")
+        assert zoom.dnsless_fraction > 0
+        assert len(zoom.locations) == 3  # two current + one legacy block
+
+    def test_cdn_flags(self):
+        directory = default_directory()
+        for name in ("fbcdn", "akamai", "cloudfront", "optimizely"):
+            assert directory.get(name).is_cdn, name
+
+    def test_longtail_generated(self):
+        directory = default_directory()
+        tail = [s for s in directory
+                if s.name.startswith(LONGTAIL_NAME_PREFIX)]
+        assert len(tail) == DEFAULT_LONGTAIL_SITES
+        domains = {s.primary_domain for s in tail}
+        assert len(domains) == DEFAULT_LONGTAIL_SITES
+
+    def test_longtail_size_configurable(self):
+        directory = default_directory(longtail_sites=10)
+        tail = [s for s in directory
+                if s.name.startswith(LONGTAIL_NAME_PREFIX)]
+        assert len(tail) == 10
+
+
+class TestServiceValidation:
+    def test_category_checked(self):
+        with pytest.raises(ValueError):
+            Service(name="x", category="nonsense", domains=("x.com",),
+                    locations=("ashburn",))
+
+    def test_requires_domains_and_locations(self):
+        with pytest.raises(ValueError):
+            Service(name="x", category=ServiceCategory.WEB, domains=(),
+                    locations=("ashburn",))
+        with pytest.raises(ValueError):
+            Service(name="x", category=ServiceCategory.WEB,
+                    domains=("x.com",), locations=())
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            Service(name="x", category=ServiceCategory.WEB,
+                    domains=("x.com",), locations=("ashburn",),
+                    http_fraction=1.5)
+        with pytest.raises(ValueError):
+            Service(name="x", category=ServiceCategory.WEB,
+                    domains=("x.com",), locations=("ashburn",),
+                    dnsless_fraction=-0.1)
+
+
+class TestServiceDirectory:
+    def test_by_category(self):
+        directory = ServiceDirectory()
+        directory.add(Service(name="a", category=ServiceCategory.WEB,
+                              domains=("a.com",), locations=("ashburn",)))
+        directory.add(Service(name="b", category=ServiceCategory.SOCIAL,
+                              domains=("b.com",), locations=("ashburn",)))
+        assert [s.name for s in directory.by_category(
+            ServiceCategory.WEB)] == ["a"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ServiceDirectory().get("nope")
+
+    def test_duplicate_name_rejected(self):
+        directory = ServiceDirectory()
+        service = Service(name="a", category=ServiceCategory.WEB,
+                          domains=("a.com",), locations=("ashburn",))
+        directory.add(service)
+        with pytest.raises(ValueError):
+            directory.add(Service(name="a", category=ServiceCategory.WEB,
+                                  domains=("a2.com",),
+                                  locations=("ashburn",)))

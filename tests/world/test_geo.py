@@ -1,0 +1,66 @@
+"""Tests for the synthetic geolocation database."""
+
+import pytest
+
+from repro.net.ip import Prefix, ip_to_int
+from repro.world.geo import LOCATIONS, GeoDatabase, GeoLocation
+
+
+class TestLocations:
+    def test_catalog_locations_well_formed(self):
+        for key, location in LOCATIONS.items():
+            assert -90 <= location.lat <= 90, key
+            assert -180 <= location.lon <= 180, key
+            assert len(location.country) == 2
+
+    def test_us_flag(self):
+        assert LOCATIONS["san_diego"].is_us
+        assert not LOCATIONS["beijing"].is_us
+
+
+class TestGeoDatabase:
+    def _db(self):
+        db = GeoDatabase()
+        db.add(Prefix.parse("50.0.0.0/24"), LOCATIONS["san_diego"])
+        db.add(Prefix.parse("50.0.1.0/24"), LOCATIONS["beijing"])
+        db.add(Prefix.parse("60.0.0.0/16"), LOCATIONS["seoul"])
+        return db
+
+    def test_exact_hit(self):
+        db = self._db()
+        assert db.lookup(ip_to_int("50.0.0.17")).city == "San Diego"
+        assert db.lookup(ip_to_int("50.0.1.17")).city == "Beijing"
+
+    def test_miss(self):
+        db = self._db()
+        assert db.lookup(ip_to_int("50.0.2.1")) is None
+        assert db.lookup(ip_to_int("8.8.8.8")) is None
+
+    def test_boundaries(self):
+        db = self._db()
+        assert db.lookup(ip_to_int("50.0.0.0")).city == "San Diego"
+        assert db.lookup(ip_to_int("50.0.0.255")).city == "San Diego"
+        assert db.lookup(ip_to_int("60.0.255.255")).city == "Seoul"
+        assert db.lookup(ip_to_int("60.1.0.0")) is None
+
+    def test_longest_prefix_wins(self):
+        db = GeoDatabase()
+        db.add(Prefix.parse("50.0.0.0/16"), LOCATIONS["seattle"])
+        db.add(Prefix.parse("50.0.4.0/24"), LOCATIONS["tokyo"])
+        assert db.lookup(ip_to_int("50.0.4.9")).city == "Tokyo"
+        assert db.lookup(ip_to_int("50.0.5.9")).city == "Seattle"
+
+    def test_min_prefix_length_enforced(self):
+        db = GeoDatabase()
+        with pytest.raises(ValueError):
+            db.add(Prefix.parse("0.0.0.0/0"), LOCATIONS["seattle"])
+
+    def test_lookup_after_incremental_add(self):
+        db = self._db()
+        assert db.lookup(ip_to_int("50.0.0.1")) is not None
+        db.add(Prefix.parse("70.0.0.0/24"), LOCATIONS["mumbai"])
+        assert db.lookup(ip_to_int("70.0.0.5")).city == "Mumbai"
+        assert db.lookup(ip_to_int("50.0.1.5")).city == "Beijing"
+
+    def test_empty_database(self):
+        assert GeoDatabase().lookup(123) is None

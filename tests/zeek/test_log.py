@@ -1,0 +1,41 @@
+"""Serialization tests for connection logs."""
+
+import io
+
+from repro.zeek.conn import ConnRecord
+from repro.zeek.log import read_conn_log, write_conn_log
+
+
+def _conn(uid=1, ua=None):
+    return ConnRecord(
+        uid=uid, ts=100.5, duration=12.25, orig_h=0x64400001,
+        orig_p=51515, resp_h=0x32000001, resp_p=443, proto="tcp",
+        orig_bytes=1111, resp_bytes=2222, user_agent=ua)
+
+
+class TestConnRecord:
+    def test_derived_fields(self):
+        conn = _conn()
+        assert conn.end == 112.75
+        assert conn.total_bytes == 3333
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        records = [_conn(1), _conn(2, ua="Mozilla/5.0 (iPad)")]
+        buffer = io.StringIO()
+        assert write_conn_log(records, buffer) == 2
+        buffer.seek(0)
+        assert list(read_conn_log(buffer)) == records
+
+    def test_user_agent_omitted_when_none(self):
+        buffer = io.StringIO()
+        write_conn_log([_conn()], buffer)
+        assert "user_agent" not in buffer.getvalue()
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_conn_log([_conn()], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(list(read_conn_log(buffer))) == 1
