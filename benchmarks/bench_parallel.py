@@ -1,0 +1,71 @@
+"""Benchmark of sharded parallel ingest vs the serial pipeline.
+
+Times the full generate-and-measure stage on a four-week window, serial
+and sharded, and prints the observed speedup plus tokenization-cache
+efficiency. Equivalence is asserted here too (the merged dataset must
+be identical to the serial one); the speedup *ratio* is reported but
+not asserted, because it depends on the host's core count -- on a
+single-core runner the sharded run can only break even at best.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import StudyConfig
+from repro.pipeline.parallel import ParallelPipeline
+from repro.pipeline.pipeline import MonitoringPipeline
+from repro.synth.generator import CampusTraceGenerator
+from repro.util.timeutil import utc_ts
+
+_CONFIG = StudyConfig(n_students=25, seed=99,
+                      start_ts=utc_ts(2020, 2, 3),
+                      end_ts=utc_ts(2020, 3, 2))
+
+
+def _serial_run():
+    generator = CampusTraceGenerator(_CONFIG)
+    excluded = generator.plan.excluded_blocks(_CONFIG.excluded_operators)
+    pipeline = MonitoringPipeline(_CONFIG, excluded)
+    for trace in generator.iter_days():
+        pipeline.ingest_day(trace)
+    return pipeline.finalize(), pipeline.stats
+
+
+def test_serial_ingest_four_weeks(benchmark):
+    dataset, _ = benchmark.pedantic(_serial_run, rounds=1, iterations=1)
+    assert len(dataset) > 1000
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_ingest_four_weeks(benchmark, workers):
+    result = benchmark.pedantic(
+        lambda: ParallelPipeline(_CONFIG, workers).run(),
+        rounds=1, iterations=1)
+    assert len(result.dataset) > 1000
+    assert len(result.shards) == workers
+
+
+def test_parallel_speedup_report():
+    """One timed serial-vs-4-worker comparison, with equivalence check."""
+    started = time.perf_counter()
+    serial_dataset, serial_stats = _serial_run()
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = ParallelPipeline(_CONFIG, 4).run()
+    parallel_seconds = time.perf_counter() - started
+
+    assert result.dataset.identical(serial_dataset.canonicalize())
+    assert result.stats.flows_closed == serial_stats.flows_closed
+
+    speedup = serial_seconds / parallel_seconds
+    print(f"\nserial   : {serial_seconds:7.2f}s "
+          f"({serial_stats.flows_closed:,} flows)")
+    print(f"parallel : {parallel_seconds:7.2f}s (4 workers, "
+          f"{os.cpu_count()} cpu core(s))")
+    print(f"speedup  : {speedup:.2f}x")
+    print(f"token cache: serial hit rate "
+          f"{serial_stats.anon_cache_hit_rate:.4f}, "
+          f"sharded hit rate {result.stats.anon_cache_hit_rate:.4f}")

@@ -101,7 +101,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = StudyConfig(n_students=args.students, seed=args.seed)
     study = LockdownStudy(config)
     started = time.time()
-    artifacts = study.run(progress=_progress)
+    artifacts = study.run(progress=_progress, workers=args.workers)
     if args.baseline:
         _progress("synthesizing 2019 baseline")
         study.run_baseline_2019(artifacts)
@@ -131,7 +131,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_checklist(args: argparse.Namespace) -> int:
     config = StudyConfig(n_students=args.students, seed=args.seed)
     study = LockdownStudy(config)
-    artifacts = study.run(progress=_progress)
+    artifacts = study.run(progress=_progress, workers=args.workers)
     if args.baseline:
         _progress("synthesizing 2019 baseline")
         study.run_baseline_2019(artifacts)
@@ -195,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a study and print/persist the figure report")
     run.add_argument("--students", type=int, default=100)
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for sharded parallel ingest "
+                          "(1 = serial; results are equivalent)")
     run.add_argument("--baseline", action="store_true",
                      help="also synthesize the 2019 comparison baseline")
     run.add_argument("--out", type=str, default=None,
@@ -211,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
         "checklist", help="evaluate every encoded paper claim")
     checklist.add_argument("--students", type=int, default=100)
     checklist.add_argument("--seed", type=int, default=7)
+    checklist.add_argument("--workers", type=int, default=1,
+                           help="worker processes for sharded parallel "
+                                "ingest (1 = serial)")
     checklist.add_argument("--baseline", action="store_true")
     checklist.set_defaults(handler=_cmd_checklist)
 

@@ -132,22 +132,41 @@ class LockdownStudy:
     def __init__(self, config: Optional[StudyConfig] = None):
         self.config = config or StudyConfig()
 
-    def run(self, progress: Optional[ProgressFn] = None) -> StudyArtifacts:
-        """Generate, measure, classify; returns the artifacts."""
+    def run(self, progress: Optional[ProgressFn] = None,
+            workers: int = 1) -> StudyArtifacts:
+        """Generate, measure, classify; returns the artifacts.
+
+        With ``workers > 1`` the generate-and-measure stage runs as a
+        sharded parallel ingest (:class:`~repro.pipeline.parallel.
+        ParallelPipeline`): the window is split into contiguous
+        day-range shards, one worker process each, and the merged
+        dataset is provably equivalent to the serial run's (identical
+        arrays and side tables after canonical ordering).
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         report = progress or (lambda message: None)
         config = self.config
 
         generator = CampusTraceGenerator(config)
         report(f"population: {generator.population.counts()}")
 
-        excluded = generator.plan.excluded_blocks(config.excluded_operators)
-        pipeline = MonitoringPipeline(config, excluded)
-        for trace in generator.iter_days():
-            pipeline.ingest_day(trace)
-            if trace.day_start % (7 * 86400.0) < 86400.0:
-                report(f"ingested {format_day(trace.day_start)} "
-                       f"({len(pipeline.builder)} flows so far)")
-        dataset_all = pipeline.finalize()
+        if workers > 1:
+            from repro.pipeline.parallel import ParallelPipeline
+
+            result = ParallelPipeline(config, workers).run(progress=report)
+            dataset_all, pipeline_stats = result.dataset, result.stats
+        else:
+            excluded = generator.plan.excluded_blocks(
+                config.excluded_operators)
+            pipeline = MonitoringPipeline(config, excluded)
+            for trace in generator.iter_days():
+                pipeline.ingest_day(trace)
+                if trace.day_start % (7 * 86400.0) < 86400.0:
+                    report(f"ingested {format_day(trace.day_start)} "
+                           f"({len(pipeline.builder)} flows so far)")
+            dataset_all = pipeline.finalize()
+            pipeline_stats = pipeline.stats
         report(f"pipeline done: {len(dataset_all)} flows, "
                f"{dataset_all.n_devices} devices")
 
@@ -181,7 +200,7 @@ class LockdownStudy:
             midpoints=midpoints,
             post_shutdown_mask=post_shutdown,
             signatures=signatures,
-            pipeline_stats=pipeline.stats,
+            pipeline_stats=pipeline_stats,
         )
 
     # -- reconstruction from saved data --------------------------------------

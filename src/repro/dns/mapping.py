@@ -29,9 +29,13 @@ class IpDomainResolver:
             raise ValueError("freshness_seconds must be positive")
         self.freshness_seconds = float(freshness_seconds)
         # Per answer address, parallel arrays per *annotation epoch*
-        # (a maximal run of observations of the same qname): the epoch's
-        # first observation (bisection key), its latest observation
-        # (freshness anchor), and the qname.
+        # (a maximal run of observations of the same qname with no gap
+        # wider than the freshness window): the epoch's first
+        # observation (bisection key), its latest observation (freshness
+        # anchor), and the qname. Splitting on stale gaps keeps the
+        # resolver's effective lookback bounded by the freshness window,
+        # which is what lets sharded ingest rebuild identical annotation
+        # state from a finite warm-up (see repro.pipeline.parallel).
         self._times: Dict[int, List[float]] = defaultdict(list)
         self._last_seen: Dict[int, List[float]] = defaultdict(list)
         self._names: Dict[int, List[str]] = defaultdict(list)
@@ -58,7 +62,8 @@ class IpDomainResolver:
                     f"DNS log out of order for answer {address}: "
                     f"{record.ts} < {last_seen[-1]}"
                 )
-            if names and names[-1] == record.qname:
+            if (names and names[-1] == record.qname
+                    and record.ts - last_seen[-1] <= self.freshness_seconds):
                 last_seen[-1] = record.ts  # refresh the open epoch
             else:
                 times.append(record.ts)

@@ -8,6 +8,7 @@ modules consume this one structure.
 
 from __future__ import annotations
 
+import dataclasses
 from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -24,6 +25,10 @@ _PROTO_NAMES = {code: name for name, code in _PROTO_CODES.items()}
 
 #: Domain index used for flows with no DNS annotation.
 NO_DOMAIN = -1
+
+#: The columnar arrays of a finalized dataset, in schema order.
+ARRAY_FIELDS = ("ts", "duration", "device", "resp_h", "resp_p", "proto",
+                "orig_bytes", "resp_bytes", "domain", "day")
 
 
 @dataclass
@@ -44,6 +49,35 @@ class DeviceProfile:
     @property
     def active_day_count(self) -> int:
         return len(self.days_seen)
+
+    def clone(self, index: Optional[int] = None) -> "DeviceProfile":
+        """An independent copy (sets are not shared), optionally re-indexed."""
+        return dataclasses.replace(
+            self,
+            index=self.index if index is None else index,
+            user_agents=set(self.user_agents),
+            days_seen=set(self.days_seen),
+        )
+
+    def merge_from(self, other: "DeviceProfile") -> None:
+        """Field-wise union with another run's profile of the same device.
+
+        The union is exactly what the builder would have accumulated had
+        it seen both runs' flows: ``days_seen``/``user_agents`` set-union,
+        ``first_ts`` min, ``last_ts`` max, byte/flow sums. Identity
+        fields (token, OUI, LAA bit) are deterministic functions of the
+        underlying MAC, so they must already agree.
+        """
+        if other.token != self.token:
+            raise ValueError(
+                f"cannot merge profiles of different devices: "
+                f"{self.token} != {other.token}")
+        self.user_agents |= other.user_agents
+        self.days_seen |= other.days_seen
+        self.flow_count += other.flow_count
+        self.total_bytes += other.total_bytes
+        self.first_ts = min(self.first_ts, other.first_ts)
+        self.last_ts = max(self.last_ts, other.last_ts)
 
 
 class FlowDataset:
@@ -145,8 +179,6 @@ class FlowDataset:
         device table: per-device analyses (classification counts,
         sub-population fractions) iterate that table.
         """
-        import dataclasses
-
         used = np.unique(self.device)
         remap = np.full(len(self.devices), -1, dtype=np.int32)
         remap[used] = np.arange(used.size, dtype=np.int32)
@@ -170,6 +202,148 @@ class FlowDataset:
             devices=new_devices,
             day0=self.day0,
         )
+
+    # -- canonical form and merging ---------------------------------------
+
+    def canonicalize(self) -> "FlowDataset":
+        """The dataset in canonical order: a deterministic total form.
+
+        Domains are sorted lexicographically, devices by token, and the
+        flow rows by every column (timestamp first). Two datasets
+        holding the same flows -- however they were accumulated or
+        sharded -- compare byte-identical after canonicalization, which
+        is what the serial-vs-parallel golden tests assert.
+        """
+        domain_order = sorted(range(len(self.domains)),
+                              key=lambda i: self.domains[i])
+        new_domains = [self.domains[i] for i in domain_order]
+        domain_remap = np.empty(max(len(self.domains), 1), dtype=np.int32)
+        for new, old in enumerate(domain_order):
+            domain_remap[old] = new
+        domain = np.where(self.domain == NO_DOMAIN, np.int32(NO_DOMAIN),
+                          domain_remap[np.where(self.domain == NO_DOMAIN, 0,
+                                                self.domain)])
+
+        device_order = sorted(range(len(self.devices)),
+                              key=lambda i: self.devices[i].token)
+        new_devices = [self.devices[old].clone(index=new)
+                       for new, old in enumerate(device_order)]
+        device_remap = np.empty(len(self.devices), dtype=np.int32)
+        for new, old in enumerate(device_order):
+            device_remap[old] = new
+        device = device_remap[self.device] if len(self.devices) \
+            else self.device.astype(np.int32)
+
+        # Total order over rows: ts is primary, every other column breaks
+        # ties, so fully identical rows are the only remaining ambiguity
+        # (and those are interchangeable byte-for-byte).
+        order = np.lexsort((domain, self.resp_bytes, self.orig_bytes,
+                            self.duration, self.proto, self.resp_p,
+                            self.resp_h, device, self.ts))
+        return FlowDataset(
+            ts=self.ts[order],
+            duration=self.duration[order],
+            device=device[order],
+            resp_h=self.resp_h[order],
+            resp_p=self.resp_p[order],
+            proto=self.proto[order],
+            orig_bytes=self.orig_bytes[order],
+            resp_bytes=self.resp_bytes[order],
+            domain=domain[order],
+            day=self.day[order],
+            domains=new_domains,
+            devices=new_devices,
+            day0=self.day0,
+        )
+
+    @classmethod
+    def merge(cls, datasets: Sequence["FlowDataset"]) -> "FlowDataset":
+        """Merge per-shard datasets into one canonical dataset.
+
+        Device tokens and domain names are the join keys: each shard's
+        index tables are remapped onto the union tables, profiles of the
+        same device are union-merged field-wise, and the result is
+        canonicalized -- so the outcome is independent of shard order
+        and byte-identical to a canonicalized serial run over the same
+        flows. Shards must share ``day0`` (one study timeline).
+        """
+        if not datasets:
+            raise ValueError("merge requires at least one dataset")
+        day0 = datasets[0].day0
+        if any(ds.day0 != day0 for ds in datasets):
+            raise ValueError("cannot merge datasets with different day0")
+
+        domain_table: List[str] = []
+        domain_lookup: Dict[str, int] = {}
+        device_table: List[DeviceProfile] = []
+        device_lookup: Dict[str, int] = {}
+        chunks: Dict[str, List[np.ndarray]] = {name: [] for name in ARRAY_FIELDS}
+
+        for ds in datasets:
+            domain_remap = np.empty(max(len(ds.domains), 1), dtype=np.int32)
+            for old, name in enumerate(ds.domains):
+                index = domain_lookup.get(name)
+                if index is None:
+                    index = len(domain_table)
+                    domain_lookup[name] = index
+                    domain_table.append(name)
+                domain_remap[old] = index
+            device_remap = np.empty(max(len(ds.devices), 1), dtype=np.int32)
+            for old, profile in enumerate(ds.devices):
+                index = device_lookup.get(profile.token)
+                if index is None:
+                    index = len(device_table)
+                    device_lookup[profile.token] = index
+                    device_table.append(profile.clone(index=index))
+                else:
+                    device_table[index].merge_from(profile)
+                device_remap[old] = index
+
+            chunks["domain"].append(
+                np.where(ds.domain == NO_DOMAIN, np.int32(NO_DOMAIN),
+                         domain_remap[np.where(ds.domain == NO_DOMAIN, 0,
+                                               ds.domain)]))
+            chunks["device"].append(device_remap[ds.device]
+                                    if len(ds.devices)
+                                    else ds.device.astype(np.int32))
+            for name in ARRAY_FIELDS:
+                if name not in ("domain", "device"):
+                    chunks[name].append(getattr(ds, name))
+
+        merged = cls(
+            ts=np.concatenate(chunks["ts"]),
+            duration=np.concatenate(chunks["duration"]),
+            device=np.concatenate(chunks["device"]),
+            resp_h=np.concatenate(chunks["resp_h"]),
+            resp_p=np.concatenate(chunks["resp_p"]),
+            proto=np.concatenate(chunks["proto"]),
+            orig_bytes=np.concatenate(chunks["orig_bytes"]),
+            resp_bytes=np.concatenate(chunks["resp_bytes"]),
+            domain=np.concatenate(chunks["domain"]),
+            day=np.concatenate(chunks["day"]),
+            domains=domain_table,
+            devices=device_table,
+            day0=day0,
+        )
+        return merged.canonicalize()
+
+    def identical(self, other: "FlowDataset") -> bool:
+        """Byte-level equality of every array and side table.
+
+        Order-sensitive: canonicalize both operands first when comparing
+        datasets that were accumulated in different orders.
+        """
+        if self is other:
+            return True
+        if self.day0 != other.day0 or self.domains != other.domains:
+            return False
+        if self.devices != other.devices:
+            return False
+        for name in ARRAY_FIELDS:
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine.dtype != theirs.dtype or not np.array_equal(mine, theirs):
+                return False
+        return True
 
 
 class FlowDatasetBuilder:
@@ -252,6 +426,51 @@ class FlowDatasetBuilder:
 
     def __len__(self) -> int:
         return len(self._ts)
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "FlowDatasetBuilder") -> "FlowDatasetBuilder":
+        """Fold another builder's accumulated flows into this one.
+
+        Device tokens and domain names are the join keys: ``other``'s
+        index tables are remapped onto this builder's, and profiles of
+        devices seen by both are union-merged (:meth:`DeviceProfile.
+        merge_from`). ``other`` is left untouched. After canonical
+        ordering the result finalizes identically to a single builder
+        that ingested both flow streams -- the merge is associative with
+        the empty builder as identity (property-tested in
+        ``tests/property/test_merge_props.py``). Returns ``self``.
+        """
+        if other.day0 != self.day0:
+            raise ValueError(
+                f"cannot merge builders with different day0: "
+                f"{self.day0} != {other.day0}")
+
+        device_remap: List[int] = []
+        for profile in other._devices:
+            index = self._device_index.get(profile.token)
+            if index is None:
+                index = len(self._devices)
+                self._device_index[profile.token] = index
+                self._devices.append(profile.clone(index=index))
+            else:
+                self._devices[index].merge_from(profile)
+            device_remap.append(index)
+        domain_remap = [self.domain_index(name) for name in other._domains]
+
+        self._ts.extend(other._ts)
+        self._duration.extend(other._duration)
+        self._device.extend(device_remap[idx] for idx in other._device)
+        self._resp_h.extend(other._resp_h)
+        self._resp_p.extend(other._resp_p)
+        self._proto.extend(other._proto)
+        self._orig_bytes.extend(other._orig_bytes)
+        self._resp_bytes.extend(other._resp_bytes)
+        self._domain.extend(
+            NO_DOMAIN if idx == NO_DOMAIN else domain_remap[idx]
+            for idx in other._domain)
+        self._day.extend(other._day)
+        return self
 
     def finalize(self) -> FlowDataset:
         """Freeze into numpy arrays."""

@@ -1,0 +1,267 @@
+"""Sharded parallel ingest: the study window split across processes.
+
+The serial :class:`~repro.pipeline.pipeline.MonitoringPipeline` walks
+every day of the window in one process. This module partitions the
+window into contiguous day-range *shards*, runs one full
+generate-and-measure pipeline per shard in a worker process
+(``concurrent.futures.ProcessPoolExecutor``), and merges the per-shard
+datasets and stats deterministically.
+
+Equivalence to the serial run is exact, not approximate, and rests on
+the fact that every piece of cross-day measurement state is bounded in
+time:
+
+* **flow engine** -- an open flow survives at most ``flow_idle_timeout``
+  (default 600 s) past its last burst;
+* **DHCP attribution** -- every ACK (grant *and* renewal) is logged and
+  clients renew at half-lease, so any attributable flow has a
+  supporting ACK at most ``dhcp_lease_seconds`` (default 12 h) old;
+* **DNS annotation** -- an observation stops annotating after the
+  freshness window (default 48 h).
+
+Each shard therefore re-generates a **warm-up** horizon (enough whole
+days to cover the largest of those bounds) before its owned range to
+rebuild that state, plus a one-day **tail** after it to let flows that
+straddle its end idle out. Generation of an arbitrary day sub-range is
+reproducible because every simulation decision derives from
+``(seed, named substream)`` -- a fresh generator over ``[a, b)`` emits
+the same sessions and bursts as the full run does for those days
+(client IPs may differ, but those never reach the dataset).
+
+The boundary-dedupe rule: **a flow belongs to the shard that owns the
+day of its first burst**. It is enforced at registration time via
+``MonitoringPipeline``'s ``owned_window``, so warm-up and tail flows
+never enter a shard's builder or stats and the merge sees every flow
+exactly once. The merged dataset is canonicalized
+(:meth:`~repro.pipeline.dataset.FlowDataset.canonicalize`), making the
+result independent of shard count and byte-identical to a canonicalized
+serial run -- asserted by the golden tests in
+``tests/pipeline/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import StudyConfig
+from repro.dns.mapping import DEFAULT_FRESHNESS_SECONDS
+from repro.pipeline.dataset import FlowDataset
+from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
+from repro.util.timeutil import DAY, format_day, iter_days
+
+#: Days re-processed after a shard's owned range so flows whose first
+#: burst falls on its last owned day can close naturally. One day is a
+#: generous bound: sessions end at their day's cutoff, so a flow only
+#: outlives its first day through idle-timeout chaining.
+DEFAULT_TAIL_SECONDS = DAY
+
+ProgressFn = Callable[[str], None]
+
+
+class ShardFailure(RuntimeError):
+    """A worker failed; carries the shard whose ingest was lost."""
+
+    def __init__(self, spec: "ShardSpec", cause: BaseException):
+        super().__init__(
+            f"shard {spec.index + 1}/{spec.n_shards} "
+            f"({spec.describe()}) failed: {cause!r}")
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous day-range shard of the study window."""
+
+    index: int
+    n_shards: int
+    #: Half-open ownership interval; None bounds are unbounded so the
+    #: first/last shards also own any stray flow outside the window.
+    owned_start: Optional[float]
+    owned_end: Optional[float]
+    #: Generation range actually processed (warm-up + owned + tail).
+    gen_start: float
+    gen_end: float
+
+    def describe(self) -> str:
+        """Human-readable owned day range, e.g. for failure messages."""
+        first = format_day(self.gen_start if self.owned_start is None
+                           else self.owned_start)
+        last = format_day((self.gen_end if self.owned_end is None
+                           else self.owned_end) - 1.0)
+        return f"days {first}..{last}"
+
+
+def default_warmup_seconds(config: StudyConfig) -> float:
+    """Warm-up horizon: the largest cross-day state bound, whole days."""
+    horizon = max(config.flow_idle_timeout, config.dhcp_lease_seconds,
+                  DEFAULT_FRESHNESS_SECONDS)
+    return math.ceil(horizon / DAY) * DAY
+
+
+def plan_shards(config: StudyConfig, n_shards: int,
+                warmup_seconds: Optional[float] = None,
+                tail_seconds: float = DEFAULT_TAIL_SECONDS,
+                ) -> List[ShardSpec]:
+    """Split the study window into contiguous, balanced day shards.
+
+    Owned ranges partition the window's days exactly; generation ranges
+    extend each shard by the warm-up and tail horizons, clamped to the
+    window. Requests for more shards than days are capped.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if warmup_seconds is None:
+        warmup_seconds = default_warmup_seconds(config)
+    day_starts = list(iter_days(config.start_ts, config.end_ts))
+    n_days = len(day_starts)
+    n_shards = min(n_shards, n_days)
+
+    base, extra = divmod(n_days, n_shards)
+    shards: List[ShardSpec] = []
+    cursor = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        first_day = day_starts[cursor]
+        cursor += size
+        end_ts = (day_starts[cursor] if cursor < n_days
+                  else day_starts[-1] + DAY)
+        shards.append(ShardSpec(
+            index=index,
+            n_shards=n_shards,
+            owned_start=None if index == 0 else first_day,
+            owned_end=None if index == n_shards - 1 else end_ts,
+            gen_start=max(config.start_ts, first_day - warmup_seconds),
+            gen_end=min(config.end_ts, end_ts + tail_seconds),
+        ))
+    return shards
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker process needs (must stay picklable)."""
+
+    config: StudyConfig
+    spec: ShardSpec
+    presence: str
+    phase_override: Optional[str]
+    #: Test hook: raise before generating this day (failure injection).
+    fault_day: Optional[float]
+
+
+class InjectedShardFault(RuntimeError):
+    """Raised inside a worker by the failure-injection test hook."""
+
+
+def _ingest_shard(task: _ShardTask) -> Tuple[FlowDataset, PipelineStats]:
+    """Worker entry point: generate and measure one shard's day range."""
+    # Imported here so pool workers pay the simulation imports, not the
+    # parent at module-import time.
+    from repro.synth.generator import CampusTraceGenerator
+
+    config, spec = task.config, task.spec
+    generator = CampusTraceGenerator(config,
+                                     phase_override=task.phase_override)
+    excluded = generator.plan.excluded_blocks(config.excluded_operators)
+    pipeline = MonitoringPipeline(
+        config, excluded,
+        owned_window=(spec.owned_start, spec.owned_end))
+    for trace in generator.iter_days(spec.gen_start, spec.gen_end,
+                                     presence=task.presence):
+        if task.fault_day is not None and trace.day_start >= task.fault_day:
+            raise InjectedShardFault(
+                f"injected fault at {format_day(task.fault_day)}")
+        pipeline.ingest_day(trace)
+    return pipeline.finalize(), pipeline.stats
+
+
+@dataclass
+class ParallelResult:
+    """The merged outcome of a sharded ingest."""
+
+    dataset: FlowDataset
+    stats: PipelineStats
+    shard_stats: List[PipelineStats]
+    shards: List[ShardSpec]
+
+
+class ParallelPipeline:
+    """Orchestrates sharded generate-and-measure across processes."""
+
+    def __init__(self, config: StudyConfig, workers: int = 2, *,
+                 presence: str = "study",
+                 phase_override: Optional[str] = None,
+                 warmup_seconds: Optional[float] = None,
+                 tail_seconds: float = DEFAULT_TAIL_SECONDS,
+                 fault_day: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.config = config
+        self.workers = workers
+        self.shards = plan_shards(config, workers,
+                                  warmup_seconds=warmup_seconds,
+                                  tail_seconds=tail_seconds)
+        self._tasks = [
+            _ShardTask(config=config, spec=spec, presence=presence,
+                       phase_override=phase_override, fault_day=fault_day)
+            for spec in self.shards
+        ]
+
+    def run(self, progress: Optional[ProgressFn] = None) -> ParallelResult:
+        """Run every shard and merge; raises :class:`ShardFailure`.
+
+        Worker processes are always joined before this method returns,
+        whether it succeeds or raises -- a failed run leaves no zombie
+        workers and no partial state behind.
+        """
+        report = progress or (lambda message: None)
+        report(f"parallel ingest: {len(self.shards)} shard(s), "
+               f"{self.workers} worker(s)")
+        if self.workers == 1:
+            outcomes = [self._run_inline(task) for task in self._tasks]
+        else:
+            outcomes = self._run_pool()
+        datasets = [dataset for dataset, _ in outcomes]
+        shard_stats = [stats for _, stats in outcomes]
+        for spec, (dataset, stats) in zip(self.shards, outcomes):
+            report(f"shard {spec.index + 1}/{spec.n_shards} "
+                   f"({spec.describe()}): {len(dataset)} flows, "
+                   f"attribution {stats.attribution_rate:.3f}")
+        merged = FlowDataset.merge(datasets)
+        report(f"merged {len(self.shards)} shard(s): {len(merged)} flows, "
+               f"{merged.n_devices} devices")
+        return ParallelResult(
+            dataset=merged,
+            stats=PipelineStats.merged(shard_stats),
+            shard_stats=shard_stats,
+            shards=list(self.shards),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_inline(self, task: _ShardTask):
+        try:
+            return _ingest_shard(task)
+        except Exception as exc:
+            raise ShardFailure(task.spec, exc) from exc
+
+    def _run_pool(self):
+        results = [None] * len(self._tasks)
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(self._tasks))) as pool:
+            futures = {pool.submit(_ingest_shard, task): task
+                       for task in self._tasks}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+            for future in done:
+                task = futures[future]
+                try:
+                    results[task.spec.index] = future.result()
+                except Exception as exc:
+                    raise ShardFailure(task.spec, exc) from exc
+        # A cancelled sibling of a failed shard never reaches here; all
+        # futures completed, so every slot is filled.
+        return results

@@ -11,14 +11,15 @@ immediately tokenized.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
 from repro.dhcp.normalize import IpMacResolver
 from repro.dns.mapping import IpDomainResolver
 from repro.net.ip import Prefix
-from repro.pipeline.anonymize import Anonymizer
+from repro.pipeline.anonymize import Anonymizer, TokenCache
 from repro.pipeline.dataset import FlowDataset, FlowDatasetBuilder
 from repro.pipeline.tap import Tap
 from repro.util.timeutil import DAY
@@ -28,7 +29,14 @@ from repro.zeek.engine import FlowEngine
 
 @dataclass
 class PipelineStats:
-    """Operational counters of one ingest run."""
+    """Operational counters of one ingest run.
+
+    Every field is an additive counter, which is what makes per-shard
+    stats :meth:`merge`-able into the totals a serial run would have
+    produced (the tokenization-cache counters are the one per-process
+    exception: shards warm their own caches, so their sums exceed a
+    serial run's).
+    """
 
     days_ingested: int = 0
     bursts_seen: int = 0
@@ -39,6 +47,9 @@ class PipelineStats:
     http_records: int = 0
     #: Flows annotated from a plaintext Host header rather than DNS.
     flows_host_annotated: int = 0
+    #: Tokenization-cache efficiency (device MAC -> token memoization).
+    anon_cache_hits: int = 0
+    anon_cache_misses: int = 0
 
     @property
     def attribution_rate(self) -> float:
@@ -47,13 +58,49 @@ class PipelineStats:
             return 1.0
         return 1.0 - self.flows_unattributed / total
 
+    @property
+    def anon_cache_hit_rate(self) -> float:
+        total = self.anon_cache_hits + self.anon_cache_misses
+        if total == 0:
+            return 1.0
+        return self.anon_cache_hits / total
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Return a new stats object summing both operands' counters."""
+        merged = PipelineStats()
+        for spec in dataclasses.fields(PipelineStats):
+            setattr(merged, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+        return merged
+
+    @classmethod
+    def merged(cls, items: Iterable["PipelineStats"]) -> "PipelineStats":
+        """Sum any number of stats objects (empty input -> zeros)."""
+        total = cls()
+        for item in items:
+            total = total.merge(item)
+        return total
+
 
 class MonitoringPipeline:
-    """Stateful day-by-day ingest into a flow dataset."""
+    """Stateful day-by-day ingest into a flow dataset.
+
+    ``owned_window`` supports sharded ingest (see
+    :mod:`repro.pipeline.parallel`): when set to a ``(start_ts,
+    end_ts)`` half-open interval (either bound may be None for
+    unbounded), the pipeline still *processes* every day it is fed --
+    rebuilding flow-engine, DHCP and DNS state from warm-up days -- but
+    registers and counts only flows whose first burst falls inside the
+    window, and only days that start inside it. Flows and records
+    outside the window belong to a neighbouring shard; dropping them
+    here is what makes the shard merge see every flow exactly once.
+    """
 
     def __init__(self, config: StudyConfig,
                  excluded_prefixes: Sequence[Prefix] = (),
-                 day0: Optional[float] = None):
+                 day0: Optional[float] = None,
+                 owned_window: Optional[Tuple[Optional[float],
+                                              Optional[float]]] = None):
         self.config = config
         self.tap = Tap(excluded_prefixes)
         self.flow_engine = FlowEngine(config.flow_idle_timeout)
@@ -63,28 +110,47 @@ class MonitoringPipeline:
         self.builder = FlowDatasetBuilder(
             config.start_ts if day0 is None else day0)
         self.stats = PipelineStats()
+        self.owned_window = owned_window
         # Tokenization is deterministic per MAC; memoize the hot path.
-        self._anon_cache: dict = {}
+        self._anon_cache = TokenCache(self.anonymizer)
+
+    @property
+    def anon_cache_size(self) -> int:
+        """Distinct MACs held by the tokenization cache."""
+        return len(self._anon_cache)
+
+    def _owns(self, ts: float) -> bool:
+        if self.owned_window is None:
+            return True
+        start, end = self.owned_window
+        if start is not None and ts < start:
+            return False
+        if end is not None and ts >= end:
+            return False
+        return True
 
     def ingest_day(self, trace) -> None:
         """Process one day of wire events and log records."""
+        owned_day = self._owns(trace.day_start)
         for record in trace.dhcp_records:
             self.ip_mac.ingest(record)
-            self.stats.dhcp_records += 1
         for record in trace.dns_records:
             self.ip_domain.ingest(record)
-            self.stats.dns_records += 1
 
         kept = self.tap.filter(trace.bursts)
-        self.stats.bursts_seen += len(trace.bursts)
         for conn in self.flow_engine.process(kept):
             self._register(conn)
         # Close flows that have gone idle by end of day; still-active
         # flows remain open into the next day's processing.
         for conn in self.flow_engine.flush(trace.day_start + DAY):
             self._register(conn)
-        self.stats.http_records += len(self.flow_engine.drain_http())
-        self.stats.days_ingested += 1
+        http_drained = len(self.flow_engine.drain_http())
+        if owned_day:
+            self.stats.dhcp_records += len(trace.dhcp_records)
+            self.stats.dns_records += len(trace.dns_records)
+            self.stats.bursts_seen += len(trace.bursts)
+            self.stats.http_records += http_drained
+            self.stats.days_ingested += 1
 
     def ingest(self, traces: Iterable) -> "MonitoringPipeline":
         """Ingest a full trace iterator; returns self for chaining."""
@@ -96,11 +162,19 @@ class MonitoringPipeline:
         """Close remaining flows and freeze the dataset."""
         for conn in self.flow_engine.flush(None):
             self._register(conn)
+        # Late flows can carry plaintext headers whose http.log records
+        # were never drained by an end-of-day pass; count them here so a
+        # finalize-only flush does not silently drop them.
+        self.stats.http_records += len(self.flow_engine.drain_http())
         return self.builder.finalize()
 
     # -- internals ---------------------------------------------------------
 
     def _register(self, conn: ConnRecord) -> None:
+        if not self._owns(conn.ts):
+            # A warm-up or tail flow: the shard owning the day of its
+            # first burst registers (and counts) it instead.
+            return
         self.stats.flows_closed += 1
         mac = self.ip_mac.mac_at(conn.orig_h, conn.ts)
         if mac is None:
@@ -108,10 +182,11 @@ class MonitoringPipeline:
             # device (exactly what the real pipeline must drop).
             self.stats.flows_unattributed += 1
             return
-        anon = self._anon_cache.get(mac.value)
-        if anon is None:
-            anon = self.anonymizer.device(mac)
-            self._anon_cache[mac.value] = anon
+        anon, hit = self._anon_cache.lookup(mac)
+        if hit:
+            self.stats.anon_cache_hits += 1
+        else:
+            self.stats.anon_cache_misses += 1
         device_idx = self.builder.device_index(anon)
         # DNS-log annotation first; a plaintext Host header is direct
         # evidence and fills in flows whose server never appeared in

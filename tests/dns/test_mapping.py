@@ -58,6 +58,17 @@ class TestDomainAt:
         resolver.ingest(_query(900.0, "zoom.us", [IP1]))
         assert resolver.domain_at(IP1, 1800.0) == "zoom.us"
 
+    def test_stale_gap_splits_epoch(self):
+        """A re-observation after more than a freshness window starts a
+        new epoch rather than retroactively vouching for the gap: the
+        resolver's lookback must stay bounded by the window (sharded
+        ingest rebuilds its state from exactly that much warm-up)."""
+        resolver = IpDomainResolver(freshness_seconds=1000.0)
+        resolver.ingest(_query(0.0, "zoom.us", [IP1]))
+        resolver.ingest(_query(5000.0, "zoom.us", [IP1]))
+        assert resolver.domain_at(IP1, 3000.0) is None
+        assert resolver.domain_at(IP1, 5000.0) == "zoom.us"
+
     def test_multiple_answers_all_annotated(self):
         resolver = IpDomainResolver.from_records(
             [_query(0.0, "zoom.us", [IP1, IP2])])

@@ -112,3 +112,55 @@ class TestEmptyDays:
         dataset = pipeline.finalize()
         assert len(dataset) == 0
         assert pipeline.stats.days_ingested == 1
+
+
+class TestShardWorkerFault:
+    """A worker dying mid-shard must surface, name the shard's day
+    range, and leave no worker processes behind."""
+
+    _PARALLEL_CONFIG = dataclasses.replace(
+        _CONFIG,
+        start_ts=utc_ts(2020, 2, 1),
+        end_ts=utc_ts(2020, 2, 9),
+        visitor_min_days=2,
+    )
+
+    def test_fault_surfaces_shard_day_range(self):
+        from repro.pipeline.parallel import ParallelPipeline, ShardFailure
+
+        runner = ParallelPipeline(self._PARALLEL_CONFIG, workers=2,
+                                  fault_day=utc_ts(2020, 2, 6))
+        with pytest.raises(ShardFailure) as excinfo:
+            runner.run()
+        message = str(excinfo.value)
+        # The fault day lands in the second shard (owns Feb 5..8).
+        assert "days 2020-02-05..2020-02-08" in message
+        assert "shard 2/2" in message
+        assert excinfo.value.spec.owned_start == utc_ts(2020, 2, 5)
+
+    def test_fault_leaves_no_zombie_workers(self):
+        import multiprocessing
+        import time
+
+        from repro.pipeline.parallel import ParallelPipeline, ShardFailure
+
+        runner = ParallelPipeline(self._PARALLEL_CONFIG, workers=2,
+                                  fault_day=utc_ts(2020, 2, 2))
+        with pytest.raises(ShardFailure):
+            runner.run()
+        # The executor is shut down before the failure propagates; give
+        # the OS a beat to reap the pool processes.
+        for _ in range(50):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.1)
+        assert not multiprocessing.active_children()
+
+    def test_inline_single_worker_fault_also_surfaces(self):
+        from repro.pipeline.parallel import ParallelPipeline, ShardFailure
+
+        runner = ParallelPipeline(self._PARALLEL_CONFIG, workers=1,
+                                  fault_day=utc_ts(2020, 2, 3))
+        with pytest.raises(ShardFailure) as excinfo:
+            runner.run()
+        assert "shard 1/1" in str(excinfo.value)

@@ -196,3 +196,93 @@ class TestVisitorFilter:
         dataset = self._dataset_with_device_days([[0]])
         with pytest.raises(ValueError):
             visitor_filter_mask(dataset, min_days=0)
+
+
+class TestFinalizeHttpDrain:
+    def test_finalize_counts_undrained_http_records(self):
+        """Regression: http.log records accumulated after the last
+        end-of-day drain must still be counted by finalize()."""
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config())
+        kept = pipe.tap.filter([_burst(start + 10, ua="curl/8")])
+        for conn in pipe.flow_engine.process(kept):
+            pass
+        pipe.finalize()
+        assert pipe.stats.http_records == 1
+
+    def test_day_pass_and_finalize_do_not_double_count(self):
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config())
+        pipe.ingest_day(_day(
+            dhcp_records=[_lease(start)],
+            bursts=[_burst(start + 10, ua="curl/8")],
+        ))
+        pipe.finalize()
+        assert pipe.stats.http_records == 1
+
+
+class TestTokenCacheStats:
+    def test_hits_misses_and_size_reported(self):
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config())
+        pipe.ingest_day(_day(
+            dhcp_records=[_lease(start),
+                          _lease(start, mac=MAC_B, ip=CLIENT_B)],
+            bursts=[_burst(start + 10, port=1),
+                    _burst(start + 20, port=2),
+                    _burst(start + 30, client=CLIENT_B, port=3)],
+        ))
+        pipe.finalize()
+        assert pipe.stats.anon_cache_misses == 2
+        assert pipe.stats.anon_cache_hits == 1
+        assert pipe.anon_cache_size == 2
+        assert pipe.stats.anon_cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_unattributed_flows_never_touch_the_cache(self):
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config())
+        pipe.ingest_day(_day(bursts=[_burst(start + 10)]))
+        pipe.finalize()
+        assert pipe.anon_cache_size == 0
+        assert pipe.stats.anon_cache_hit_rate == 1.0
+
+
+class TestOwnedWindow:
+    def _long_lease(self, ts):
+        return DhcpLogRecord(ts=ts, mac=MAC_A, ip=CLIENT_A,
+                             lease_end=ts + 3 * DAY)
+
+    def test_warmup_day_builds_state_but_is_not_counted(self):
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config(),
+                                  owned_window=(start + DAY, None))
+        pipe.ingest_day(_day(0,
+            dhcp_records=[self._long_lease(start)],
+            bursts=[_burst(start + 10, port=1)],
+        ))
+        assert pipe.stats.days_ingested == 0
+        assert pipe.stats.flows_closed == 0
+        assert pipe.stats.dhcp_records == 0
+        # Day 1 is owned: the warm-up lease still attributes its flow.
+        pipe.ingest_day(_day(1, bursts=[_burst(start + DAY + 10, port=2)]))
+        dataset = pipe.finalize()
+        assert pipe.stats.days_ingested == 1
+        assert pipe.stats.flows_closed == 1
+        assert pipe.stats.flows_unattributed == 0
+        assert len(dataset) == 1
+        assert dataset.ts[0] >= start + DAY
+
+    def test_tail_flows_excluded_above_the_window(self):
+        start = StudyConfig().start_ts
+        pipe = MonitoringPipeline(_config(),
+                                  owned_window=(None, start + DAY))
+        pipe.ingest_day(_day(0,
+            dhcp_records=[self._long_lease(start)],
+            bursts=[_burst(start + 10, port=1)],
+        ))
+        pipe.ingest_day(_day(1, bursts=[_burst(start + DAY + 10, port=2)]))
+        dataset = pipe.finalize()
+        assert pipe.stats.days_ingested == 1
+        assert pipe.stats.flows_closed == 1
+        assert len(dataset) == 1
+        assert dataset.ts[0] < start + DAY

@@ -1,0 +1,144 @@
+"""Property-based tests for the shard-merge algebra.
+
+Sharded parallel ingest is only sound if merging is a well-behaved
+algebra over builders/datasets: merging two shards must equal ingesting
+their concatenated flow streams, the empty shard must be an identity,
+grouping must not matter (associativity), and shard order must wash out
+after canonical ordering. Device profiles must merge as field-wise
+unions. Hypothesis drives all of it with small random flow streams.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.mac import MacAddress
+from repro.pipeline.anonymize import Anonymizer
+from repro.pipeline.dataset import (
+    NO_DOMAIN,
+    FlowDataset,
+    FlowDatasetBuilder,
+)
+
+_DOMAINS = ["a.com", "b.com", "c.com", "d.com"]
+_USER_AGENTS = ["ua-phone", "ua-laptop"]
+
+_flow = st.tuples(
+    st.integers(min_value=0, max_value=4),             # device slot
+    st.floats(min_value=0, max_value=100 * 86400.0),   # ts
+    st.floats(min_value=0, max_value=7200.0),          # duration
+    st.integers(min_value=0, max_value=10**9),         # orig bytes
+    st.integers(min_value=0, max_value=10**9),         # resp bytes
+    st.integers(min_value=-1, max_value=3),            # domain slot
+    st.integers(min_value=-1, max_value=1),            # user-agent slot
+)
+
+_flows = st.lists(_flow, max_size=40)
+
+_ANONYMIZER = Anonymizer("s")
+_DEVICES = [_ANONYMIZER.device(MacAddress(0x9C1A00000000 + slot))
+            for slot in range(5)]
+
+
+def _build(flows) -> FlowDatasetBuilder:
+    builder = FlowDatasetBuilder(day0=0.0)
+    for device_slot, ts, duration, orig, resp, domain_slot, ua_slot in flows:
+        device_idx = builder.device_index(_DEVICES[device_slot])
+        domain_idx = (NO_DOMAIN if domain_slot < 0
+                      else builder.domain_index(_DOMAINS[domain_slot]))
+        builder.add_flow(
+            ts=ts, duration=duration, device_idx=device_idx,
+            resp_h=1 + device_slot, resp_p=443, proto="tcp",
+            orig_bytes=orig, resp_bytes=resp, domain_idx=domain_idx,
+            user_agent=None if ua_slot < 0 else _USER_AGENTS[ua_slot])
+    return builder
+
+
+def _canonical(builder: FlowDatasetBuilder) -> FlowDataset:
+    return builder.finalize().canonicalize()
+
+
+class TestBuilderMergeAlgebra:
+    @given(_flows, _flows)
+    @settings(max_examples=80)
+    def test_merge_equals_concatenated_ingest(self, a, b):
+        merged = _canonical(_build(a).merge(_build(b)))
+        concatenated = _canonical(_build(a + b))
+        assert merged.identical(concatenated)
+
+    @given(_flows, _flows, _flows)
+    @settings(max_examples=60)
+    def test_merge_is_associative(self, a, b, c):
+        left = _canonical(_build(a).merge(_build(b)).merge(_build(c)))
+        right = _canonical(_build(a).merge(_build(b).merge(_build(c))))
+        assert left.identical(right)
+
+    @given(_flows)
+    @settings(max_examples=60)
+    def test_empty_builder_is_identity(self, flows):
+        base = _canonical(_build(flows))
+        assert _canonical(_build(flows).merge(_build([]))).identical(base)
+        assert _canonical(_build([]).merge(_build(flows))).identical(base)
+
+    @given(_flows, _flows)
+    @settings(max_examples=60)
+    def test_merge_leaves_other_untouched(self, a, b):
+        other = _build(b)
+        before = _canonical(_build(b))
+        _build(a).merge(other)
+        assert _canonical(other).identical(before)
+
+    def test_day0_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FlowDatasetBuilder(day0=0.0).merge(FlowDatasetBuilder(day0=1.0))
+
+
+class TestDatasetMerge:
+    @given(_flows, _flows)
+    @settings(max_examples=60)
+    def test_shard_order_is_irrelevant(self, a, b):
+        da, db = _build(a).finalize(), _build(b).finalize()
+        assert FlowDataset.merge([da, db]).identical(
+            FlowDataset.merge([db, da]))
+
+    @given(_flows, _flows, _flows)
+    @settings(max_examples=40)
+    def test_merge_matches_single_shard_ingest(self, a, b, c):
+        sharded = FlowDataset.merge(
+            [_build(chunk).finalize() for chunk in (a, b, c)])
+        assert sharded.identical(_canonical(_build(a + b + c)))
+
+    @given(_flows)
+    @settings(max_examples=40)
+    def test_single_shard_merge_is_canonicalization(self, flows):
+        dataset = _build(flows).finalize()
+        assert FlowDataset.merge([dataset]).identical(dataset.canonicalize())
+
+    def test_empty_input_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FlowDataset.merge([])
+
+
+class TestDeviceProfileUnion:
+    @given(_flows, _flows)
+    @settings(max_examples=80)
+    def test_profiles_union_field_wise(self, a, b):
+        left, right = _build(a).finalize(), _build(b).finalize()
+        merged = FlowDataset.merge([left, right])
+        by_token = {profile.token: profile for profile in merged.devices}
+        for source in (left, right):
+            for profile in source.devices:
+                assert profile.token in by_token
+        for token, profile in by_token.items():
+            parts = [p for ds in (left, right) for p in ds.devices
+                     if p.token == token]
+            assert profile.days_seen == set().union(
+                *(p.days_seen for p in parts))
+            assert profile.user_agents == set().union(
+                *(p.user_agents for p in parts))
+            assert profile.flow_count == sum(p.flow_count for p in parts)
+            assert profile.total_bytes == sum(p.total_bytes for p in parts)
+            assert profile.first_ts == min(p.first_ts for p in parts)
+            assert profile.last_ts == max(p.last_ts for p in parts)
