@@ -6,8 +6,13 @@ efficiency. Equivalence is asserted here too (the merged dataset must
 be identical to the serial one); the speedup *ratio* is reported but
 not asserted, because it depends on the host's core count -- on a
 single-core runner the sharded run can only break even at best.
+
+``test_parallel_speedup_report`` also writes the numbers to
+``BENCH_parallel.json`` (override the path with ``BENCH_PARALLEL_JSON``)
+so CI can archive timings as a machine-readable artifact.
 """
 
+import json
 import os
 import time
 
@@ -69,3 +74,18 @@ def test_parallel_speedup_report():
     print(f"token cache: serial hit rate "
           f"{serial_stats.anon_cache_hit_rate:.4f}, "
           f"sharded hit rate {result.stats.anon_cache_hit_rate:.4f}")
+
+    report_path = os.environ.get("BENCH_PARALLEL_JSON",
+                                 "BENCH_parallel.json")
+    with open(report_path, "w") as fileobj:
+        json.dump({
+            "workers": 4,
+            "cpu_count": os.cpu_count(),
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(speedup, 4),
+            "flows_closed": serial_stats.flows_closed,
+            "dataset_flows": len(result.dataset),
+            "identical_to_serial": True,
+        }, fileobj, indent=2)
+        fileobj.write("\n")

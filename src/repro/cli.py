@@ -98,10 +98,13 @@ def _load_config(directory: str) -> StudyConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = StudyConfig(n_students=args.students, seed=args.seed)
+    config = StudyConfig(n_students=args.students, seed=args.seed,
+                         max_shard_retries=args.max_retries)
     study = LockdownStudy(config)
     started = time.time()
-    artifacts = study.run(progress=_progress, workers=args.workers)
+    artifacts = study.run(progress=_progress, workers=args.workers,
+                          checkpoint_dir=args.checkpoint_dir,
+                          resume=args.resume)
     if args.baseline:
         _progress("synthesizing 2019 baseline")
         study.run_baseline_2019(artifacts)
@@ -169,15 +172,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.io.tracedir import ingest_trace_dir
     from repro.pipeline.pipeline import MonitoringPipeline
     from repro.pipeline.visitors import apply_visitor_filter
+    from repro.reliability.quarantine import QuarantineSink
     from repro.synth.generator import CampusTraceGenerator
 
     config = _load_config(args.traces)
     generator = CampusTraceGenerator(config)
     pipeline = MonitoringPipeline(
         config, generator.plan.excluded_blocks(config.excluded_operators))
-    days = ingest_trace_dir(pipeline, args.traces)
+    mode = "lenient" if args.lenient else "strict"
+    sink = QuarantineSink() if args.lenient else None
+    days = ingest_trace_dir(pipeline, args.traces, mode=mode, sink=sink)
     _progress(f"ingested {days} days "
               f"({pipeline.stats.flows_closed} flows)")
+    if sink is not None and len(sink):
+        _progress(sink.summary())
     dataset = apply_visitor_filter(pipeline.finalize(),
                                    config.visitor_min_days)
     artifacts = LockdownStudy.artifacts_from_dataset(config, dataset)
@@ -202,6 +210,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also synthesize the 2019 comparison baseline")
     run.add_argument("--out", type=str, default=None,
                      help="directory to persist the dataset and report")
+    run.add_argument("--checkpoint-dir", type=str, default=None,
+                     help="persist each finished ingest shard here so an "
+                          "interrupted run can be resumed")
+    run.add_argument("--resume", action="store_true",
+                     help="reuse finished shards from --checkpoint-dir "
+                          "instead of re-executing them (without this "
+                          "flag, prior checkpoints are cleared)")
+    run.add_argument("--max-retries", type=int, default=2,
+                     help="retries per ingest shard on transient worker "
+                          "failures (0 = fail fast)")
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(
@@ -230,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     ingest = commands.add_parser(
         "ingest", help="measure a previously exported trace directory")
     ingest.add_argument("--traces", type=str, required=True)
+    ingest.add_argument("--lenient", action="store_true",
+                        help="quarantine malformed log lines (with exact "
+                             "per-category counts) instead of aborting")
     ingest.set_defaults(handler=_cmd_ingest)
 
     return parser

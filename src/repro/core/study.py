@@ -133,7 +133,9 @@ class LockdownStudy:
         self.config = config or StudyConfig()
 
     def run(self, progress: Optional[ProgressFn] = None,
-            workers: int = 1) -> StudyArtifacts:
+            workers: int = 1, *,
+            checkpoint_dir: Optional[str] = None,
+            resume: bool = True) -> StudyArtifacts:
         """Generate, measure, classify; returns the artifacts.
 
         With ``workers > 1`` the generate-and-measure stage runs as a
@@ -141,7 +143,11 @@ class LockdownStudy:
         ParallelPipeline`): the window is split into contiguous
         day-range shards, one worker process each, and the merged
         dataset is provably equivalent to the serial run's (identical
-        arrays and side tables after canonical ordering).
+        arrays and side tables after canonical ordering). Transient
+        worker failures are retried per ``config.max_shard_retries``;
+        with a ``checkpoint_dir``, finished shards are persisted and a
+        rerun resumes instead of restarting (``resume=False`` clears
+        prior checkpoints first).
         """
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -151,10 +157,12 @@ class LockdownStudy:
         generator = CampusTraceGenerator(config)
         report(f"population: {generator.population.counts()}")
 
-        if workers > 1:
+        if workers > 1 or checkpoint_dir is not None:
             from repro.pipeline.parallel import ParallelPipeline
 
-            result = ParallelPipeline(config, workers).run(progress=report)
+            result = ParallelPipeline(
+                config, workers, checkpoint_dir=checkpoint_dir,
+                resume=resume).run(progress=report)
             dataset_all, pipeline_stats = result.dataset, result.stats
         else:
             excluded = generator.plan.excluded_blocks(

@@ -3,16 +3,30 @@
 The measurement pipeline reconstructs IP->MAC history exclusively from
 these records, so they carry exactly what a DHCP server's ACK log line
 does: when, which MAC, which IP, and until when the binding holds.
+
+Parsing follows the repo-wide strict/lenient contract (see
+:mod:`repro.zeek.log`): strict raises a structured
+:class:`~repro.reliability.errors.RecordError`; lenient quarantines the
+line and continues; blank lines are skipped and counted in both modes.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List
+from typing import IO, Iterable, Iterator, Optional
 
 from repro.net.ip import int_to_ip, ip_to_int
 from repro.net.mac import MacAddress
+from repro.reliability.errors import (
+    CATEGORY_FIELD,
+    CATEGORY_VALUE,
+    RecordError,
+)
+from repro.reliability.parsing import parse_json_object, read_jsonl_records
+from repro.reliability.quarantine import QuarantineSink
+
+_SOURCE = "dhcp"
 
 
 @dataclass(frozen=True)
@@ -36,14 +50,24 @@ class DhcpLogRecord:
         })
 
     @classmethod
-    def from_json(cls, line: str) -> "DhcpLogRecord":
-        payload = json.loads(line)
-        return cls(
-            ts=float(payload["ts"]),
-            mac=MacAddress.parse(payload["mac"]),
-            ip=ip_to_int(payload["ip"]),
-            lease_end=float(payload["lease_end"]),
-        )
+    def from_json(cls, line: str,
+                  line_no: Optional[int] = None) -> "DhcpLogRecord":
+        payload = parse_json_object(line, source=_SOURCE, line_no=line_no)
+        try:
+            return cls(
+                ts=float(payload["ts"]),
+                mac=MacAddress.parse(payload["mac"]),
+                ip=ip_to_int(payload["ip"]),
+                lease_end=float(payload["lease_end"]),
+            )
+        except KeyError as exc:
+            raise RecordError(
+                f"dhcp record missing field {exc}", source=_SOURCE,
+                category=CATEGORY_FIELD, line_no=line_no, line=line) from exc
+        except (TypeError, ValueError) as exc:
+            raise RecordError(
+                f"dhcp record has a bad value: {exc}", source=_SOURCE,
+                category=CATEGORY_VALUE, line_no=line_no, line=line) from exc
 
 
 def write_dhcp_log(records: Iterable[DhcpLogRecord], fileobj: IO[str]) -> int:
@@ -56,9 +80,10 @@ def write_dhcp_log(records: Iterable[DhcpLogRecord], fileobj: IO[str]) -> int:
     return count
 
 
-def read_dhcp_log(fileobj: IO[str]) -> Iterator[DhcpLogRecord]:
-    """Parse a JSONL DHCP log, skipping blank lines."""
-    for line in fileobj:
-        line = line.strip()
-        if line:
-            yield DhcpLogRecord.from_json(line)
+def read_dhcp_log(fileobj: IO[str], *, mode: str = "strict",
+                  sink: Optional[QuarantineSink] = None,
+                  ) -> Iterator[DhcpLogRecord]:
+    """Parse a JSONL DHCP log (strict/lenient; blank lines counted)."""
+    yield from read_jsonl_records(
+        fileobj, DhcpLogRecord.from_json, source=_SOURCE,
+        mode=mode, sink=sink)

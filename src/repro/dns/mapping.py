@@ -14,6 +14,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dns.records import DnsLogRecord
+from repro.reliability.errors import CATEGORY_ORDER, RecordError
 
 #: How long an observed answer keeps annotating an address. DNS TTLs
 #: are minutes, but clients cache and reconnect, so the pipeline allows
@@ -58,10 +59,13 @@ class IpDomainResolver:
             last_seen = self._last_seen[address]
             names = self._names[address]
             if last_seen and record.ts < last_seen[-1]:
-                raise ValueError(
+                # Structured (and a ValueError subclass, so pre-taxonomy
+                # callers still catch it): an out-of-order stream is a
+                # per-record defect, not a resolver bug.
+                raise RecordError(
                     f"DNS log out of order for answer {address}: "
-                    f"{record.ts} < {last_seen[-1]}"
-                )
+                    f"{record.ts} < {last_seen[-1]}",
+                    source="dns", category=CATEGORY_ORDER)
             if (names and names[-1] == record.qname
                     and record.ts - last_seen[-1] <= self.freshness_seconds):
                 last_seen[-1] = record.ts  # refresh the open epoch

@@ -1,12 +1,27 @@
-"""DNS query-log records and JSONL serialization."""
+"""DNS query-log records and JSONL serialization.
+
+Parsing follows the repo-wide strict/lenient contract (see
+:mod:`repro.reliability.parsing`): strict raises a structured
+:class:`~repro.reliability.errors.RecordError`; lenient quarantines the
+line and continues; blank lines are skipped and counted in both modes.
+"""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, Tuple
+from typing import IO, Iterable, Iterator, Optional, Tuple
 
 from repro.net.ip import int_to_ip, ip_to_int
+from repro.reliability.errors import (
+    CATEGORY_FIELD,
+    CATEGORY_VALUE,
+    RecordError,
+)
+from repro.reliability.parsing import parse_json_object, read_jsonl_records
+from repro.reliability.quarantine import QuarantineSink
+
+_SOURCE = "dns"
 
 
 @dataclass(frozen=True)
@@ -29,15 +44,25 @@ class DnsLogRecord:
         })
 
     @classmethod
-    def from_json(cls, line: str) -> "DnsLogRecord":
-        payload = json.loads(line)
-        return cls(
-            ts=float(payload["ts"]),
-            client_ip=ip_to_int(payload["client"]),
-            qname=str(payload["qname"]),
-            answers=tuple(ip_to_int(a) for a in payload["answers"]),
-            ttl=float(payload["ttl"]),
-        )
+    def from_json(cls, line: str,
+                  line_no: Optional[int] = None) -> "DnsLogRecord":
+        payload = parse_json_object(line, source=_SOURCE, line_no=line_no)
+        try:
+            return cls(
+                ts=float(payload["ts"]),
+                client_ip=ip_to_int(payload["client"]),
+                qname=str(payload["qname"]),
+                answers=tuple(ip_to_int(a) for a in payload["answers"]),
+                ttl=float(payload["ttl"]),
+            )
+        except KeyError as exc:
+            raise RecordError(
+                f"dns record missing field {exc}", source=_SOURCE,
+                category=CATEGORY_FIELD, line_no=line_no, line=line) from exc
+        except (TypeError, ValueError) as exc:
+            raise RecordError(
+                f"dns record has a bad value: {exc}", source=_SOURCE,
+                category=CATEGORY_VALUE, line_no=line_no, line=line) from exc
 
 
 def write_dns_log(records: Iterable[DnsLogRecord], fileobj: IO[str]) -> int:
@@ -50,9 +75,10 @@ def write_dns_log(records: Iterable[DnsLogRecord], fileobj: IO[str]) -> int:
     return count
 
 
-def read_dns_log(fileobj: IO[str]) -> Iterator[DnsLogRecord]:
-    """Parse a JSONL DNS log, skipping blank lines."""
-    for line in fileobj:
-        line = line.strip()
-        if line:
-            yield DnsLogRecord.from_json(line)
+def read_dns_log(fileobj: IO[str], *, mode: str = "strict",
+                 sink: Optional[QuarantineSink] = None,
+                 ) -> Iterator[DnsLogRecord]:
+    """Parse a JSONL DNS log (strict/lenient; blank lines counted)."""
+    yield from read_jsonl_records(
+        fileobj, DnsLogRecord.from_json, source=_SOURCE,
+        mode=mode, sink=sink)

@@ -25,6 +25,13 @@ from repro.dhcp.log import DhcpLogRecord
 from repro.dns.records import DnsLogRecord
 from repro.net.ip import int_to_ip, ip_to_int
 from repro.net.wire import SegmentBurst
+from repro.reliability.errors import (
+    CATEGORY_FIELD,
+    CATEGORY_VALUE,
+    RecordError,
+)
+from repro.reliability.parsing import parse_json_object, read_jsonl_records
+from repro.reliability.quarantine import QuarantineSink
 from repro.util.timeutil import format_day, parse_day
 
 MANIFEST_NAME = "manifest.json"
@@ -69,21 +76,30 @@ def burst_to_json(burst: SegmentBurst) -> str:
     return json.dumps(payload)
 
 
-def burst_from_json(line: str) -> SegmentBurst:
-    payload = json.loads(line)
-    return SegmentBurst(
-        ts=float(payload["ts"]),
-        client_ip=ip_to_int(payload["ch"]),
-        client_port=int(payload["cp"]),
-        server_ip=ip_to_int(payload["sh"]),
-        server_port=int(payload["sp"]),
-        proto=str(payload["pr"]),
-        orig_bytes=int(payload["ob"]),
-        resp_bytes=int(payload["rb"]),
-        user_agent=payload.get("ua"),
-        http_host=payload.get("hh"),
-        is_final=bool(payload.get("fin", 0)),
-    )
+def burst_from_json(line: str, line_no: Optional[int] = None) -> SegmentBurst:
+    payload = parse_json_object(line, source="wire", line_no=line_no)
+    try:
+        return SegmentBurst(
+            ts=float(payload["ts"]),
+            client_ip=ip_to_int(payload["ch"]),
+            client_port=int(payload["cp"]),
+            server_ip=ip_to_int(payload["sh"]),
+            server_port=int(payload["sp"]),
+            proto=str(payload["pr"]),
+            orig_bytes=int(payload["ob"]),
+            resp_bytes=int(payload["rb"]),
+            user_agent=payload.get("ua"),
+            http_host=payload.get("hh"),
+            is_final=bool(payload.get("fin", 0)),
+        )
+    except KeyError as exc:
+        raise RecordError(
+            f"wire record missing field {exc}", source="wire",
+            category=CATEGORY_FIELD, line_no=line_no, line=line) from exc
+    except (TypeError, ValueError) as exc:
+        raise RecordError(
+            f"wire record has a bad value: {exc}", source="wire",
+            category=CATEGORY_VALUE, line_no=line_no, line=line) from exc
 
 
 def _write_gz_lines(path: str, lines: Iterable[str]) -> int:
@@ -96,12 +112,11 @@ def _write_gz_lines(path: str, lines: Iterable[str]) -> int:
     return count
 
 
-def _read_gz_lines(path: str) -> Iterator[str]:
+def _read_gz_records(path: str, parse, source: str, mode: str,
+                     sink: Optional[QuarantineSink]) -> list:
     with gzip.open(path, "rt") as fileobj:
-        for line in fileobj:
-            line = line.strip()
-            if line:
-                yield line
+        return list(read_jsonl_records(fileobj, parse, source=source,
+                                       mode=mode, sink=sink))
 
 
 # ---------------------------------------------------------------------------
@@ -152,30 +167,50 @@ def read_manifest(root: str) -> dict:
     return manifest
 
 
-def iter_trace_days(root: str) -> Iterator[TraceDayFiles]:
-    """Yield each day's parsed records, in manifest (time) order."""
+def iter_trace_days(root: str, *, mode: str = "strict",
+                    sink: Optional[QuarantineSink] = None,
+                    ) -> Iterator[TraceDayFiles]:
+    """Yield each day's parsed records, in manifest (time) order.
+
+    In strict mode (default) a malformed line raises
+    :class:`~repro.reliability.errors.RecordError`; in lenient mode it
+    is quarantined into ``sink`` and the replay continues with the
+    surviving records.
+    """
     manifest = read_manifest(root)
     for label in manifest["days"]:
         day_dir = os.path.join(root, label)
         yield TraceDayFiles(
             day_start=parse_day(label),
-            dhcp_records=[DhcpLogRecord.from_json(line) for line in
-                          _read_gz_lines(os.path.join(day_dir, DHCP_FILE))],
-            dns_records=[DnsLogRecord.from_json(line) for line in
-                         _read_gz_lines(os.path.join(day_dir, DNS_FILE))],
-            bursts=[burst_from_json(line) for line in
-                    _read_gz_lines(os.path.join(day_dir, WIRE_FILE))],
+            dhcp_records=_read_gz_records(
+                os.path.join(day_dir, DHCP_FILE), DhcpLogRecord.from_json,
+                "dhcp", mode, sink),
+            dns_records=_read_gz_records(
+                os.path.join(day_dir, DNS_FILE), DnsLogRecord.from_json,
+                "dns", mode, sink),
+            bursts=_read_gz_records(
+                os.path.join(day_dir, WIRE_FILE), burst_from_json,
+                "wire", mode, sink),
         )
 
 
-def ingest_trace_dir(pipeline, root: str) -> int:
+def ingest_trace_dir(pipeline, root: str, *, mode: str = "strict",
+                     sink: Optional[QuarantineSink] = None) -> int:
     """Replay a trace directory through a pipeline; returns day count.
 
     Equivalent to live ingestion: the pipeline receives the same
-    records in the same order.
+    records in the same order. With ``mode="lenient"`` malformed lines
+    are quarantined instead of raising, and the exact per-stream counts
+    are folded into the pipeline's stats
+    (:meth:`~repro.pipeline.pipeline.MonitoringPipeline.absorb_quarantine`).
     """
+    own_sink = sink
+    if mode == "lenient" and own_sink is None:
+        own_sink = QuarantineSink()
     count = 0
-    for day in iter_trace_days(root):
+    for day in iter_trace_days(root, mode=mode, sink=own_sink):
         pipeline.ingest_day(day)
         count += 1
+    if own_sink is not None and hasattr(pipeline, "absorb_quarantine"):
+        pipeline.absorb_quarantine(own_sink)
     return count

@@ -37,19 +37,40 @@ exactly once. The merged dataset is canonicalized
 result independent of shard count and byte-identical to a canonicalized
 serial run -- asserted by the golden tests in
 ``tests/pipeline/test_parallel.py``.
+
+Fault tolerance (see :mod:`repro.reliability` and the chaos suite in
+``tests/integration/test_chaos.py``):
+
+* a shard failing with a *transient* error -- an I/O hiccup or a dead
+  worker process (``BrokenProcessPool``) -- is retried on a fresh
+  process under a deterministic exponential-backoff
+  :class:`~repro.reliability.retry.RetryPolicy`; only exhausted retries
+  or *fatal* errors abort, and then the pool is shut down with
+  ``cancel_futures=True`` so no sibling shard leaks;
+* with a ``checkpoint_dir``, every completed shard's canonicalized
+  dataset and stats are persisted through a
+  :class:`~repro.reliability.checkpoint.CheckpointStore` keyed by
+  ``(config, shard plan)``; a rerun loads finished shards instead of
+  re-executing them, so a killed multi-hour run resumes where it died.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import StudyConfig
 from repro.dns.mapping import DEFAULT_FRESHNESS_SECONDS
 from repro.pipeline.dataset import FlowDataset
 from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
+from repro.reliability.checkpoint import CheckpointStore
+from repro.reliability.errors import ShardError, is_transient
+from repro.reliability.faults import FaultPlan
+from repro.reliability.retry import RetryPolicy
 from repro.util.timeutil import DAY, format_day, iter_days
 
 #: Days re-processed after a shard's owned range so flows whose first
@@ -61,14 +82,17 @@ DEFAULT_TAIL_SECONDS = DAY
 ProgressFn = Callable[[str], None]
 
 
-class ShardFailure(RuntimeError):
-    """A worker failed; carries the shard whose ingest was lost."""
+class ShardFailure(ShardError):
+    """A shard's ingest is lost: fatal error or retries exhausted."""
 
-    def __init__(self, spec: "ShardSpec", cause: BaseException):
+    def __init__(self, spec: "ShardSpec", cause: BaseException,
+                 attempts: int = 1):
+        retried = f" after {attempts} attempt(s)" if attempts > 1 else ""
         super().__init__(
             f"shard {spec.index + 1}/{spec.n_shards} "
-            f"({spec.describe()}) failed: {cause!r}")
+            f"({spec.describe()}) failed{retried}: {cause!r}")
         self.spec = spec
+        self.attempts = attempts
 
 
 @dataclass(frozen=True)
@@ -149,6 +173,11 @@ class _ShardTask:
     phase_override: Optional[str]
     #: Test hook: raise before generating this day (failure injection).
     fault_day: Optional[float]
+    #: Chaos hook: seeded kill/transient faults (attempt-aware).
+    faults: Optional[FaultPlan] = None
+    #: 0-based attempt number; lets the fault injector fire on chosen
+    #: attempts so tests can prove *recovery*, not just failure.
+    attempt: int = 0
 
 
 class InjectedShardFault(RuntimeError):
@@ -162,6 +191,8 @@ def _ingest_shard(task: _ShardTask) -> Tuple[FlowDataset, PipelineStats]:
     from repro.synth.generator import CampusTraceGenerator
 
     config, spec = task.config, task.spec
+    if task.faults is not None:
+        task.faults.apply(spec.index, task.attempt)
     generator = CampusTraceGenerator(config,
                                      phase_override=task.phase_override)
     excluded = generator.plan.excluded_blocks(config.excluded_operators)
@@ -185,6 +216,10 @@ class ParallelResult:
     stats: PipelineStats
     shard_stats: List[PipelineStats]
     shards: List[ShardSpec]
+    #: Shard indices recalled from the checkpoint store (not executed).
+    resumed: List[int] = field(default_factory=list)
+    #: Attempts consumed per executed shard index (1 = first try worked).
+    attempts: Dict[int, int] = field(default_factory=dict)
 
 
 class ParallelPipeline:
@@ -195,7 +230,11 @@ class ParallelPipeline:
                  phase_override: Optional[str] = None,
                  warmup_seconds: Optional[float] = None,
                  tail_seconds: float = DEFAULT_TAIL_SECONDS,
-                 fault_day: Optional[float] = None):
+                 fault_day: Optional[float] = None,
+                 faults: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 resume: bool = True):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.config = config
@@ -203,9 +242,18 @@ class ParallelPipeline:
         self.shards = plan_shards(config, workers,
                                   warmup_seconds=warmup_seconds,
                                   tail_seconds=tail_seconds)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=config.max_shard_retries + 1, seed=config.seed)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        #: Accounting for the last pool run (submitted/completed/
+        #: cancelled/orphaned futures); lets tests assert that a failed
+        #: run leaked nothing. ``None`` until a pool run happens.
+        self.last_pool_stats: Optional[Dict[str, int]] = None
         self._tasks = [
             _ShardTask(config=config, spec=spec, presence=presence,
-                       phase_override=phase_override, fault_day=fault_day)
+                       phase_override=phase_override, fault_day=fault_day,
+                       faults=faults)
             for spec in self.shards
         ]
 
@@ -214,18 +262,50 @@ class ParallelPipeline:
 
         Worker processes are always joined before this method returns,
         whether it succeeds or raises -- a failed run leaves no zombie
-        workers and no partial state behind.
+        workers and no partial state behind. Transient shard failures
+        are retried per ``retry_policy``; with a ``checkpoint_dir``,
+        completed shards are persisted as they finish and recalled on
+        the next run instead of re-executed.
         """
         report = progress or (lambda message: None)
         report(f"parallel ingest: {len(self.shards)} shard(s), "
                f"{self.workers} worker(s)")
-        if self.workers == 1:
-            outcomes = [self._run_inline(task) for task in self._tasks]
+
+        store = self._open_store(report)
+        outcomes: Dict[int, Tuple[FlowDataset, PipelineStats]] = {}
+        resumed: List[int] = []
+        if store is not None and self.resume:
+            for index in store.completed_indices():
+                if index < len(self.shards):
+                    outcomes[index] = store.load_shard(index)
+                    resumed.append(index)
+            if resumed:
+                report(f"resume: {len(resumed)} of {len(self.shards)} "
+                       f"shard(s) recalled from checkpoints")
+
+        todo = [task for task in self._tasks
+                if task.spec.index not in outcomes]
+
+        def complete(index: int,
+                     outcome: Tuple[FlowDataset, PipelineStats]) -> None:
+            if store is not None:
+                # Canonicalize before persisting: the checkpoint must be
+                # byte-stable however the shard accumulated its rows.
+                outcome = (outcome[0].canonicalize(), outcome[1])
+                store.save_shard(index, *outcome)
+            outcomes[index] = outcome
+
+        if not todo:
+            attempts: Dict[int, int] = {}
+        elif self.workers == 1:
+            attempts = self._run_inline(todo, complete, report)
         else:
-            outcomes = self._run_pool()
-        datasets = [dataset for dataset, _ in outcomes]
-        shard_stats = [stats for _, stats in outcomes]
-        for spec, (dataset, stats) in zip(self.shards, outcomes):
+            attempts = self._run_pool(todo, complete, report)
+
+        ordered = [outcomes[spec.index] for spec in self.shards]
+        datasets = [dataset for dataset, _ in ordered]
+        shard_stats = [stats for _, stats in ordered]
+        for spec, (dataset, stats) in zip(self.shards, ordered):
             report(f"shard {spec.index + 1}/{spec.n_shards} "
                    f"({spec.describe()}): {len(dataset)} flows, "
                    f"attribution {stats.attribution_rate:.3f}")
@@ -237,31 +317,149 @@ class ParallelPipeline:
             stats=PipelineStats.merged(shard_stats),
             shard_stats=shard_stats,
             shards=list(self.shards),
+            resumed=sorted(resumed),
+            attempts=attempts,
         )
 
     # -- internals ---------------------------------------------------------
 
-    def _run_inline(self, task: _ShardTask):
-        try:
-            return _ingest_shard(task)
-        except Exception as exc:
-            raise ShardFailure(task.spec, exc) from exc
+    def _open_store(self,
+                    report: ProgressFn) -> Optional[CheckpointStore]:
+        if self.checkpoint_dir is None:
+            return None
+        store = CheckpointStore.for_run(self.checkpoint_dir, self.config,
+                                        self.shards)
+        if not self.resume and store.completed_indices():
+            report("checkpoints: resume disabled, clearing prior shards")
+            store.clear()
+        return store
 
-    def _run_pool(self):
-        results = [None] * len(self._tasks)
-        with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(self._tasks))) as pool:
-            futures = {pool.submit(_ingest_shard, task): task
-                       for task in self._tasks}
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in not_done:
-                future.cancel()
-            for future in done:
-                task = futures[future]
+    def _backoff(self, spec: ShardSpec, attempt: int,
+                 cause: BaseException, report: ProgressFn) -> None:
+        delay = self.retry_policy.delay(spec.index, attempt)
+        report(f"shard {spec.index + 1}/{spec.n_shards} attempt "
+               f"{attempt + 1} failed transiently ({cause!r}); "
+               f"retrying in {delay:.2f}s")
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_inline(self, tasks, complete, report) -> Dict[int, int]:
+        attempts: Dict[int, int] = {}
+        for task in tasks:
+            attempt = 0
+            while True:
                 try:
-                    results[task.spec.index] = future.result()
+                    outcome = _ingest_shard(replace(task, attempt=attempt))
                 except Exception as exc:
-                    raise ShardFailure(task.spec, exc) from exc
-        # A cancelled sibling of a failed shard never reaches here; all
-        # futures completed, so every slot is filled.
-        return results
+                    if (is_transient(exc)
+                            and self.retry_policy.allows_retry(attempt)):
+                        self._backoff(task.spec, attempt, exc, report)
+                        attempt += 1
+                        continue
+                    raise ShardFailure(task.spec, exc, attempt + 1) from exc
+                attempts[task.spec.index] = attempt + 1
+                complete(task.spec.index, outcome)
+                break
+        return attempts
+
+    def _new_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.workers, n_tasks))
+
+    def _run_pool(self, tasks, complete, report) -> Dict[int, int]:
+        """Pool loop with retry, rebuild-on-worker-death, and cleanup.
+
+        Invariants: every submitted future is either collected, retried,
+        or cancelled via ``shutdown(cancel_futures=True)`` before this
+        method returns -- no orphaned futures, no zombie workers.
+        """
+        attempts = {task.spec.index: 0 for task in tasks}
+        submitted = 0
+        completed = 0
+        pool = self._new_pool(len(tasks))
+        futures: Dict[Future, _ShardTask] = {}
+        #: Tasks awaiting (re)submission; drained at each loop top so a
+        #: pool death during submission is handled in one place.
+        pending: List[_ShardTask] = list(tasks)
+
+        def reclaim(exc: BaseException) -> None:
+            # The pool is dead: every in-flight future fails with it
+            # too, and the true culprit is unknowable from the parent.
+            # Charge an attempt to every reclaimed shard (all are
+            # suspects), requeue them, and rebuild the pool -- this is
+            # what puts a retried shard on a *fresh* process.
+            nonlocal pool
+            doomed = list(futures.values())
+            futures.clear()
+            pool.shutdown(wait=True)
+            for victim in doomed:
+                attempt = attempts[victim.spec.index]
+                if not self.retry_policy.allows_retry(attempt):
+                    raise ShardFailure(victim.spec, exc,
+                                       attempt + 1) from exc
+            report(f"worker pool died ({exc!r}); rebuilding with "
+                   f"{len(doomed) + len(pending)} shard(s) outstanding")
+            for victim in doomed:
+                self._backoff(victim.spec, attempts[victim.spec.index],
+                              exc, report)
+                attempts[victim.spec.index] += 1
+            pending.extend(doomed)
+            pool = self._new_pool(len(pending))
+
+        def submit_pending() -> None:
+            nonlocal submitted
+            while pending:
+                task = pending[0]
+                try:
+                    future = pool.submit(
+                        _ingest_shard,
+                        replace(task, attempt=attempts[task.spec.index]))
+                except BrokenProcessPool as exc:
+                    # The pool broke between our last observation and
+                    # this submit (e.g. a sibling worker was killed);
+                    # reclaim the in-flight shards and retry on the
+                    # rebuilt pool. ``task`` stays queued.
+                    reclaim(exc)
+                    continue
+                futures[future] = task
+                submitted += 1
+                pending.pop(0)
+
+        try:
+            while futures or pending:
+                submit_pending()
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                future = next(iter(done))
+                task = futures.pop(future)
+                spec = task.spec
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool as exc:
+                    futures[future] = task  # in flight too: reclaim it
+                    reclaim(exc)
+                    continue
+                except Exception as exc:
+                    attempt = attempts[spec.index]
+                    if (is_transient(exc)
+                            and self.retry_policy.allows_retry(attempt)):
+                        self._backoff(spec, attempt, exc, report)
+                        attempts[spec.index] += 1
+                        pending.append(task)
+                        continue
+                    raise ShardFailure(spec, exc, attempt + 1) from exc
+                complete(spec.index, outcome)
+                completed += 1
+        finally:
+            # Success path: futures is empty and this is a plain join.
+            # Failure path: cancel every sibling still queued, then join
+            # -- no orphaned futures outlive the run.
+            leftover = list(futures)
+            pool.shutdown(wait=True, cancel_futures=True)
+            self.last_pool_stats = {
+                "submitted": submitted,
+                "completed": completed,
+                "cancelled": sum(1 for f in leftover if f.cancelled()),
+                # After the join above, every future must be done (ran to
+                # an outcome) or cancelled; anything else leaked.
+                "orphaned": sum(1 for f in leftover if not f.done()),
+            }
+        return {index: count + 1 for index, count in attempts.items()}

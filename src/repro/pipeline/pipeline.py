@@ -22,6 +22,8 @@ from repro.net.ip import Prefix
 from repro.pipeline.anonymize import Anonymizer, TokenCache
 from repro.pipeline.dataset import FlowDataset, FlowDatasetBuilder
 from repro.pipeline.tap import Tap
+from repro.reliability.errors import CATEGORY_VALUE, RecordError
+from repro.reliability.quarantine import QuarantineSink
 from repro.util.timeutil import DAY
 from repro.zeek.conn import ConnRecord
 from repro.zeek.engine import FlowEngine
@@ -50,6 +52,12 @@ class PipelineStats:
     #: Tokenization-cache efficiency (device MAC -> token memoization).
     anon_cache_hits: int = 0
     anon_cache_misses: int = 0
+    #: Lenient-mode ingest accounting: malformed records routed to the
+    #: quarantine sink, per log stream, plus skipped blank lines.
+    quarantined_wire: int = 0
+    quarantined_dhcp: int = 0
+    quarantined_dns: int = 0
+    blank_lines: int = 0
 
     @property
     def attribution_rate(self) -> float:
@@ -64,6 +72,12 @@ class PipelineStats:
         if total == 0:
             return 1.0
         return self.anon_cache_hits / total
+
+    @property
+    def records_quarantined(self) -> int:
+        """Malformed records quarantined across all log streams."""
+        return (self.quarantined_wire + self.quarantined_dhcp
+                + self.quarantined_dns)
 
     def merge(self, other: "PipelineStats") -> "PipelineStats":
         """Return a new stats object summing both operands' counters."""
@@ -158,6 +172,18 @@ class MonitoringPipeline:
             self.ingest_day(trace)
         return self
 
+    def absorb_quarantine(self, sink: QuarantineSink) -> None:
+        """Fold a lenient-mode read's quarantine accounting into stats.
+
+        Called by replay paths (:func:`repro.io.tracedir.ingest_trace_dir`)
+        after parsing, so the merged run surfaces exact per-stream
+        malformed-record counts alongside the flow counters.
+        """
+        self.stats.quarantined_wire += sink.malformed("wire")
+        self.stats.quarantined_dhcp += sink.malformed("dhcp")
+        self.stats.quarantined_dns += sink.malformed("dns")
+        self.stats.blank_lines += sink.blank()
+
     def finalize(self) -> FlowDataset:
         """Close remaining flows and freeze the dataset."""
         for conn in self.flow_engine.flush(None):
@@ -187,6 +213,10 @@ class MonitoringPipeline:
             self.stats.anon_cache_hits += 1
         else:
             self.stats.anon_cache_misses += 1
+        if conn.proto not in ("tcp", "udp"):
+            raise RecordError(
+                f"flow has unknown protocol {conn.proto!r}",
+                source="conn", category=CATEGORY_VALUE)
         device_idx = self.builder.device_index(anon)
         # DNS-log annotation first; a plaintext Host header is direct
         # evidence and fills in flows whose server never appeared in

@@ -9,6 +9,7 @@ into a JSON sidecar next to it.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from typing import List
@@ -16,6 +17,7 @@ from typing import List
 import numpy as np
 
 from repro.pipeline.dataset import DeviceProfile, FlowDataset
+from repro.pipeline.pipeline import PipelineStats
 
 #: Format marker written into the sidecar; bump on breaking changes.
 FORMAT_VERSION = 1
@@ -83,6 +85,35 @@ def load_dataset(path: str) -> FlowDataset:
                      for payload in sidecar["devices"]],
             day0=float(sidecar["day0"]),
         )
+
+
+def save_stats(stats: PipelineStats, path: str) -> None:
+    """Write pipeline counters as JSON (checkpoints, run artifacts)."""
+    payload = {"format_version": FORMAT_VERSION,
+               "counters": dataclasses.asdict(stats)}
+    with open(path, "w") as fileobj:
+        json.dump(payload, fileobj)
+
+
+def load_stats(path: str) -> PipelineStats:
+    """Read counters written by :func:`save_stats`.
+
+    Counters absent from the file (older snapshots read by newer code)
+    keep their zero defaults; unknown counters are rejected.
+    """
+    with open(path) as fileobj:
+        payload = json.load(fileobj)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported stats format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    counters = payload["counters"]
+    known = {spec.name for spec in dataclasses.fields(PipelineStats)}
+    unknown = set(counters) - known
+    if unknown:
+        raise ValueError(f"unknown stats counters: {sorted(unknown)}")
+    return PipelineStats(**counters)
 
 
 def _profile_to_json(profile: DeviceProfile) -> dict:

@@ -1,0 +1,64 @@
+"""Reliability layer: the ingest stack's answer to real-world failure.
+
+A four-month continuous measurement run meets worker crashes, truncated
+log files and malformed records as a matter of course. This package
+gives the pipeline one vocabulary and three mechanisms for surviving
+them:
+
+* :mod:`~repro.reliability.errors` -- structured error taxonomy
+  (:class:`RecordError`, :class:`ShardError`, transient vs. fatal);
+* :mod:`~repro.reliability.retry` -- deterministic exponential backoff
+  for retrying failed shard workers;
+* :mod:`~repro.reliability.quarantine` -- per-category accounting of
+  malformed records in lenient ingest mode;
+* :mod:`~repro.reliability.checkpoint` -- per-shard checkpoint/resume
+  for the parallel pipeline;
+* :mod:`~repro.reliability.faults` -- seeded fault injection driving
+  the chaos test suite.
+"""
+
+from repro.reliability.errors import (
+    CATEGORY_BLANK,
+    CATEGORY_FIELD,
+    CATEGORY_JSON,
+    CATEGORY_ORDER,
+    CATEGORY_VALUE,
+    RecordError,
+    ReliabilityError,
+    ShardError,
+    TransientIOError,
+    is_transient,
+)
+from repro.reliability.faults import FaultPlan, corrupt_log_lines
+from repro.reliability.quarantine import QuarantinedRecord, QuarantineSink
+from repro.reliability.retry import RetryPolicy
+
+
+def __getattr__(name):
+    # CheckpointStore persists FlowDataset/PipelineStats, whose modules
+    # themselves use this package's error taxonomy; importing it lazily
+    # keeps `repro.reliability` importable from inside that stack.
+    if name in ("CheckpointStore", "run_key"):
+        from repro.reliability import checkpoint
+        return getattr(checkpoint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CATEGORY_BLANK",
+    "CATEGORY_FIELD",
+    "CATEGORY_JSON",
+    "CATEGORY_ORDER",
+    "CATEGORY_VALUE",
+    "CheckpointStore",
+    "FaultPlan",
+    "QuarantineSink",
+    "QuarantinedRecord",
+    "RecordError",
+    "ReliabilityError",
+    "RetryPolicy",
+    "ShardError",
+    "TransientIOError",
+    "corrupt_log_lines",
+    "is_transient",
+    "run_key",
+]

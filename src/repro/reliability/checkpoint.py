@@ -1,0 +1,133 @@
+"""Per-shard checkpoint store: crash a run, resume it, skip done work.
+
+A multi-hour sharded ingest that dies on shard 7 of 8 should not redo
+shards 1-6. The store persists each completed shard's canonicalized
+:class:`~repro.pipeline.dataset.FlowDataset` and
+:class:`~repro.pipeline.pipeline.PipelineStats` (via
+:mod:`repro.pipeline.store`) under a **run key** -- a digest of the
+study config and the exact shard plan -- so a resume can only ever reuse
+checkpoints from an identical run. Layout::
+
+    <root>/<run_key>/plan.json            # human-readable provenance
+    <root>/<run_key>/shard-0003.npz       # canonicalized dataset
+    <root>/<run_key>/shard-0003.npz.meta.json
+    <root>/<run_key>/shard-0003.stats.json
+    <root>/<run_key>/shard-0003.ok        # completion marker (last write)
+
+The ``.ok`` marker is written after the data files, so a shard killed
+mid-checkpoint is simply re-executed -- a torn checkpoint is never
+loaded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import shutil
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import StudyConfig
+from repro.pipeline.dataset import FlowDataset
+from repro.pipeline.pipeline import PipelineStats
+from repro.pipeline.store import (
+    load_dataset,
+    load_stats,
+    save_dataset,
+    save_stats,
+)
+
+#: Bump when the checkpoint layout changes; part of the run key, so a
+#: layout change silently invalidates old checkpoints instead of
+#: misreading them.
+CHECKPOINT_VERSION = 1
+
+
+def run_key(config: StudyConfig, shards: Sequence) -> str:
+    """Digest identifying one ``(config, shard plan)`` run exactly.
+
+    Any change to a config knob or to the plan (shard count, warm-up,
+    boundaries) yields a different key, so checkpoints can never leak
+    between runs that would produce different data.
+    """
+    payload = {
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "config": dataclasses.asdict(config),
+        "shards": [dataclasses.asdict(spec) for spec in shards],
+    }
+    digest = hashlib.blake2b(
+        json.dumps(payload, sort_keys=True).encode("utf-8"),
+        digest_size=16)
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Persists and recalls per-shard results for one run key."""
+
+    def __init__(self, root: str, key: str):
+        self.root = root
+        self.key = key
+        self.directory = os.path.join(root, key)
+
+    @classmethod
+    def for_run(cls, root: str, config: StudyConfig,
+                shards: Sequence) -> "CheckpointStore":
+        """Open (creating if needed) the store for this exact run."""
+        store = cls(root, run_key(config, shards))
+        os.makedirs(store.directory, exist_ok=True)
+        plan_path = os.path.join(store.directory, "plan.json")
+        if not os.path.exists(plan_path):
+            with open(plan_path, "w") as fileobj:
+                json.dump({
+                    "checkpoint_version": CHECKPOINT_VERSION,
+                    "seed": config.seed,
+                    "n_shards": len(shards),
+                    "shards": [dataclasses.asdict(spec) for spec in shards],
+                }, fileobj, indent=2)
+        return store
+
+    # -- paths -------------------------------------------------------------
+
+    def _base(self, index: int) -> str:
+        return os.path.join(self.directory, f"shard-{index:04d}")
+
+    def _marker(self, index: int) -> str:
+        return self._base(index) + ".ok"
+
+    # -- persistence -------------------------------------------------------
+
+    def has_shard(self, index: int) -> bool:
+        return os.path.exists(self._marker(index))
+
+    def save_shard(self, index: int, dataset: FlowDataset,
+                   stats: PipelineStats) -> None:
+        """Checkpoint one completed shard (marker written last)."""
+        base = self._base(index)
+        save_dataset(dataset, base + ".npz")
+        save_stats(stats, base + ".stats.json")
+        with open(self._marker(index), "w") as fileobj:
+            fileobj.write("ok\n")
+
+    def load_shard(self, index: int) -> Tuple[FlowDataset, PipelineStats]:
+        """Recall one checkpointed shard."""
+        if not self.has_shard(index):
+            raise FileNotFoundError(
+                f"no checkpoint for shard {index} under {self.directory}")
+        base = self._base(index)
+        return (load_dataset(base + ".npz"),
+                load_stats(base + ".stats.json"))
+
+    def completed_indices(self) -> List[int]:
+        """Shard indices with a finished checkpoint, sorted."""
+        indices = []
+        for name in os.listdir(self.directory):
+            if name.startswith("shard-") and name.endswith(".ok"):
+                indices.append(int(name[len("shard-"):-len(".ok")]))
+        return sorted(indices)
+
+    def clear(self) -> None:
+        """Drop every checkpoint of this run (fresh-start semantics)."""
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory)
+        os.makedirs(self.directory, exist_ok=True)

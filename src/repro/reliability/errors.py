@@ -1,0 +1,85 @@
+"""Structured error taxonomy for the ingest stack.
+
+Bare ``ValueError``/``KeyError``/``OSError`` tell an operator nothing
+about *what* failed (a log line? a shard? a worker process?) or whether
+retrying could help. Every failure the pipeline can surface is therefore
+classified along two axes:
+
+* **scope** -- :class:`RecordError` (one malformed log record),
+  :class:`ShardError` (one shard's ingest), or a plain
+  :class:`ReliabilityError` (anything else);
+* **disposition** -- *transient* failures (I/O hiccups, killed worker
+  processes) are worth retrying; *fatal* ones (malformed data in strict
+  mode, logic errors) are not.
+
+:func:`is_transient` is the single classification point used by the
+retrying shard runner in :mod:`repro.pipeline.parallel`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+#: Quarantine categories a malformed record can fall into.
+CATEGORY_JSON = "json"          # not parseable as a JSON object
+CATEGORY_FIELD = "field"        # a required field is missing
+CATEGORY_VALUE = "value"        # a field holds an uncoercible value
+CATEGORY_ORDER = "order"        # record violates stream ordering
+CATEGORY_BLANK = "blank"        # blank/whitespace-only line
+
+
+class ReliabilityError(Exception):
+    """Base of the taxonomy; ``transient`` drives retry decisions."""
+
+    transient: bool = False
+
+
+class RecordError(ReliabilityError, ValueError):
+    """One log record could not be parsed or accepted.
+
+    Subclasses ``ValueError`` so call sites predating the taxonomy
+    (and tests pinning ``pytest.raises(ValueError)``) keep working.
+    Always fatal: bad bytes do not improve on retry -- in lenient mode
+    the record is quarantined instead (:mod:`repro.reliability.quarantine`).
+    """
+
+    def __init__(self, message: str, *, source: str, category: str,
+                 line_no: Optional[int] = None,
+                 line: Optional[str] = None):
+        super().__init__(message)
+        #: Which log stream the record came from ("conn", "dhcp", ...).
+        self.source = source
+        #: One of the CATEGORY_* constants.
+        self.category = category
+        #: 1-based line number within the stream, when known.
+        self.line_no = line_no
+        #: The offending raw line (possibly truncated), when known.
+        self.line = line
+
+
+class ShardError(ReliabilityError, RuntimeError):
+    """One shard's ingest failed (after any retries)."""
+
+
+class TransientIOError(ReliabilityError, OSError):
+    """An I/O failure worth retrying (also raised by fault injection)."""
+
+    transient = True
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether retrying the failed operation could plausibly succeed.
+
+    Taxonomy members carry their own flag; outside it, a dead worker
+    process (``BrokenProcessPool``) and OS-level I/O errors are the
+    retryable failures a long-running ingest actually sees. Everything
+    else -- parse errors, assertion failures, logic bugs -- is fatal.
+    """
+    if isinstance(exc, ReliabilityError):
+        return exc.transient
+    if isinstance(exc, BrokenProcessPool):
+        return True
+    if isinstance(exc, OSError):
+        return True
+    return False

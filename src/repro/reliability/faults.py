@@ -1,0 +1,108 @@
+"""Deterministic fault injection for the chaos test suite.
+
+Two injection surfaces, both pure functions of a seed so every chaos
+test is exactly reproducible:
+
+* :class:`FaultPlan` rides into worker processes inside the shard task
+  (it must stay picklable) and fires process kills or transient I/O
+  errors on chosen ``(shard, attempt)`` pairs -- attempt-aware so a
+  retried shard deterministically succeeds, which is what lets tests
+  assert *recovery*, not just failure.
+* :func:`corrupt_log_lines` mangles a clean JSONL log at a seeded
+  corruption rate, cycling through the malformation kinds a real log
+  collector produces (truncation, garbage bytes, missing fields,
+  non-object JSON), and returns exactly which lines it touched so
+  quarantine counts can be asserted record-for-record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.reliability.errors import TransientIOError
+from repro.util.rng import substream
+
+#: Exit code used by the injected worker kill (distinguishable from a
+#: Python traceback's exit 1 in CI logs).
+KILL_EXIT_CODE = 43
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults fire on which ``(shard, attempt)`` pairs."""
+
+    #: Shards whose worker process dies abruptly (``os._exit``).
+    kill_shards: Tuple[int, ...] = ()
+    #: Attempt numbers (0-based) on which the kill fires.
+    kill_attempts: Tuple[int, ...] = (0,)
+    #: Shards that raise a transient I/O error instead of ingesting.
+    transient_shards: Tuple[int, ...] = ()
+    #: Attempt numbers on which the transient error fires.
+    transient_attempts: Tuple[int, ...] = (0,)
+
+    def should_kill(self, shard_index: int, attempt: int) -> bool:
+        return (shard_index in self.kill_shards
+                and attempt in self.kill_attempts)
+
+    def should_raise_transient(self, shard_index: int, attempt: int) -> bool:
+        return (shard_index in self.transient_shards
+                and attempt in self.transient_attempts)
+
+    def apply(self, shard_index: int, attempt: int) -> None:
+        """Fire any fault planned for this (shard, attempt). Worker-side."""
+        if self.should_kill(shard_index, attempt):
+            # An abrupt death -- no exception, no cleanup -- exactly what
+            # the OOM killer or a node reboot does to a real worker.
+            os._exit(KILL_EXIT_CODE)
+        if self.should_raise_transient(shard_index, attempt):
+            raise TransientIOError(
+                f"injected transient I/O fault "
+                f"(shard {shard_index}, attempt {attempt})")
+
+
+#: The malformation kinds cycled through by :func:`corrupt_log_lines`.
+CORRUPTION_KINDS = ("truncate", "garbage", "drop_field", "non_object")
+
+
+def _corrupt_one(line: str, kind: str) -> str:
+    if kind == "truncate":
+        # A partially flushed write: the record ends mid-token.
+        return line[:max(1, len(line) // 2)]
+    if kind == "garbage":
+        return "\x00\xff not json at all \x7f"
+    if kind == "drop_field":
+        try:
+            payload = json.loads(line)
+            payload.pop("ts", None)
+            return json.dumps(payload)
+        except ValueError:  # pragma: no cover - inputs are clean JSON
+            return "{}"
+    if kind == "non_object":
+        return json.dumps([line[:10]])
+    raise ValueError(f"unknown corruption kind: {kind}")
+
+
+def corrupt_log_lines(lines: List[str], rate: float,
+                      seed: int) -> Tuple[List[str], List[int]]:
+    """Deterministically corrupt a fraction of JSONL lines.
+
+    Returns the mangled lines plus the sorted indices of the lines that
+    were corrupted (so tests can assert quarantine counts exactly).
+    ``rate`` is a per-line probability drawn from a seeded substream.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must lie in [0, 1]")
+    rng = substream(seed, "corrupt-log")
+    corrupted: List[str] = []
+    touched: List[int] = []
+    for index, line in enumerate(lines):
+        if rate > 0.0 and float(rng.random()) < rate:
+            kind = CORRUPTION_KINDS[len(touched) % len(CORRUPTION_KINDS)]
+            corrupted.append(_corrupt_one(line, kind))
+            touched.append(index)
+        else:
+            corrupted.append(line)
+    return corrupted, touched

@@ -1,0 +1,62 @@
+"""Deterministic retry policy with exponential backoff and jitter.
+
+The backoff schedule is a pure function of ``(seed, shard_index,
+attempt)`` -- the same derivation idiom as the simulation's RNG
+substreams (:mod:`repro.util.rng`) -- so a retried run sleeps the same
+intervals every time and tests can assert exact schedules. Jitter keeps
+simultaneous retries of sibling shards from stampeding at the same
+instant, without sacrificing reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import substream
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient shard failure, and how fast.
+
+    ``max_attempts`` counts *total* tries: 1 means no retries. Delays
+    follow ``base_delay * 2**retry`` capped at ``max_delay``, scaled by
+    a seeded jitter factor in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+
+    def delay(self, shard_index: int, attempt: int) -> float:
+        """Seconds to sleep before retrying ``attempt`` (0-based) + 1.
+
+        Deterministic: the same ``(seed, shard_index, attempt)`` always
+        yields the same delay.
+        """
+        base = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        rng = substream(self.seed, "retry", shard_index, attempt)
+        scale = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return base * scale
+
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether another try is permitted after failing ``attempt``."""
+        return attempt + 1 < self.max_attempts
+
+    @classmethod
+    def no_delay(cls, max_attempts: int = 3, seed: int = 0) -> "RetryPolicy":
+        """A policy that retries immediately (tests, benchmarks)."""
+        return cls(max_attempts=max_attempts, base_delay=0.0,
+                   max_delay=0.0, jitter=0.0, seed=seed)

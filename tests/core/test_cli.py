@@ -39,11 +39,11 @@ class TestRunAndReport:
         from repro.util.timeutil import utc_ts
 
         # Patch the CLI's config construction to a 10-day window.
-        def tiny_config(n_students, seed):
+        def tiny_config(n_students, seed, **overrides):
             return StudyConfig(
                 n_students=n_students, seed=seed,
                 start_ts=utc_ts(2020, 2, 1), end_ts=utc_ts(2020, 2, 11),
-                visitor_min_days=3)
+                visitor_min_days=3, **overrides)
 
         monkeypatch.setattr(cli, "StudyConfig", tiny_config)
 
@@ -77,11 +77,11 @@ class TestChecklistCommand:
         from repro import StudyConfig
         from repro.util.timeutil import utc_ts
 
-        def tiny_config(n_students, seed):
+        def tiny_config(n_students, seed, **overrides):
             return StudyConfig(
                 n_students=n_students, seed=seed,
                 start_ts=utc_ts(2020, 2, 1), end_ts=utc_ts(2020, 2, 11),
-                visitor_min_days=3)
+                visitor_min_days=3, **overrides)
 
         monkeypatch.setattr(cli, "StudyConfig", tiny_config)
         # A 10-day window cannot satisfy lock-down claims; the command

@@ -50,3 +50,25 @@ class TestLogSerialization:
         buffer = io.StringIO(
             "\n" + DhcpLogRecord(1.0, MacAddress(5), 9, 2.0).to_json() + "\n\n")
         assert len(list(read_dhcp_log(buffer))) == 1
+
+
+class TestParseModes:
+    def test_strict_raises_structured_record_error(self):
+        from repro.reliability.errors import CATEGORY_FIELD, RecordError
+
+        buffer = io.StringIO('{"ts": 1.0}\n')
+        with pytest.raises(RecordError) as excinfo:
+            list(read_dhcp_log(buffer))
+        assert excinfo.value.source == "dhcp"
+        assert excinfo.value.category == CATEGORY_FIELD
+
+    def test_lenient_quarantines_and_continues(self):
+        from repro.reliability.quarantine import QuarantineSink
+
+        good = DhcpLogRecord(1.0, MacAddress(5), 9, 2.0)
+        buffer = io.StringIO("garbage\n" + good.to_json() + "\n   \n")
+        sink = QuarantineSink()
+        parsed = list(read_dhcp_log(buffer, mode="lenient", sink=sink))
+        assert parsed == [good]
+        assert sink.malformed("dhcp") == 1
+        assert sink.blank("dhcp") == 1

@@ -148,6 +148,10 @@ class TestShardWorkerFault:
                                   fault_day=utc_ts(2020, 2, 2))
         with pytest.raises(ShardFailure):
             runner.run()
+        # Every submitted future was collected, cancelled, or done by
+        # the time shutdown(cancel_futures=True) joined the pool.
+        assert runner.last_pool_stats is not None
+        assert runner.last_pool_stats["orphaned"] == 0
         # The executor is shut down before the failure propagates; give
         # the OS a beat to reap the pool processes.
         for _ in range(50):

@@ -1,0 +1,101 @@
+"""Checkpoint-store tests: keying, round trip, torn-write safety."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.pipeline.parallel import plan_shards
+from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
+from repro.reliability.checkpoint import CheckpointStore, run_key
+from repro.synth.generator import CampusTraceGenerator
+from repro.util.timeutil import utc_ts
+
+_CONFIG = StudyConfig(n_students=4, seed=42,
+                      start_ts=utc_ts(2020, 2, 1),
+                      end_ts=utc_ts(2020, 2, 5),
+                      visitor_min_days=2)
+
+
+@pytest.fixture(scope="module")
+def shard_outcome():
+    """One tiny real shard result (dataset + stats) to persist."""
+    generator = CampusTraceGenerator(_CONFIG)
+    excluded = generator.plan.excluded_blocks(_CONFIG.excluded_operators)
+    pipeline = MonitoringPipeline(_CONFIG, excluded)
+    for trace in generator.iter_days():
+        pipeline.ingest_day(trace)
+    return pipeline.finalize().canonicalize(), pipeline.stats
+
+
+class TestRunKey:
+    def test_stable_for_identical_runs(self):
+        shards = plan_shards(_CONFIG, 2)
+        assert run_key(_CONFIG, shards) == run_key(_CONFIG, shards)
+
+    def test_config_change_changes_key(self):
+        shards = plan_shards(_CONFIG, 2)
+        other = dataclasses.replace(_CONFIG, seed=_CONFIG.seed + 1)
+        assert run_key(_CONFIG, shards) != \
+            run_key(other, plan_shards(other, 2))
+
+    def test_shard_plan_change_changes_key(self):
+        assert run_key(_CONFIG, plan_shards(_CONFIG, 2)) != \
+            run_key(_CONFIG, plan_shards(_CONFIG, 3))
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path, shard_outcome):
+        dataset, stats = shard_outcome
+        store = CheckpointStore.for_run(
+            str(tmp_path), _CONFIG, plan_shards(_CONFIG, 2))
+        assert not store.has_shard(0)
+        store.save_shard(0, dataset, stats)
+        assert store.has_shard(0)
+        assert store.completed_indices() == [0]
+        loaded_dataset, loaded_stats = store.load_shard(0)
+        assert loaded_dataset.identical(dataset)
+        assert loaded_stats == stats
+
+    def test_missing_shard_raises(self, tmp_path):
+        store = CheckpointStore.for_run(
+            str(tmp_path), _CONFIG, plan_shards(_CONFIG, 2))
+        with pytest.raises(FileNotFoundError):
+            store.load_shard(1)
+
+    def test_torn_checkpoint_is_invisible(self, tmp_path, shard_outcome):
+        """Data files without the .ok marker read as 'not checkpointed'."""
+        dataset, stats = shard_outcome
+        store = CheckpointStore.for_run(
+            str(tmp_path), _CONFIG, plan_shards(_CONFIG, 2))
+        store.save_shard(0, dataset, stats)
+        os.remove(os.path.join(store.directory, "shard-0000.ok"))
+        assert not store.has_shard(0)
+        assert store.completed_indices() == []
+
+    def test_clear_drops_everything(self, tmp_path, shard_outcome):
+        dataset, stats = shard_outcome
+        store = CheckpointStore.for_run(
+            str(tmp_path), _CONFIG, plan_shards(_CONFIG, 2))
+        store.save_shard(0, dataset, stats)
+        store.save_shard(1, dataset, stats)
+        store.clear()
+        assert store.completed_indices() == []
+
+    def test_distinct_runs_do_not_collide(self, tmp_path, shard_outcome):
+        """Two configs checkpoint side by side under one root."""
+        dataset, stats = shard_outcome
+        store_a = CheckpointStore.for_run(
+            str(tmp_path), _CONFIG, plan_shards(_CONFIG, 2))
+        other = dataclasses.replace(_CONFIG, seed=9)
+        store_b = CheckpointStore.for_run(
+            str(tmp_path), other, plan_shards(other, 2))
+        store_a.save_shard(0, dataset, stats)
+        assert store_a.has_shard(0)
+        assert not store_b.has_shard(0)
+
+    def test_plan_manifest_written(self, tmp_path):
+        shards = plan_shards(_CONFIG, 3)
+        store = CheckpointStore.for_run(str(tmp_path), _CONFIG, shards)
+        assert os.path.exists(os.path.join(store.directory, "plan.json"))

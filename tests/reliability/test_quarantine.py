@@ -1,0 +1,75 @@
+"""Quarantine-sink accounting and sampling tests."""
+
+from repro.reliability.errors import (
+    CATEGORY_BLANK,
+    CATEGORY_FIELD,
+    CATEGORY_JSON,
+    RecordError,
+)
+from repro.reliability.quarantine import QuarantineSink
+
+
+def _error(source="conn", category=CATEGORY_JSON, line_no=1, line="x"):
+    return RecordError("bad", source=source, category=category,
+                       line_no=line_no, line=line)
+
+
+class TestAccounting:
+    def test_counts_by_source_and_category(self):
+        sink = QuarantineSink()
+        sink.add(_error("conn", CATEGORY_JSON))
+        sink.add(_error("conn", CATEGORY_FIELD))
+        sink.add(_error("dhcp", CATEGORY_JSON))
+        sink.add_blank("conn")
+        assert sink.count("conn") == 3
+        assert sink.count("conn", CATEGORY_JSON) == 1
+        assert sink.count(category=CATEGORY_JSON) == 2
+        assert len(sink) == 4
+
+    def test_malformed_excludes_blank(self):
+        sink = QuarantineSink()
+        sink.add(_error())
+        sink.add_blank("conn")
+        sink.add_blank("dhcp")
+        assert sink.malformed() == 1
+        assert sink.malformed("conn") == 1
+        assert sink.malformed("dhcp") == 0
+        assert sink.blank() == 2
+        assert sink.blank("dhcp") == 1
+
+    def test_counts_mapping_is_exact(self):
+        sink = QuarantineSink()
+        for _ in range(3):
+            sink.add(_error("dns", CATEGORY_FIELD))
+        assert sink.counts == {("dns", CATEGORY_FIELD): 3}
+
+    def test_empty_summary(self):
+        assert QuarantineSink().summary() == "quarantine: empty"
+
+    def test_summary_names_every_bucket(self):
+        sink = QuarantineSink()
+        sink.add(_error("wire", CATEGORY_JSON))
+        sink.add_blank("wire")
+        assert "wire/json=1" in sink.summary()
+        assert f"wire/{CATEGORY_BLANK}=1" in sink.summary()
+
+
+class TestSampling:
+    def test_samples_are_bounded(self):
+        sink = QuarantineSink(max_samples=2)
+        for line_no in range(10):
+            sink.add(_error(line_no=line_no, line=f"bad-{line_no}"))
+        samples = sink.samples("conn")
+        assert len(samples) == 2
+        assert samples[0].line == "bad-0"
+        assert sink.count("conn") == 10  # counting is never truncated
+
+    def test_long_lines_truncated_in_samples(self):
+        sink = QuarantineSink()
+        sink.add(_error(line="y" * 10_000))
+        assert len(sink.samples("conn")[0].line) <= 200
+
+    def test_blank_lines_keep_no_samples(self):
+        sink = QuarantineSink()
+        sink.add_blank("conn", line_no=5)
+        assert sink.samples("conn") == []

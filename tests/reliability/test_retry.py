@@ -1,0 +1,64 @@
+"""Retry-policy tests: determinism, bounds, and budget accounting."""
+
+import pytest
+
+from repro.reliability.retry import RetryPolicy
+
+
+class TestDelaySchedule:
+    def test_deterministic_under_seed(self):
+        policy = RetryPolicy(seed=7)
+        again = RetryPolicy(seed=7)
+        schedule = [policy.delay(3, attempt) for attempt in range(5)]
+        assert schedule == [again.delay(3, attempt) for attempt in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert RetryPolicy(seed=1).delay(0, 0) != \
+            RetryPolicy(seed=2).delay(0, 0)
+
+    def test_different_shards_are_decorrelated(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay(0, 0) != policy.delay(1, 0)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=100.0, jitter=0.0)
+        assert [policy.delay(0, a) for a in range(4)] == \
+            [1.0, 2.0, 4.0, 8.0]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(0, 10) == 5.0
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=100.0,
+                             jitter=0.5, seed=13)
+        for attempt in range(6):
+            base = min(100.0, 2.0 ** attempt)
+            delay = policy.delay(2, attempt)
+            assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_no_delay_preset(self):
+        policy = RetryPolicy.no_delay(max_attempts=4)
+        assert policy.delay(0, 0) == 0.0
+        assert policy.max_attempts == 4
+
+
+class TestBudget:
+    def test_allows_retry_counts_total_attempts(self):
+        policy = RetryPolicy.no_delay(max_attempts=3)
+        assert policy.allows_retry(0)
+        assert policy.allows_retry(1)
+        assert not policy.allows_retry(2)
+
+    def test_single_attempt_means_no_retry(self):
+        assert not RetryPolicy.no_delay(max_attempts=1).allows_retry(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

@@ -39,3 +39,37 @@ class TestSerialization:
         buffer.write("\n\n")
         buffer.seek(0)
         assert len(list(read_conn_log(buffer))) == 1
+
+
+class TestParseModes:
+    def test_strict_raises_structured_record_error(self):
+        import pytest
+
+        from repro.reliability.errors import RecordError
+
+        buffer = io.StringIO('{"uid": 1}\n')
+        with pytest.raises(RecordError) as excinfo:
+            list(read_conn_log(buffer))
+        assert excinfo.value.source == "conn"
+        assert isinstance(excinfo.value, ValueError)  # back-compat
+
+    def test_lenient_quarantines_and_continues(self):
+        from repro.reliability.quarantine import QuarantineSink
+
+        buffer = io.StringIO()
+        write_conn_log([_conn(1)], buffer)
+        buffer.write("not json\n")
+        write_conn_log([_conn(2)], buffer)
+        buffer.write("\n")
+        buffer.seek(0)
+        sink = QuarantineSink()
+        parsed = list(read_conn_log(buffer, mode="lenient", sink=sink))
+        assert [record.uid for record in parsed] == [1, 2]
+        assert sink.malformed("conn") == 1
+        assert sink.blank("conn") == 1
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(read_conn_log(io.StringIO(""), mode="relaxed"))
