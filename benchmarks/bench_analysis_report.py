@@ -1,0 +1,185 @@
+"""Kernel-vs-reference timings for the vectorized analysis layer.
+
+Three comparisons, each against the pure-Python ``*_reference``
+implementation it replaced (outputs are asserted equal before timing,
+so the speedups are for identical results):
+
+* **session stitching** -- :func:`repro.sessions.stitch.stitch_sessions`
+  on the whole dataset and on the Figure 6 Facebook-platform workload;
+* **signature domain tables** -- the per-signature suffix-match table
+  behind every domain mask, summed over the full registry;
+* **end to end** -- ``StudyArtifacts.compute_all`` (all eight figures
+  plus the summary) on a kernel-backed vs a reference-backed
+  :class:`~repro.analysis.context.AnalysisContext`, and the threaded
+  fan-out for scale.
+
+The numbers land in ``BENCH_analysis.json`` (override the path with
+``BENCH_ANALYSIS_JSON``) so CI can archive them as an artifact. The
+stitching and table speedups are asserted at >= 5x, the end-to-end one
+only at a modest factor: the figure stage also contains per-day loops
+that are deliberately scalar on both paths (see fig2/fig4) to keep the
+outputs bit-identical.
+"""
+
+import dataclasses
+import gc
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.apps.facebook import (
+    facebook_platform_signature,
+    instagram_only_signature,
+)
+from repro.perf.kernels import domain_str_array
+from repro.sessions.stitch import stitch_sessions, stitch_sessions_reference
+
+
+def _best(fn, rounds):
+    """Best-of-N wall time; the minimum is the least noisy estimator.
+
+    The collector is paused while timing: the comparisons allocate
+    ~100k small session tuples per round and a mid-round generational
+    sweep would charge collection time to whichever side it lands on.
+    """
+    times = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+    finally:
+        gc.enable()
+    return min(times)
+
+
+def _fresh(artifacts, use_kernels):
+    """The same study data behind a fresh cache and a fresh context."""
+    return dataclasses.replace(
+        artifacts,
+        context=AnalysisContext(artifacts.dataset, use_kernels=use_kernels),
+        _cache={}, _locks={}, _locks_guard=threading.Lock())
+
+
+def _stitch_comparison(dataset, flow_mask, marker_mask, rounds):
+    kernel_out = stitch_sessions(dataset, flow_mask,
+                                 marker_mask=marker_mask)
+    reference_out = stitch_sessions_reference(dataset, flow_mask,
+                                              marker_mask=marker_mask)
+    assert kernel_out == reference_out
+    sessions = sum(len(v) for v in kernel_out.values())
+    # Don't keep ~200k session tuples alive while timing.
+    del kernel_out, reference_out
+    kernel = _best(
+        lambda: stitch_sessions(dataset, flow_mask,
+                                marker_mask=marker_mask), rounds)
+    reference = _best(
+        lambda: stitch_sessions_reference(dataset, flow_mask,
+                                          marker_mask=marker_mask), rounds)
+    return {
+        "flows": int(flow_mask.sum()),
+        "sessions": sessions,
+        "kernel_seconds": round(kernel, 4),
+        "reference_seconds": round(reference, 4),
+        "speedup": round(reference / kernel, 2),
+    }
+
+
+def test_analysis_speedup_report(artifacts):
+    dataset = artifacts.dataset
+    context = AnalysisContext(dataset)
+
+    # -- session stitching ----------------------------------------------
+    full_mask = np.ones(len(dataset), dtype=bool)
+    facebook_mask = context.domain_mask(facebook_platform_signature())
+    instagram_mask = context.domain_mask(instagram_only_signature())
+    stitching = {
+        "full_dataset": _stitch_comparison(dataset, full_mask, None, 3),
+        "facebook_platform": _stitch_comparison(
+            dataset, facebook_mask, instagram_mask, 5),
+    }
+
+    # -- signature domain tables ----------------------------------------
+    signatures = list(artifacts.signatures)
+    domain_arr = domain_str_array(dataset.domains)
+    for signature in signatures:
+        assert np.array_equal(signature.domain_table(domain_arr),
+                              signature.domain_table_reference(
+                                  dataset.domains))
+    table_kernel = _best(
+        lambda: [s.domain_table(domain_arr) for s in signatures], 10)
+    table_reference = _best(
+        lambda: [s.domain_table_reference(dataset.domains)
+                 for s in signatures], 10)
+    tables = {
+        "signatures": len(signatures),
+        "domains": len(dataset.domains),
+        "kernel_seconds": round(table_kernel, 4),
+        "reference_seconds": round(table_reference, 4),
+        "speedup": round(table_reference / table_kernel, 2),
+    }
+
+    # -- end to end: all figures + summary ------------------------------
+    kernel_results = _fresh(artifacts, True).compute_all()
+    reference_results = _fresh(artifacts, False).compute_all()
+    assert np.array_equal(kernel_results["fig1"].total,
+                          reference_results["fig1"].total)
+    assert kernel_results["summary"] == reference_results["summary"]
+    analyses = len(kernel_results)
+    del kernel_results, reference_results
+
+    end_to_end_kernel = _best(
+        lambda: _fresh(artifacts, True).compute_all(), 2)
+    end_to_end_threads = _best(
+        lambda: _fresh(artifacts, True).compute_all(workers=4), 2)
+    end_to_end_reference = _best(
+        lambda: _fresh(artifacts, False).compute_all(), 2)
+    end_to_end = {
+        "analyses": analyses,
+        "kernel_seconds": round(end_to_end_kernel, 4),
+        "kernel_threaded_seconds": round(end_to_end_threads, 4),
+        "reference_seconds": round(end_to_end_reference, 4),
+        "speedup": round(end_to_end_reference / end_to_end_kernel, 2),
+    }
+
+    print(f"\nstitch full dataset : "
+          f"{stitching['full_dataset']['speedup']:5.1f}x "
+          f"({stitching['full_dataset']['flows']:,} flows, "
+          f"{stitching['full_dataset']['sessions']:,} sessions)")
+    print(f"stitch facebook     : "
+          f"{stitching['facebook_platform']['speedup']:5.1f}x "
+          f"({stitching['facebook_platform']['flows']:,} flows)")
+    print(f"signature tables    : {tables['speedup']:5.1f}x "
+          f"({tables['signatures']} signatures x "
+          f"{tables['domains']} domains)")
+    print(f"figures end to end  : {end_to_end['speedup']:5.1f}x "
+          f"(kernel {end_to_end_kernel:.2f}s, "
+          f"threaded {end_to_end_threads:.2f}s, "
+          f"reference {end_to_end_reference:.2f}s)")
+
+    report_path = os.environ.get("BENCH_ANALYSIS_JSON",
+                                 "BENCH_analysis.json")
+    with open(report_path, "w") as fileobj:
+        json.dump({
+            "dataset_flows": len(dataset),
+            "n_devices": dataset.n_devices,
+            "session_stitching": stitching,
+            "signature_domain_tables": tables,
+            "end_to_end": end_to_end,
+        }, fileobj, indent=2)
+        fileobj.write("\n")
+
+    assert stitching["full_dataset"]["speedup"] >= 5.0
+    assert stitching["facebook_platform"]["speedup"] >= 5.0
+    assert tables["speedup"] >= 5.0
+    # Modest bar: most of the figure stage (day matrices, bincounts,
+    # the deliberately-scalar fig2/fig4 day loops) is shared between
+    # both paths, so the end-to-end gap is much smaller than the
+    # per-kernel gaps.
+    assert end_to_end["speedup"] >= 1.1

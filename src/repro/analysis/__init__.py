@@ -19,10 +19,13 @@ stats     Section 4/5 headline numbers                        summary
 """
 
 from repro.analysis.common import (
+    device_day_bitmap,
+    devices_active_in_months,
     month_day_mask,
     per_device_day_bytes,
     post_shutdown_device_mask,
 )
+from repro.analysis.context import AnalysisContext
 from repro.analysis.fig1_active_devices import Fig1Result, compute_fig1
 from repro.analysis.fig2_bytes_per_device import Fig2Result, compute_fig2
 from repro.analysis.fig3_hour_of_week import Fig3Result, compute_fig3
@@ -34,10 +37,11 @@ from repro.analysis.fig8_switch import Fig8Result, compute_fig8
 from repro.analysis.summary import SummaryStats, compute_summary
 
 __all__ = [
+    "AnalysisContext",
     "Fig1Result", "Fig2Result", "Fig3Result", "Fig4Result", "Fig5Result",
     "Fig6Result", "Fig7Result", "Fig8Result", "SummaryStats",
     "compute_fig1", "compute_fig2", "compute_fig3", "compute_fig4",
     "compute_fig5", "compute_fig6", "compute_fig7", "compute_fig8",
-    "compute_summary", "month_day_mask", "per_device_day_bytes",
-    "post_shutdown_device_mask",
+    "compute_summary", "device_day_bitmap", "devices_active_in_months",
+    "month_day_mask", "per_device_day_bytes", "post_shutdown_device_mask",
 ]

@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import constants
+from repro.perf.kernels import DayBitmap, build_day_bitmap
 from repro.pipeline.dataset import FlowDataset
 from repro.util.timeutil import DAY, month_bounds
 
@@ -56,8 +57,21 @@ def month_day_mask(dataset: FlowDataset, year: int, month: int,
     return (days >= start) & (days < end)
 
 
+def device_day_bitmap(dataset: FlowDataset) -> DayBitmap:
+    """Dense device-by-day activity bitmap from the device profiles.
+
+    One pass over the per-device ``days_seen`` sets; every activity
+    question afterwards (:func:`post_shutdown_device_mask`,
+    :func:`devices_active_in_months`, the Figure 8 census) is a bitmap
+    slice. :class:`~repro.analysis.context.AnalysisContext` caches one
+    bitmap per dataset so a study run builds it at most once.
+    """
+    return build_day_bitmap(dataset.devices)
+
+
 def post_shutdown_device_mask(dataset: FlowDataset,
                               cutoff_ts: float = constants.BREAK_END,
+                              bitmap: Optional[DayBitmap] = None,
                               ) -> np.ndarray:
     """Devices with activity on or after the shutdown cutoff.
 
@@ -67,22 +81,56 @@ def post_shutdown_device_mask(dataset: FlowDataset,
     classes.
     """
     cutoff_day = int((cutoff_ts - dataset.day0) // DAY)
+    if bitmap is None:
+        bitmap = device_day_bitmap(dataset)
+    return bitmap.any_on_or_after(cutoff_day)
+
+
+def post_shutdown_device_mask_reference(dataset: FlowDataset,
+                                        cutoff_ts: float = constants.BREAK_END,
+                                        ) -> np.ndarray:
+    """Pure-Python reference for :func:`post_shutdown_device_mask`."""
+    cutoff_day = int((cutoff_ts - dataset.day0) // DAY)
     return np.array(
         [any(day >= cutoff_day for day in profile.days_seen)
          for profile in dataset.devices],
         dtype=bool)
 
 
+def month_day_range(dataset: FlowDataset, year: int, month: int,
+                    ) -> Tuple[int, int]:
+    """Half-open day-index interval of one calendar month."""
+    start, end = month_bounds(year, month)
+    return (int((start - dataset.day0) // DAY),
+            int((end - dataset.day0) // DAY))
+
+
 def devices_active_in_months(dataset: FlowDataset,
-                             months: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+                             months: Tuple[Tuple[int, int], ...],
+                             bitmap: Optional[DayBitmap] = None,
+                             ) -> np.ndarray:
     """Devices with at least one active day in *every* listed month."""
+    if not months:
+        raise ValueError("at least one month is required")
+    if bitmap is None:
+        bitmap = device_day_bitmap(dataset)
+    result = None
+    for year, month in months:
+        start_day, end_day = month_day_range(dataset, year, month)
+        mask = bitmap.any_in_range(start_day, end_day)
+        result = mask if result is None else (result & mask)
+    return result
+
+
+def devices_active_in_months_reference(
+        dataset: FlowDataset,
+        months: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+    """Pure-Python reference for :func:`devices_active_in_months`."""
     if not months:
         raise ValueError("at least one month is required")
     masks = []
     for year, month in months:
-        start, end = month_bounds(year, month)
-        start_day = int((start - dataset.day0) // DAY)
-        end_day = int((end - dataset.day0) // DAY)
+        start_day, end_day = month_day_range(dataset, year, month)
         masks.append(np.array(
             [any(start_day <= day < end_day for day in profile.days_seen)
              for profile in dataset.devices],

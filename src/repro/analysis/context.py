@@ -1,0 +1,273 @@
+"""Shared, memoized analysis primitives for one dataset.
+
+Every figure needs some mix of the same expensive primitives:
+signature flow masks, the per-device-day byte matrix, the device-day
+activity bitmap, stitched sessions, the domain->site table. Before
+this layer, each figure rebuilt its own copies; an
+:class:`AnalysisContext` computes each primitive once per dataset and
+hands the same (read-only) arrays to every figure and the summary.
+
+The context runs on the vectorized kernels of :mod:`repro.perf.kernels`
+by default. Constructed with ``use_kernels=False`` it routes every
+primitive through the pure-Python ``*_reference`` implementations
+instead -- same memoization, same interface -- which is how the golden
+tests prove the kernel path bit-identical to the reference path for
+every figure and the summary.
+
+All cached getters are thread-safe (``compute_all`` fans figures out
+across threads), and ``stats`` counts how often each primitive was
+*built*, so tests can assert the compute-at-most-once guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.common import (
+    device_day_bitmap,
+    devices_active_in_months_reference,
+    month_day_range,
+    per_device_day_bytes,
+)
+from repro.apps.signature import AppSignature
+from repro.dns.domains import site_of
+from repro.perf.kernels import DayBitmap, domain_str_array, table_flow_mask
+from repro.pipeline.dataset import FlowDataset
+from repro.sessions.stitch import (
+    StitchedSession,
+    stitch_sessions,
+    stitch_sessions_reference,
+)
+
+#: Site-table id for domains without a registrable site.
+NO_SITE = -1
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only so callers cannot corrupt it."""
+    array.flags.writeable = False
+    return array
+
+
+class AnalysisContext:
+    """Memoized analysis primitives shared across figures.
+
+    One instance per dataset; attach it to
+    :class:`~repro.core.study.StudyArtifacts` (done automatically) so
+    all eight figures and the summary reuse the same tables.
+    """
+
+    def __init__(self, dataset: FlowDataset, *, use_kernels: bool = True):
+        self.dataset = dataset
+        self.use_kernels = use_kernels
+        #: How many times each primitive was built (not fetched); every
+        #: value should stay at 1 for the lifetime of a study run.
+        self.stats: Dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._domain_arr: Optional[np.ndarray] = None
+        self._tables: Dict[AppSignature, np.ndarray] = {}
+        self._masks: Dict[Tuple[str, AppSignature], np.ndarray] = {}
+        self._matrices: Dict[Tuple[str, int], np.ndarray] = {}
+        self._bitmap: Optional[DayBitmap] = None
+        self._device_masks: Dict[Tuple[str, object], np.ndarray] = {}
+        self._sessions: Dict[Tuple[str, float],
+                             Dict[int, List[StitchedSession]]] = {}
+        self._site_ids: Optional[Tuple[np.ndarray, int]] = None
+
+    def _count(self, key: str) -> None:
+        self.stats[key] = self.stats.get(key, 0) + 1
+
+    # -- signature tables and masks -------------------------------------
+
+    def domain_table(self, signature: AppSignature) -> np.ndarray:
+        """Per-domain match table, built once per signature."""
+        with self._lock:
+            table = self._tables.get(signature)
+            if table is None:
+                self._count(f"domain_table:{signature.name}")
+                if self.use_kernels:
+                    if self._domain_arr is None:
+                        self._domain_arr = domain_str_array(
+                            self.dataset.domains)
+                    table = signature.domain_table(self._domain_arr)
+                else:
+                    table = signature.domain_table_reference(
+                        self.dataset.domains)
+                self._tables[signature] = _freeze(table)
+            return table
+
+    def domain_mask(self, signature: AppSignature) -> np.ndarray:
+        """Flow mask: annotated with a domain the signature matches."""
+        return self._signature_mask("domain", signature)
+
+    def flow_mask(self, signature: AppSignature) -> np.ndarray:
+        """Flow mask: matched by domain or by IP range."""
+        return self._signature_mask("flow", signature)
+
+    def _signature_mask(self, kind: str,
+                        signature: AppSignature) -> np.ndarray:
+        with self._lock:
+            mask = self._masks.get((kind, signature))
+            if mask is None:
+                if self.use_kernels:
+                    mask = self._kernel_domain_mask(signature)
+                else:
+                    mask = signature.domain_mask_reference(self.dataset)
+                if kind == "flow":
+                    mask = mask | signature.ip_mask(self.dataset)
+                self._masks[(kind, signature)] = _freeze(mask)
+            return mask
+
+    def _kernel_domain_mask(self, signature: AppSignature) -> np.ndarray:
+        # Same short-circuits as AppSignature.domain_mask, but through
+        # the cached (and counted) per-signature table.
+        dataset = self.dataset
+        if not signature.domain_suffixes or not len(dataset.domains):
+            return np.zeros(len(dataset), dtype=bool)
+        annotated = dataset.domain >= 0
+        if not annotated.any():
+            return np.zeros(len(dataset), dtype=bool)
+        return table_flow_mask(dataset.domain, self.domain_table(signature))
+
+    # -- per-device-day byte matrices ------------------------------------
+
+    def day_matrix(self, n_days: int, key: str = "all",
+                   flow_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense (n_devices, n_days) byte matrix, built once per key.
+
+        The unmasked matrix (``key="all"``) is the one shared by
+        Figures 1/2 and the summary; masked variants (e.g. Figure 4's
+        Zoom-excluded matrix) cache under their own key.
+        """
+        with self._lock:
+            matrix = self._matrices.get((key, n_days))
+            if matrix is None:
+                self._count(f"day_matrix:{key}")
+                matrix = per_device_day_bytes(self.dataset, n_days,
+                                              flow_mask=flow_mask)
+                self._matrices[(key, n_days)] = _freeze(matrix)
+            return matrix
+
+    # -- device-day activity ----------------------------------------------
+
+    def day_bitmap(self) -> DayBitmap:
+        """The device-by-day activity bitmap, built once."""
+        with self._lock:
+            if self._bitmap is None:
+                self._count("day_bitmap")
+                self._bitmap = device_day_bitmap(self.dataset)
+                _freeze(self._bitmap.active)
+            return self._bitmap
+
+    def _device_mask(self, op: str, arg, compute_kernel,
+                     compute_reference) -> np.ndarray:
+        with self._lock:
+            mask = self._device_masks.get((op, arg))
+            if mask is None:
+                mask = (compute_kernel() if self.use_kernels
+                        else compute_reference())
+                self._device_masks[(op, arg)] = _freeze(mask)
+            return mask
+
+    def active_on_or_after(self, day: int) -> np.ndarray:
+        """Devices with any active day index ``>= day``."""
+        return self._device_mask(
+            "on_or_after", day,
+            lambda: self.day_bitmap().any_on_or_after(day),
+            lambda: np.array(
+                [any(d >= day for d in p.days_seen)
+                 for p in self.dataset.devices], dtype=bool))
+
+    def active_before(self, day: int) -> np.ndarray:
+        """Devices with any active day index ``< day``."""
+        return self._device_mask(
+            "before", day,
+            lambda: self.day_bitmap().any_before(day),
+            lambda: np.array(
+                [any(d < day for d in p.days_seen)
+                 for p in self.dataset.devices], dtype=bool))
+
+    def first_active_on_or_after(self, day: int) -> np.ndarray:
+        """Devices whose earliest active day is ``>= day``."""
+        return self._device_mask(
+            "first_on_or_after", day,
+            lambda: self.day_bitmap().first_active_on_or_after(day),
+            lambda: np.array(
+                [bool(p.days_seen) and min(p.days_seen) >= day
+                 for p in self.dataset.devices], dtype=bool))
+
+    def active_in_months(self,
+                         months: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+        """Devices active in *every* listed ``(year, month)``."""
+        def _kernel() -> np.ndarray:
+            result = None
+            for year, month in months:
+                start_day, end_day = month_day_range(self.dataset, year,
+                                                     month)
+                mask = self.day_bitmap().any_in_range(start_day, end_day)
+                result = mask if result is None else (result & mask)
+            if result is None:
+                raise ValueError("at least one month is required")
+            return result.copy()
+
+        return self._device_mask(
+            "in_months", tuple(months), _kernel,
+            lambda: devices_active_in_months_reference(self.dataset,
+                                                       tuple(months)))
+
+    # -- session stitching -------------------------------------------------
+
+    def stitch(self, key: str, flow_mask: np.ndarray,
+               marker_mask: Optional[np.ndarray] = None,
+               slack: float = 60.0) -> Dict[int, List[StitchedSession]]:
+        """Stitch sessions once per ``(key, slack)`` and cache them."""
+        with self._lock:
+            sessions = self._sessions.get((key, slack))
+            if sessions is None:
+                self._count(f"stitch:{key}")
+                impl = (stitch_sessions if self.use_kernels
+                        else stitch_sessions_reference)
+                sessions = impl(self.dataset, flow_mask,
+                                marker_mask=marker_mask, slack=slack)
+                self._sessions[(key, slack)] = sessions
+            return sessions
+
+    # -- domain -> registrable-site table ---------------------------------
+
+    def site_ids(self) -> Tuple[np.ndarray, int]:
+        """Per-domain site ids (``NO_SITE`` for malformed) and the site
+        count, built once."""
+        with self._lock:
+            if self._site_ids is None:
+                self._count("site_table")
+                lookup: Dict[str, int] = {}
+                ids = np.empty(len(self.dataset.domains), dtype=np.int64)
+                for index, domain in enumerate(self.dataset.domains):
+                    site = site_of(domain)
+                    if site is None:
+                        ids[index] = NO_SITE
+                    else:
+                        ids[index] = lookup.setdefault(site, len(lookup))
+                self._site_ids = (_freeze(ids), len(lookup))
+            return self._site_ids
+
+    # -- warm-up -----------------------------------------------------------
+
+    def warm(self, signatures: Sequence[AppSignature] = (),
+             n_days: int = 0) -> None:
+        """Precompute the cross-figure primitives.
+
+        Called by :meth:`~repro.core.study.StudyArtifacts.compute_all`
+        before fanning figures out across threads, so the shared tables
+        are built exactly once up front instead of on first demand.
+        """
+        for signature in signatures:
+            self.flow_mask(signature)
+        if n_days > 0:
+            self.day_matrix(n_days)
+        if self.use_kernels:
+            self.day_bitmap()
+        self.site_ids()

@@ -8,18 +8,17 @@ and the post-shutdown dominance of unclassified devices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.analysis.common import (
-    day_timestamps,
-    per_device_day_bytes,
-    study_day_count,
-)
+from repro.analysis.common import day_timestamps, study_day_count
 from repro.devices.classifier import ClassificationResult
 from repro.devices.types import DeviceClass
 from repro.pipeline.dataset import FlowDataset
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 
 @dataclass
@@ -46,11 +45,16 @@ class Fig1Result:
 
 def compute_fig1(dataset: FlowDataset,
                  classification: ClassificationResult,
-                 n_days: int = 0) -> Fig1Result:
+                 n_days: int = 0,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig1Result:
     """Count active devices (any traffic that day) per day and class."""
+    from repro.analysis.context import AnalysisContext
+
     if n_days <= 0:
         n_days = study_day_count(dataset)
-    matrix = per_device_day_bytes(dataset, n_days)
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
+    matrix = ctx.day_matrix(n_days)
     active = matrix > 0
 
     by_class: Dict[str, np.ndarray] = {}

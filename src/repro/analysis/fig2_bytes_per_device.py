@@ -8,18 +8,17 @@ analysis uses medians.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.analysis.common import (
-    day_timestamps,
-    per_device_day_bytes,
-    study_day_count,
-)
+from repro.analysis.common import day_timestamps, study_day_count
 from repro.devices.classifier import ClassificationResult
 from repro.devices.types import DeviceClass
 from repro.pipeline.dataset import FlowDataset
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 
 @dataclass
@@ -42,11 +41,21 @@ class Fig2Result:
 
 def compute_fig2(dataset: FlowDataset,
                  classification: ClassificationResult,
-                 n_days: int = 0) -> Fig2Result:
-    """Mean/median daily bytes over active devices per class."""
+                 n_days: int = 0,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig2Result:
+    """Mean/median daily bytes over active devices per class.
+
+    The per-day median/mean loop is deliberately left scalar: numpy's
+    pairwise summation groups differently once zero rows interleave,
+    which would cost the bit-identity the golden tests assert.
+    """
+    from repro.analysis.context import AnalysisContext
+
     if n_days <= 0:
         n_days = study_day_count(dataset)
-    matrix = per_device_day_bytes(dataset, n_days)
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
+    matrix = ctx.day_matrix(n_days)
 
     mean_by_class: Dict[str, np.ndarray] = {}
     median_by_class: Dict[str, np.ndarray] = {}

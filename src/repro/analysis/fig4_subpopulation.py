@@ -11,19 +11,18 @@ elevated through the term.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.common import (
-    day_timestamps,
-    per_device_day_bytes,
-    study_day_count,
-)
+from repro.analysis.common import day_timestamps, study_day_count
 from repro.apps.signature import AppSignature
 from repro.devices.classifier import ClassificationResult
 from repro.devices.types import DeviceClass
 from repro.pipeline.dataset import FlowDataset
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 #: The four series of the figure: (population, device group).
 SERIES: Tuple[Tuple[str, str], ...] = (
@@ -54,13 +53,18 @@ def compute_fig4(dataset: FlowDataset,
                  international_mask: np.ndarray,
                  post_shutdown_mask: np.ndarray,
                  zoom_signature: AppSignature,
-                 n_days: int = 0) -> Fig4Result:
+                 n_days: int = 0,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig4Result:
     """Daily medians per sub-population and device group, Zoom excluded."""
+    from repro.analysis.context import AnalysisContext
+
     if n_days <= 0:
         n_days = study_day_count(dataset)
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
 
-    non_zoom = ~zoom_signature.flow_mask(dataset)
-    matrix = per_device_day_bytes(dataset, n_days, flow_mask=non_zoom)
+    non_zoom = ~ctx.flow_mask(zoom_signature)
+    matrix = ctx.day_matrix(n_days, key="non_zoom", flow_mask=non_zoom)
 
     mobile_desktop = (
         classification.class_mask(DeviceClass.MOBILE)

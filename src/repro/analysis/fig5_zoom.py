@@ -8,6 +8,7 @@ afternoon bump of social calls.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -15,6 +16,9 @@ from repro.analysis.common import day_timestamps, study_day_count
 from repro.apps.signature import AppSignature
 from repro.pipeline.dataset import FlowDataset
 from repro.util.timeutil import HOUR, is_weekend
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 
 @dataclass
@@ -40,13 +44,19 @@ def compute_fig5(dataset: FlowDataset,
                  zoom_signature: AppSignature,
                  post_shutdown_mask: np.ndarray,
                  online_term_start: float,
-                 n_days: int = 0) -> Fig5Result:
+                 n_days: int = 0,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig5Result:
     """Aggregate Zoom traffic per day and its diurnal profile."""
+    from repro.analysis.context import AnalysisContext
+
     if n_days <= 0:
         n_days = study_day_count(dataset)
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
 
-    zoom = zoom_signature.flow_mask(dataset)
-    zoom &= post_shutdown_mask[dataset.device]
+    # The cached mask is read-only and shared with Figure 4; combine
+    # out-of-place.
+    zoom = ctx.flow_mask(zoom_signature) & post_shutdown_mask[dataset.device]
 
     day = dataset.day[zoom]
     flow_bytes = dataset.total_bytes[zoom].astype(np.float64)

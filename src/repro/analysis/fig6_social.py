@@ -10,7 +10,7 @@ per sub-population. Mobile devices only, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,8 +24,10 @@ from repro.devices.classifier import ClassificationResult
 from repro.devices.types import DeviceClass
 from repro.pipeline.dataset import FlowDataset
 from repro.sessions.duration import monthly_duration_hours
-from repro.sessions.stitch import stitch_sessions
 from repro.stats.descriptive import BoxStats, box_stats
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 PLATFORMS = ("facebook", "instagram", "tiktok")
 POPULATIONS = ("domestic", "international")
@@ -60,8 +62,13 @@ def compute_fig6(dataset: FlowDataset,
                  classification: ClassificationResult,
                  international_mask: np.ndarray,
                  post_shutdown_mask: np.ndarray,
-                 stitch_slack: float = 60.0) -> Fig6Result:
+                 stitch_slack: float = 60.0,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig6Result:
     """Box stats of monthly per-device social durations (mobile only)."""
+    from repro.analysis.context import AnalysisContext
+
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
     mobile = classification.class_mask(DeviceClass.MOBILE)
     eligible = mobile & post_shutdown_mask
     eligible_flows = eligible[dataset.device]
@@ -72,18 +79,18 @@ def compute_fig6(dataset: FlowDataset,
     }
 
     # Facebook platform sessions, split by the Instagram-only marker.
-    platform_mask = (facebook_platform_signature().domain_mask(dataset)
+    platform_mask = (ctx.domain_mask(facebook_platform_signature())
                      & eligible_flows)
-    marker_mask = instagram_only_signature().domain_mask(dataset)
-    fb_sessions = stitch_sessions(dataset, platform_mask,
-                                  marker_mask=marker_mask,
-                                  slack=stitch_slack)
+    marker_mask = ctx.domain_mask(instagram_only_signature())
+    fb_sessions = ctx.stitch("fig6:facebook_platform", platform_mask,
+                             marker_mask=marker_mask,
+                             slack=stitch_slack)
     facebook_hours = monthly_duration_hours(fb_sessions, only_marked=False)
     instagram_hours = monthly_duration_hours(fb_sessions, only_marked=True)
 
-    tiktok_mask = tiktok_signature().domain_mask(dataset) & eligible_flows
-    tiktok_sessions = stitch_sessions(dataset, tiktok_mask,
-                                      slack=stitch_slack)
+    tiktok_mask = ctx.domain_mask(tiktok_signature()) & eligible_flows
+    tiktok_sessions = ctx.stitch("fig6:tiktok", tiktok_mask,
+                                 slack=stitch_slack)
     tiktok_hours = monthly_duration_hours(tiktok_sessions)
 
     per_platform = {

@@ -10,7 +10,7 @@ the paper's point in showing both.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from repro.apps.steam import steam_signature
 from repro.pipeline.dataset import FlowDataset
 from repro.stats.descriptive import BoxStats, box_stats
 from repro.util.timeutil import month_bounds
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 POPULATIONS = ("domestic", "international")
 
@@ -51,10 +54,16 @@ class Fig7Result:
 
 def compute_fig7(dataset: FlowDataset,
                  international_mask: np.ndarray,
-                 post_shutdown_mask: np.ndarray) -> Fig7Result:
+                 post_shutdown_mask: np.ndarray,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig7Result:
     """Per-month Steam usage box stats by sub-population."""
-    steam = steam_signature().domain_mask(dataset)
-    steam &= post_shutdown_mask[dataset.device]
+    from repro.analysis.context import AnalysisContext
+
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
+    # The cached mask is read-only; combine out-of-place.
+    steam = (ctx.domain_mask(steam_signature())
+             & post_shutdown_mask[dataset.device])
 
     device = dataset.device[steam]
     ts = dataset.ts[steam]

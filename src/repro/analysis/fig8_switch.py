@@ -10,19 +10,19 @@ count, and consoles that first appeared during the lock-down.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro import constants
-from repro.analysis.common import (
-    day_timestamps,
-    devices_active_in_months,
-    study_day_count,
-)
+from repro.analysis.common import day_timestamps, study_day_count
 from repro.apps.nintendo import nintendo_gameplay_mask
 from repro.pipeline.dataset import FlowDataset
 from repro.stats.smoothing import moving_average
 from repro.util.timeutil import DAY
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 
 @dataclass
@@ -42,16 +42,20 @@ class Fig8Result:
 def compute_fig8(dataset: FlowDataset,
                  is_switch: np.ndarray,
                  n_days: int = 0,
-                 smoothing_window: int = 3) -> Fig8Result:
+                 smoothing_window: int = 3,
+                 ctx: Optional["AnalysisContext"] = None) -> Fig8Result:
     """Gameplay traffic series plus the Switch census."""
+    from repro.analysis.context import AnalysisContext
+
     if n_days <= 0:
         n_days = study_day_count(dataset)
+    if ctx is None:
+        ctx = AnalysisContext(dataset)
 
-    cohort = is_switch & devices_active_in_months(
-        dataset, ((2020, 2), (2020, 5)))
+    cohort = is_switch & ctx.active_in_months(((2020, 2), (2020, 5)))
 
-    gameplay = nintendo_gameplay_mask(dataset)
-    gameplay &= cohort[dataset.device]
+    gameplay = nintendo_gameplay_mask(dataset, ctx)
+    gameplay = gameplay & cohort[dataset.device]
 
     day = dataset.day[gameplay]
     flow_bytes = dataset.total_bytes[gameplay].astype(np.float64)
@@ -61,17 +65,9 @@ def compute_fig8(dataset: FlowDataset,
 
     shutdown_day = int((constants.STAY_AT_HOME - dataset.day0) // DAY)
     online_day = int((constants.BREAK_END - dataset.day0) // DAY)
-    pre = post = new = 0
-    for profile in dataset.devices:
-        if not is_switch[profile.index]:
-            continue
-        days = profile.days_seen
-        if any(d < shutdown_day for d in days):
-            pre += 1
-        if any(d >= online_day for d in days):
-            post += 1
-        if days and min(days) >= online_day:
-            new += 1
+    pre = int((is_switch & ctx.active_before(shutdown_day)).sum())
+    post = int((is_switch & ctx.active_on_or_after(online_day)).sum())
+    new = int((is_switch & ctx.first_active_on_or_after(online_day)).sum())
 
     return Fig8Result(
         day_ts=day_timestamps(dataset, n_days),

@@ -10,13 +10,16 @@ infrastructure domains for the gameplay measurement of Figure 8.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.apps.signature import AppSignature
 from repro.devices.switch import NINTENDO_DOMAIN_SUFFIXES
 from repro.pipeline.dataset import FlowDataset
+
+if TYPE_CHECKING:
+    from repro.analysis.context import AnalysisContext
 
 #: Non-gameplay Nintendo endpoints (updates, downloads, telemetry,
 #: accounts, connectivity tests) -- the SwitchBlocker-style list.
@@ -46,8 +49,17 @@ def nintendo_infrastructure_signature() -> AppSignature:
     )
 
 
-def nintendo_gameplay_mask(dataset: FlowDataset) -> np.ndarray:
-    """Flow mask for gameplay traffic: Nintendo minus infrastructure."""
+def nintendo_gameplay_mask(dataset: FlowDataset,
+                           ctx: Optional["AnalysisContext"] = None,
+                           ) -> np.ndarray:
+    """Flow mask for gameplay traffic: Nintendo minus infrastructure.
+
+    With a ``ctx``, both signature masks come from (and stay in) its
+    cache.
+    """
+    if ctx is not None:
+        return (ctx.domain_mask(nintendo_all_signature())
+                & ~ctx.domain_mask(nintendo_infrastructure_signature()))
     all_mask = nintendo_all_signature().domain_mask(dataset)
     infra_mask = nintendo_infrastructure_signature().domain_mask(dataset)
     return all_mask & ~infra_mask

@@ -15,6 +15,11 @@ import numpy as np
 
 from repro.dns.domains import matches_suffix
 from repro.net.ip import Prefix
+from repro.perf.kernels import (
+    domain_str_array,
+    suffix_match_table,
+    table_flow_mask,
+)
 from repro.pipeline.dataset import FlowDataset
 
 
@@ -41,11 +46,39 @@ class AppSignature:
 
     # -- dataset-level matching -----------------------------------------
 
-    def domain_mask(self, dataset: FlowDataset) -> np.ndarray:
-        """Flow mask: annotated with a matching domain."""
-        table = np.array(
-            [self.matches_domain(domain) for domain in dataset.domains],
+    def domain_table(self, domain_arr: np.ndarray) -> np.ndarray:
+        """Per-domain bool table over a unique-domain side table.
+
+        ``domain_arr`` is the dataset's domain list as a numpy string
+        array (:func:`repro.perf.kernels.domain_str_array`); matching
+        runs vectorized over it.
+        """
+        return suffix_match_table(domain_arr, self.domain_suffixes)
+
+    def domain_table_reference(self, domains) -> np.ndarray:
+        """Pure-Python counterpart of :meth:`domain_table`."""
+        return np.array(
+            [self.matches_domain(domain) for domain in domains],
             dtype=bool)
+
+    def domain_mask(self, dataset: FlowDataset) -> np.ndarray:
+        """Flow mask: annotated with a matching domain.
+
+        Short-circuits to all-False -- without building the domain
+        table -- when the signature has no suffixes or the dataset has
+        no annotated flows.
+        """
+        if not self.domain_suffixes or not len(dataset.domains):
+            return np.zeros(len(dataset), dtype=bool)
+        annotated = dataset.domain >= 0
+        if not annotated.any():
+            return np.zeros(len(dataset), dtype=bool)
+        table = self.domain_table(domain_str_array(dataset.domains))
+        return table_flow_mask(dataset.domain, table)
+
+    def domain_mask_reference(self, dataset: FlowDataset) -> np.ndarray:
+        """Pure-Python reference for :meth:`domain_mask` (golden tests)."""
+        table = self.domain_table_reference(dataset.domains)
         mask = np.zeros(len(dataset), dtype=bool)
         annotated = dataset.domain >= 0
         if table.size:
@@ -63,6 +96,10 @@ class AppSignature:
     def flow_mask(self, dataset: FlowDataset) -> np.ndarray:
         """Flow mask: matched by domain or by IP range."""
         return self.domain_mask(dataset) | self.ip_mask(dataset)
+
+    def flow_mask_reference(self, dataset: FlowDataset) -> np.ndarray:
+        """Pure-Python reference for :meth:`flow_mask` (golden tests)."""
+        return self.domain_mask_reference(dataset) | self.ip_mask(dataset)
 
 
 def merge_signatures(name: str,

@@ -12,12 +12,16 @@
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro import constants
+from repro.analysis.context import AnalysisContext
 from repro.analysis.fig1_active_devices import Fig1Result, compute_fig1
 from repro.analysis.fig2_bytes_per_device import Fig2Result, compute_fig2
 from repro.analysis.fig3_hour_of_week import Fig3Result, compute_fig3
@@ -70,7 +74,22 @@ class StudyArtifacts:
     post_shutdown_mask: np.ndarray
     signatures: SignatureRegistry
     pipeline_stats: PipelineStats
+    #: Memoized analysis primitives shared by every figure and the
+    #: summary; created on demand when not provided by the study run.
+    context: Optional[AnalysisContext] = None
     _cache: Dict[str, object] = field(default_factory=dict)
+    _locks: Dict[str, threading.Lock] = field(default_factory=dict,
+                                              repr=False)
+    _locks_guard: threading.Lock = field(default_factory=threading.Lock,
+                                         repr=False)
+
+    #: Every cached analysis, in the order ``compute_all`` runs them.
+    ANALYSES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8", "summary")
+
+    def __post_init__(self) -> None:
+        if self.context is None:
+            self.context = AnalysisContext(self.dataset)
 
     # -- sub-population masks ------------------------------------------
 
@@ -82,11 +101,11 @@ class StudyArtifacts:
 
     def fig1(self) -> Fig1Result:
         return self._cached("fig1", lambda: compute_fig1(
-            self.dataset, self.classification))
+            self.dataset, self.classification, ctx=self.context))
 
     def fig2(self) -> Fig2Result:
         return self._cached("fig2", lambda: compute_fig2(
-            self.dataset, self.classification))
+            self.dataset, self.classification, ctx=self.context))
 
     def fig3(self) -> Fig3Result:
         return self._cached("fig3", lambda: compute_fig3(
@@ -95,34 +114,67 @@ class StudyArtifacts:
     def fig4(self) -> Fig4Result:
         return self._cached("fig4", lambda: compute_fig4(
             self.dataset, self.classification, self.international_mask,
-            self.post_shutdown_mask, self.signatures.get("zoom")))
+            self.post_shutdown_mask, self.signatures.get("zoom"),
+            ctx=self.context))
 
     def fig5(self) -> Fig5Result:
         return self._cached("fig5", lambda: compute_fig5(
             self.dataset, self.signatures.get("zoom"),
-            self.post_shutdown_mask, constants.BREAK_END))
+            self.post_shutdown_mask, constants.BREAK_END,
+            ctx=self.context))
 
     def fig6(self) -> Fig6Result:
         return self._cached("fig6", lambda: compute_fig6(
             self.dataset, self.classification, self.international_mask,
-            self.post_shutdown_mask))
+            self.post_shutdown_mask, ctx=self.context))
 
     def fig7(self) -> Fig7Result:
         return self._cached("fig7", lambda: compute_fig7(
-            self.dataset, self.international_mask, self.post_shutdown_mask))
+            self.dataset, self.international_mask, self.post_shutdown_mask,
+            ctx=self.context))
 
     def fig8(self) -> Fig8Result:
         return self._cached("fig8", lambda: compute_fig8(
-            self.dataset, self.classification.is_switch))
+            self.dataset, self.classification.is_switch,
+            ctx=self.context))
 
     def summary(self) -> SummaryStats:
         return self._cached("summary", lambda: compute_summary(
             self.dataset, self.fig1().total, self.post_shutdown_mask,
-            self.international_mask))
+            self.international_mask, ctx=self.context))
+
+    def compute_all(self, workers: int = 1) -> Dict[str, object]:
+        """Compute every figure and the summary; returns them by name.
+
+        With ``workers > 1`` the analyses run on a thread pool. The
+        shared context is warmed first so the cross-figure primitives
+        (signature masks, day matrix, activity bitmap, site table) are
+        built exactly once up front; figure-local work then proceeds
+        in parallel, with the per-key cache locks keeping dependent
+        analyses (the summary waits on Figure 1) computed once.
+        """
+        self.context.warm(
+            signatures=(self.signatures.get("zoom"),),
+            n_days=study_day_count(self.dataset))
+        if workers <= 1:
+            return {name: getattr(self, name)() for name in self.ANALYSES}
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {name: pool.submit(getattr(self, name))
+                       for name in self.ANALYSES}
+            return {name: future.result()
+                    for name, future in futures.items()}
 
     def _cached(self, key: str, compute: Callable[[], object]):
-        if key not in self._cache:
-            self._cache[key] = compute()
+        # Double-checked per-key locking: concurrent callers of the
+        # same analysis compute it once (the rest wait), while distinct
+        # analyses never serialize against each other here.
+        if key in self._cache:
+            return self._cache[key]
+        with self._locks_guard:
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            if key not in self._cache:
+                self._cache[key] = compute()
         return self._cache[key]
 
 
@@ -192,7 +244,11 @@ class LockdownStudy:
             generator.plan.geo_db, config.geo_excluded_domains)
         midpoints = international.classify(dataset)
 
-        post_shutdown = post_shutdown_device_mask(dataset)
+        # One shared context: the bitmap behind the post-shutdown mask
+        # is the same one the figures will query.
+        context = AnalysisContext(dataset)
+        post_shutdown = post_shutdown_device_mask(
+            dataset, bitmap=context.day_bitmap())
         report(f"post-shutdown devices: {int(post_shutdown.sum())}, "
                f"international: {int((midpoints.is_international & post_shutdown).sum())}")
 
@@ -209,6 +265,7 @@ class LockdownStudy:
             post_shutdown_mask=post_shutdown,
             signatures=signatures,
             pipeline_stats=pipeline_stats,
+            context=context,
         )
 
     # -- reconstruction from saved data --------------------------------------
@@ -229,6 +286,7 @@ class LockdownStudy:
         midpoints = InternationalClassifier(
             generator.plan.geo_db,
             config.geo_excluded_domains).classify(dataset)
+        context = AnalysisContext(dataset)
         return StudyArtifacts(
             config=config,
             generator=generator,
@@ -237,36 +295,63 @@ class LockdownStudy:
             retained_devices=np.ones(dataset.n_devices, dtype=bool),
             classification=classification,
             midpoints=midpoints,
-            post_shutdown_mask=post_shutdown_device_mask(dataset),
+            post_shutdown_mask=post_shutdown_device_mask(
+                dataset, bitmap=context.day_bitmap()),
             signatures=default_registry(generator.plan.zoom_publication()),
             pipeline_stats=PipelineStats(),
+            context=context,
         )
 
     # -- no-pandemic counterfactual -------------------------------------------
 
     def run_counterfactual(self,
                            progress: Optional[ProgressFn] = None,
-                           ) -> StudyArtifacts:
+                           workers: int = 1, *,
+                           checkpoint_dir: Optional[str] = None,
+                           resume: bool = True) -> StudyArtifacts:
         """Run the control arm of the natural experiment.
 
         Same population, same window, but the pandemic never happens:
         behaviour is pinned to the pre-pandemic phase and nobody leaves
         campus. Comparing this run's figures against the real study
         isolates the lock-down's effect from seasonal/term structure.
+
+        ``workers``/``checkpoint_dir``/``resume`` behave as in
+        :meth:`run`; checkpoints live under a ``counterfactual/``
+        subdirectory so they never collide with the main run's (the
+        store key covers config and shard plan, not presence or phase).
         """
         from repro.synth.timeline import Phase
 
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         report = progress or (lambda message: None)
         config = self.config
 
         generator = CampusTraceGenerator(config,
                                          phase_override=Phase.PRE)
         report("counterfactual: pandemic disabled, nobody departs")
-        excluded = generator.plan.excluded_blocks(config.excluded_operators)
-        pipeline = MonitoringPipeline(config, excluded)
-        for trace in generator.iter_days(presence=PRESENCE_ALL_RESIDENTS):
-            pipeline.ingest_day(trace)
-        dataset_all = pipeline.finalize()
+        if workers > 1 or checkpoint_dir is not None:
+            from repro.pipeline.parallel import ParallelPipeline
+
+            subdir = (None if checkpoint_dir is None
+                      else os.path.join(checkpoint_dir, "counterfactual"))
+            result = ParallelPipeline(
+                config, workers,
+                presence=PRESENCE_ALL_RESIDENTS,
+                phase_override=Phase.PRE,
+                checkpoint_dir=subdir,
+                resume=resume).run(progress=report)
+            dataset_all, pipeline_stats = result.dataset, result.stats
+        else:
+            excluded = generator.plan.excluded_blocks(
+                config.excluded_operators)
+            pipeline = MonitoringPipeline(config, excluded)
+            for trace in generator.iter_days(
+                    presence=PRESENCE_ALL_RESIDENTS):
+                pipeline.ingest_day(trace)
+            dataset_all = pipeline.finalize()
+            pipeline_stats = pipeline.stats
         report(f"counterfactual pipeline done: {len(dataset_all)} flows")
 
         retained = visitor_filter_mask(dataset_all, config.visitor_min_days)
@@ -279,6 +364,7 @@ class LockdownStudy:
             generator.plan.geo_db, config.geo_excluded_domains)
         midpoints = international.classify(dataset)
 
+        context = AnalysisContext(dataset)
         return StudyArtifacts(
             config=config,
             generator=generator,
@@ -287,15 +373,22 @@ class LockdownStudy:
             retained_devices=retained,
             classification=classification,
             midpoints=midpoints,
-            post_shutdown_mask=post_shutdown_device_mask(dataset),
+            post_shutdown_mask=post_shutdown_device_mask(
+                dataset, bitmap=context.day_bitmap()),
             signatures=default_registry(generator.plan.zoom_publication()),
-            pipeline_stats=pipeline.stats,
+            pipeline_stats=pipeline_stats,
+            context=context,
         )
 
     # -- prior-year baseline ------------------------------------------------
 
     def run_baseline_2019(self, artifacts: StudyArtifacts,
-                          progress: Optional[ProgressFn] = None) -> float:
+                          progress: Optional[ProgressFn] = None,
+                          workers: int = 1, *,
+                          checkpoint_dir: Optional[str] = None,
+                          resume: bool = True,
+                          window: Optional[Tuple[float, float]] = None,
+                          ) -> float:
         """Attach the +X% vs-2019 statistic; returns the fraction.
 
         Simulates the same population over April/May of the prior year
@@ -303,28 +396,43 @@ class LockdownStudy:
         it through a fresh pipeline, and compares the post-shutdown
         cohort's April/May traffic year over year by anonymized device
         token.
+
+        ``workers``/``checkpoint_dir``/``resume`` behave as in
+        :meth:`run`; checkpoints live under a ``baseline_2019/``
+        subdirectory. ``window`` overrides the measured range (tests
+        use a shorter one).
         """
         report = progress or (lambda message: None)
         config = self.config
-        start = utc_ts(2019, 4, 1)
-        end = utc_ts(2019, 6, 1)
+        start, end = window or (utc_ts(2019, 4, 1), utc_ts(2019, 6, 1))
 
-        generator = CampusTraceGenerator(config)
-        excluded = generator.plan.excluded_blocks(config.excluded_operators)
-        pipeline = MonitoringPipeline(config, excluded, day0=start)
-        for trace in generator.iter_days(start, end,
-                                         presence=PRESENCE_ALL_RESIDENTS):
-            pipeline.ingest_day(trace)
-        baseline = pipeline.finalize()
+        if workers > 1 or checkpoint_dir is not None:
+            from repro.pipeline.parallel import ParallelPipeline
+
+            subdir = (None if checkpoint_dir is None
+                      else os.path.join(checkpoint_dir, "baseline_2019"))
+            result = ParallelPipeline(
+                config, workers,
+                presence=PRESENCE_ALL_RESIDENTS,
+                checkpoint_dir=subdir,
+                resume=resume,
+                window=(start, end),
+                day0=start).run(progress=report)
+            baseline = result.dataset
+        else:
+            generator = CampusTraceGenerator(config)
+            excluded = generator.plan.excluded_blocks(
+                config.excluded_operators)
+            pipeline = MonitoringPipeline(config, excluded, day0=start)
+            for trace in generator.iter_days(
+                    start, end, presence=PRESENCE_ALL_RESIDENTS):
+                pipeline.ingest_day(trace)
+            baseline = pipeline.finalize()
         report(f"2019 baseline: {len(baseline)} flows")
 
-        cohort_tokens = {
-            artifacts.dataset.devices[index].token
-            for index in np.flatnonzero(artifacts.post_shutdown_mask)
-        }
-        cohort_mask = np.array(
-            [profile.token in cohort_tokens for profile in baseline.devices],
-            dtype=bool)
+        cohort_mask = cohort_token_mask(artifacts.dataset,
+                                        artifacts.post_shutdown_mask,
+                                        baseline)
 
         n_days = study_day_count(baseline, end)
         matrix = per_device_day_bytes(baseline, n_days)
@@ -335,3 +443,25 @@ class LockdownStudy:
             summary.aprmay_total_bytes, baseline_bytes)
         summary.traffic_increase_vs_2019 = increase
         return increase
+
+
+def cohort_token_mask(study_dataset: FlowDataset,
+                      cohort_mask: np.ndarray,
+                      baseline: FlowDataset) -> np.ndarray:
+    """Mark baseline devices belonging to a study cohort, by token.
+
+    Anonymized device tokens are stable across runs of the same
+    population, so a study cohort maps onto a baseline year's devices
+    by token equality -- one vectorized ``np.isin`` over the two token
+    arrays rather than a per-profile set probe.
+    """
+    if baseline.n_devices == 0:
+        return np.zeros(0, dtype=bool)
+    cohort_indices = np.flatnonzero(cohort_mask)
+    if cohort_indices.size == 0:
+        return np.zeros(baseline.n_devices, dtype=bool)
+    baseline_tokens = np.array(
+        [profile.token for profile in baseline.devices])
+    cohort_tokens = np.array(
+        [study_dataset.devices[index].token for index in cohort_indices])
+    return np.isin(baseline_tokens, cohort_tokens)

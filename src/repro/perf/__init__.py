@@ -1,0 +1,21 @@
+"""Vectorized analysis kernels (see :mod:`repro.perf.kernels`)."""
+
+from repro.perf.kernels import (
+    DayBitmap,
+    SessionSegments,
+    build_day_bitmap,
+    domain_str_array,
+    segmented_running_max,
+    stitch_segments,
+    suffix_match_table,
+)
+
+__all__ = [
+    "DayBitmap",
+    "SessionSegments",
+    "build_day_bitmap",
+    "domain_str_array",
+    "segmented_running_max",
+    "stitch_segments",
+    "suffix_match_table",
+]

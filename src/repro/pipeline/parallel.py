@@ -128,18 +128,23 @@ def default_warmup_seconds(config: StudyConfig) -> float:
 def plan_shards(config: StudyConfig, n_shards: int,
                 warmup_seconds: Optional[float] = None,
                 tail_seconds: float = DEFAULT_TAIL_SECONDS,
+                window: Optional[Tuple[float, float]] = None,
                 ) -> List[ShardSpec]:
     """Split the study window into contiguous, balanced day shards.
 
     Owned ranges partition the window's days exactly; generation ranges
     extend each shard by the warm-up and tail horizons, clamped to the
-    window. Requests for more shards than days are capped.
+    window. Requests for more shards than days are capped. ``window``
+    overrides the config's ``(start_ts, end_ts)`` -- used by the 2019
+    baseline, which measures the same population over a different
+    calendar range.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be at least 1")
     if warmup_seconds is None:
         warmup_seconds = default_warmup_seconds(config)
-    day_starts = list(iter_days(config.start_ts, config.end_ts))
+    window_start, window_end = window or (config.start_ts, config.end_ts)
+    day_starts = list(iter_days(window_start, window_end))
     n_days = len(day_starts)
     n_shards = min(n_shards, n_days)
 
@@ -157,8 +162,8 @@ def plan_shards(config: StudyConfig, n_shards: int,
             n_shards=n_shards,
             owned_start=None if index == 0 else first_day,
             owned_end=None if index == n_shards - 1 else end_ts,
-            gen_start=max(config.start_ts, first_day - warmup_seconds),
-            gen_end=min(config.end_ts, end_ts + tail_seconds),
+            gen_start=max(window_start, first_day - warmup_seconds),
+            gen_end=min(window_end, end_ts + tail_seconds),
         ))
     return shards
 
@@ -178,6 +183,9 @@ class _ShardTask:
     #: 0-based attempt number; lets the fault injector fire on chosen
     #: attempts so tests can prove *recovery*, not just failure.
     attempt: int = 0
+    #: Dataset day-index origin override (baseline windows measure a
+    #: different calendar range than the config's study window).
+    day0: Optional[float] = None
 
 
 class InjectedShardFault(RuntimeError):
@@ -198,7 +206,8 @@ def _ingest_shard(task: _ShardTask) -> Tuple[FlowDataset, PipelineStats]:
     excluded = generator.plan.excluded_blocks(config.excluded_operators)
     pipeline = MonitoringPipeline(
         config, excluded,
-        owned_window=(spec.owned_start, spec.owned_end))
+        owned_window=(spec.owned_start, spec.owned_end),
+        day0=task.day0)
     for trace in generator.iter_days(spec.gen_start, spec.gen_end,
                                      presence=task.presence):
         if task.fault_day is not None and trace.day_start >= task.fault_day:
@@ -234,14 +243,17 @@ class ParallelPipeline:
                  faults: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  checkpoint_dir: Optional[str] = None,
-                 resume: bool = True):
+                 resume: bool = True,
+                 window: Optional[Tuple[float, float]] = None,
+                 day0: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.config = config
         self.workers = workers
         self.shards = plan_shards(config, workers,
                                   warmup_seconds=warmup_seconds,
-                                  tail_seconds=tail_seconds)
+                                  tail_seconds=tail_seconds,
+                                  window=window)
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=config.max_shard_retries + 1, seed=config.seed)
         self.checkpoint_dir = checkpoint_dir
@@ -253,7 +265,7 @@ class ParallelPipeline:
         self._tasks = [
             _ShardTask(config=config, spec=spec, presence=presence,
                        phase_override=phase_override, fault_day=fault_day,
-                       faults=faults)
+                       faults=faults, day0=day0)
             for spec in self.shards
         ]
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.net.mac import MacAddress
 from repro.pipeline.anonymize import Anonymizer
 from repro.pipeline.dataset import NO_DOMAIN, FlowDatasetBuilder
-from repro.sessions.stitch import stitch_sessions
+from repro.sessions.stitch import stitch_sessions, stitch_sessions_reference
 
 _flow = st.tuples(
     st.integers(min_value=0, max_value=3),            # device slot
@@ -14,6 +14,9 @@ _flow = st.tuples(
     st.floats(min_value=0, max_value=3_000),          # duration
     st.integers(min_value=1, max_value=10**6),        # bytes
 )
+
+#: A flow plus its mask membership: (flow, selected, marked).
+_masked_flow = st.tuples(_flow, st.booleans(), st.booleans())
 
 
 def _dataset(flows):
@@ -31,6 +34,27 @@ def _dataset(flows):
 
 
 class TestStitchProperties:
+    @given(st.lists(_masked_flow, max_size=60),
+           st.floats(min_value=0, max_value=300))
+    @settings(max_examples=150)
+    def test_kernel_matches_reference(self, masked_flows, slack):
+        """The numpy kernel is exactly the per-flow walk: same devices,
+        same session boundaries, same floats, bytes, counts and
+        markers, under arbitrary flow/marker masks."""
+        flows = [flow for flow, _, _ in masked_flows]
+        dataset = _dataset(flows)
+        flow_mask = np.array([selected for _, selected, _ in masked_flows],
+                             dtype=bool)
+        marker_mask = np.array(
+            [selected and marked for _, selected, marked in masked_flows],
+            dtype=bool)
+        kernel = stitch_sessions(dataset, flow_mask,
+                                 marker_mask=marker_mask, slack=slack)
+        reference = stitch_sessions_reference(dataset, flow_mask,
+                                              marker_mask=marker_mask,
+                                              slack=slack)
+        assert kernel == reference
+
     @given(st.lists(_flow, max_size=50),
            st.floats(min_value=0, max_value=300))
     @settings(max_examples=150)

@@ -7,11 +7,21 @@ from repro.net.mac import MacAddress
 from repro.pipeline.anonymize import Anonymizer
 from repro.pipeline.dataset import NO_DOMAIN, FlowDatasetBuilder
 from repro.sessions.duration import monthly_duration_hours
-from repro.sessions.stitch import StitchedSession, stitch_sessions
+from repro.sessions.stitch import (
+    StitchedSession,
+    stitch_sessions,
+    stitch_sessions_reference,
+)
 from repro.util.timeutil import utc_ts
 
 FEB = utc_ts(2020, 2, 10)
 MAR = utc_ts(2020, 3, 10)
+
+#: Both implementations must satisfy every behavioral test.
+IMPLS = [
+    pytest.param(stitch_sessions, id="kernel"),
+    pytest.param(stitch_sessions_reference, id="reference"),
+]
 
 
 def _dataset(rows):
@@ -109,6 +119,113 @@ class TestStitching:
         sessions = stitch_sessions(dataset, flow_mask)
         assert len(sessions[0]) == 1
         assert sessions[0][0].duration == pytest.approx(180.0)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+class TestStitchBoundaries:
+    """Boundary semantics, asserted against kernel AND reference."""
+
+    def test_gap_exactly_slack_merges(self, impl):
+        """gap == slack is inside the session (the split needs >)."""
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 10.0 + 60.0, 10.0, "facebook.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = impl(dataset, flow_mask, slack=60.0)
+        assert len(sessions[0]) == 1
+        assert sessions[0][0].flow_count == 2
+
+    def test_gap_just_over_slack_splits(self, impl):
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 10.0 + 60.5, 10.0, "facebook.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = impl(dataset, flow_mask, slack=60.0)
+        assert len(sessions[0]) == 2
+
+    def test_zero_duration_flows(self, impl):
+        """Point flows stitch by the same gap rule; a lone one is a
+        zero-length session."""
+        dataset = _dataset([
+            (1, FEB, 0.0, "facebook.com"),
+            (1, FEB, 0.0, "facebook.com"),       # same instant: merges
+            (1, FEB + 60.0, 0.0, "facebook.com"),  # gap == slack: merges
+            (1, FEB + 5000.0, 0.0, "facebook.com"),  # far away: alone
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        sessions = impl(dataset, flow_mask, slack=60.0)
+        assert [s.flow_count for s in sessions[0]] == [3, 1]
+        lone = sessions[0][1]
+        assert lone.duration == 0.0
+        assert lone.start == lone.end == FEB + 5000.0
+
+    def test_marker_propagates_across_slack_merge(self, impl):
+        """A marked flow joined only through the slack rule still marks
+        the whole session."""
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 40.0, 10.0, "instagram.com"),  # slack-merged
+            (1, FEB + 90.0, 10.0, "facebook.com"),   # chained after it
+        ])
+        flow_mask, marker = _masks(
+            dataset, ["facebook.com", "instagram.com"], ["instagram.com"])
+        sessions = impl(dataset, flow_mask, marker_mask=marker, slack=60.0)
+        assert len(sessions[0]) == 1
+        assert sessions[0][0].marked is True
+
+    def test_marker_stays_within_its_session(self, impl):
+        dataset = _dataset([
+            (1, FEB, 10.0, "instagram.com"),
+            (1, FEB + 5000.0, 10.0, "facebook.com"),
+        ])
+        flow_mask, marker = _masks(
+            dataset, ["facebook.com", "instagram.com"], ["instagram.com"])
+        sessions = impl(dataset, flow_mask, marker_mask=marker)
+        assert [s.marked for s in sessions[0]] == [True, False]
+
+    def test_empty_mask_returns_empty(self, impl):
+        dataset = _dataset([(1, FEB, 10.0, "facebook.com")])
+        assert impl(dataset, np.zeros(len(dataset), dtype=bool)) == {}
+
+    def test_disjoint_marker_mask_marks_nothing(self, impl):
+        """A marker mask disjoint from the flow mask never marks."""
+        dataset = _dataset([
+            (1, FEB, 10.0, "facebook.com"),
+            (1, FEB + 20.0, 10.0, "tiktok.com"),
+        ])
+        flow_mask, _ = _masks(dataset, ["facebook.com"])
+        marker = dataset.flows_to_domains(["tiktok.com"])
+        sessions = impl(dataset, flow_mask, marker_mask=marker)
+        assert [s.marked for s in sessions[0]] == [False]
+
+
+class TestKernelMatchesReference:
+    def test_exact_equality_on_mixed_case(self):
+        """Kernel and reference agree exactly: devices, order, floats,
+        bytes, counts, markers."""
+        dataset = _dataset([
+            (2, FEB + 120.0, 60.0, "facebook.net"),
+            (1, FEB, 100.0, "facebook.com"),
+            (1, FEB + 50.0, 100.0, "instagram.com"),
+            (2, FEB, 0.0, "facebook.com"),
+            (1, FEB + 260.0, 10.0, "facebook.com"),   # gap == slack
+            (1, FEB + 9000.0, 0.0, "facebook.com"),
+            (3, MAR, 30.0, "instagram.com"),
+        ])
+        flow_mask, marker = _masks(
+            dataset, ["facebook.com", "facebook.net", "instagram.com"],
+            ["instagram.com"])
+        kernel = stitch_sessions(dataset, flow_mask, marker_mask=marker)
+        reference = stitch_sessions_reference(dataset, flow_mask,
+                                              marker_mask=marker)
+        assert kernel == reference
+        # Scalar types match too (sessions feed type-sensitive dict code).
+        session = next(iter(kernel.values()))[0]
+        assert isinstance(session.device, int)
+        assert isinstance(session.total_bytes, int)
+        assert isinstance(session.marked, bool)
 
 
 class TestMonthlyDurations:
