@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# The full static suite in one command: reprolint + mypy + ruff.
+#
+#   scripts/check.sh           # static analysis only
+#   scripts/check.sh --tests   # ... plus the tier-1 pytest run
+#
+# `python -m repro.lint` is dependency-free and always runs.  mypy and
+# ruff are optional extras (`pip install -e .[lint,typecheck]`); when
+# one is missing locally it is skipped with a note -- CI installs both
+# and runs all three (see the static-analysis job in ci.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+run_tests=0
+for arg in "$@"; do
+    case "$arg" in
+        --tests) run_tests=1 ;;
+        *) echo "usage: scripts/check.sh [--tests]" >&2; exit 2 ;;
+    esac
+done
+
+status=0
+
+echo "== reprolint =="
+python -m repro.lint || status=1
+
+echo "== mypy (typed core) =="
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy || status=1
+else
+    echo "mypy not installed; skipping (pip install -e .[typecheck])"
+fi
+
+echo "== ruff =="
+if python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check src || status=1
+else
+    echo "ruff not installed; skipping (pip install -e .[lint])"
+fi
+
+if [ "$run_tests" -eq 1 ]; then
+    echo "== tier-1 tests =="
+    python -m pytest -x -q || status=1
+fi
+
+exit "$status"

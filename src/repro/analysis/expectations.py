@@ -55,7 +55,10 @@ class Expectation:
     def evaluate(self, artifacts) -> Outcome:
         try:
             measured, status = self.check(artifacts)
-        except Exception as error:  # pragma: no cover - diagnostic path
+        # Catch-all by design: an expectation check failing for *any*
+        # reason must surface as a FAIL outcome in the report, never
+        # abort the other checks.  The error text is preserved verbatim.
+        except Exception as error:  # pragma: no cover  # reprolint: allow[RL004] -- failure is recorded as a FAIL outcome, never swallowed
             measured, status = f"error: {error!r}", FAIL
         return Outcome(
             expectation_id=self.expectation_id,

@@ -10,13 +10,12 @@ hourly median across all weeks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro import constants
 from repro.pipeline.dataset import FlowDataset
-from repro.stats.normalize import normalize_by_min
 from repro.util.timeutil import HOUR, WEEK, format_day
 
 HOURS_PER_WEEK = 168

@@ -10,7 +10,7 @@ approach the paper's absolute counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro import constants

@@ -7,7 +7,7 @@ every shape the paper reports without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

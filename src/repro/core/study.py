@@ -31,7 +31,6 @@ from repro.analysis.fig6_social import Fig6Result, compute_fig6
 from repro.analysis.fig7_steam import Fig7Result, compute_fig7
 from repro.analysis.fig8_switch import Fig8Result, compute_fig8
 from repro.analysis.common import (
-    month_day_mask,
     per_device_day_bytes,
     post_shutdown_device_mask,
     study_day_count,

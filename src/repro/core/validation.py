@@ -20,7 +20,6 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.core.study import StudyArtifacts
 from repro.devices.types import DeviceClass

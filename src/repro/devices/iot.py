@@ -14,7 +14,7 @@ would take from the Saidi et al. signature corpus.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

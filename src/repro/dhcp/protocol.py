@@ -17,7 +17,7 @@ tests and for anyone extending the substrate:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 from repro.dhcp.lease import Lease
 from repro.dhcp.server import DhcpServer, PoolExhaustedError

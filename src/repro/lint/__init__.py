@@ -1,0 +1,31 @@
+"""``reprolint``: repo-specific static analysis for the reproduction.
+
+The test suite can only *sample* the invariants the reproduction rests
+on -- seeded determinism, the anonymize-then-discard privacy pipeline,
+kernel/reference bit-parity, quarantine-routed failure handling, and
+lock-guarded memoization.  This package checks them on every line of
+``src/repro`` by walking the AST:
+
+* :mod:`repro.lint.engine` -- parsing, project indexing, pragma
+  waivers, fingerprinting;
+* :mod:`repro.lint.rules` -- the rule registry (RL001..RL006);
+* :mod:`repro.lint.baseline` -- committed grandfathered findings;
+* :mod:`repro.lint.cli` -- ``python -m repro.lint``.
+
+Run ``python -m repro.lint --list-rules`` for the rule catalogue, or
+``scripts/check.sh`` for the full static suite (lint + mypy + ruff).
+"""
+
+from repro.lint.engine import Finding, LintEngine, ModuleInfo, ProjectIndex
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, Rule, select_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintEngine",
+    "ModuleInfo",
+    "ProjectIndex",
+    "RULES_BY_ID",
+    "Rule",
+    "select_rules",
+]

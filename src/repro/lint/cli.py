@@ -1,0 +1,100 @@
+"""``python -m repro.lint``: run the invariant checker over the repo.
+
+Exit codes: 0 -- clean (every finding baselined or none at all);
+1 -- at least one non-baselined finding; 2 -- usage or setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+)
+from repro.lint.engine import LintEngine
+from repro.lint.report import render_human, render_json, render_rule_list
+from repro.lint.rules import ALL_RULES, select_rules
+
+
+def find_root(start: Optional[str]) -> Path:
+    """The repository root: ``--root`` or the nearest ancestor of the
+    working directory holding a ``pyproject.toml``."""
+    if start is not None:
+        return Path(start).resolve()
+    cursor = Path.cwd().resolve()
+    for candidate in (cursor, *cursor.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return cursor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=("reprolint: AST-based invariant checker for "
+                     "determinism, anonymization, kernel/reference "
+                     "parity, exception and lock discipline, and "
+                     "typed-core annotations."))
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: nearest pyproject.toml upward)")
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RLNNN",
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (default: human)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list(ALL_RULES))
+        return 0
+    try:
+        rules = select_rules(args.rule)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    root = find_root(args.root)
+    baseline_path = (Path(args.baseline) if args.baseline is not None
+                     else root / DEFAULT_BASELINE_NAME)
+
+    # reprolint: allow[RL001] -- wall-clock runtime reporting only
+    started = time.perf_counter()
+    try:
+        findings = LintEngine(rules).run(root)
+    except (FileNotFoundError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # reprolint: allow[RL001] -- wall-clock runtime reporting only
+    elapsed = time.perf_counter() - started
+
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"reprolint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    match = match_baseline(findings, load_baseline(baseline_path))
+    renderer = render_json if args.format == "json" else render_human
+    print(renderer(match, elapsed))
+    return 1 if match.new else 0

@@ -1,0 +1,275 @@
+"""The ``reprolint`` engine: parse, index, run rules, filter pragmas.
+
+The engine walks every ``.py`` file under ``<root>/src/repro``, parses
+it once into an :class:`ast.Module`, and hands each
+:class:`ModuleInfo` to every registered rule.  Rules that need a
+whole-repository view (e.g. the kernel/reference-twin pairing of
+RL003) get a :class:`ProjectIndex` instead, which also carries the raw
+text of ``<root>/tests`` so rules can require that an invariant is
+*exercised*, not merely declared.
+
+Findings are suppressible two ways, both intentionally explicit:
+
+* an inline pragma ``# reprolint: allow[RL00X] -- reason`` on the
+  offending line (or the line directly above it) waives one line for
+  the listed rules; the reason text is mandatory so waivers stay
+  reviewable;
+* a committed baseline file grandfathers pre-existing findings by
+  *fingerprint* (see :mod:`repro.lint.baseline`); fingerprints hash
+  the offending source text rather than its line number, so unrelated
+  edits moving a finding up or down the file do not invalidate the
+  baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # import-time cycle: rules.base imports this module
+    from repro.lint.rules.base import Rule
+
+#: Pragma waving one or more rules for a single line, e.g.
+#: ``# reprolint: allow[RL004] -- diagnostic catch-all``.
+PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*allow\[(?P<rules>[A-Z0-9,\s]+)\]\s*--\s*\S")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str          # repo-relative, POSIX separators
+    line: int          # 1-based
+    col: int           # 0-based, as reported by ``ast``
+    message: str
+    #: Line-number-independent identity used for baseline matching;
+    #: filled in by the engine.
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module plus the context rules need."""
+
+    path: Path
+    relpath: str       # repo-relative, POSIX separators
+    module: str        # dotted module name, e.g. ``repro.sessions.stitch``
+    source: str
+    lines: Tuple[str, ...]
+    tree: ast.Module
+    #: Local name -> fully dotted origin for every import binding, e.g.
+    #: ``{"np": "numpy", "default_rng": "numpy.random.default_rng"}``.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        """The 1-based physical line, or '' when out of range."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+@dataclass(frozen=True)
+class ProjectIndex:
+    """Whole-repository view handed to project-level rules."""
+
+    root: Path
+    modules: Tuple[ModuleInfo, ...]
+    #: Top-level function names per dotted module.
+    functions: Dict[str, Tuple[str, ...]]
+    #: Concatenated raw source of every ``tests/**/*.py`` file.
+    tests_text: str
+
+    def module_named(self, dotted: str) -> Optional[ModuleInfo]:
+        for info in self.modules:
+            if info.module == dotted:
+                return info
+        return None
+
+    def all_function_names(self) -> frozenset:
+        names: set = set()
+        for per_module in self.functions.values():
+            names.update(per_module)
+        return frozenset(names)
+
+
+def _import_bindings(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted origins they were imported as."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0])
+                if alias.asname:
+                    bindings[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never reach the stdlib names
+            for alias in node.names:
+                bindings[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return bindings
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Flatten a ``Name``/``Attribute`` chain to ``a.b.c`` (else None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_name(node: ast.expr,
+                      imports: Dict[str, str]) -> Optional[str]:
+    """Dotted call target with its head rewritten through the imports.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    under ``import numpy as np``; a bare ``time()`` resolves to
+    ``time.time`` under ``from time import time``.  Attribute chains
+    rooted at arbitrary objects (``self.clock.now``) stay unresolved.
+    """
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def module_name_for(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` relative to the ``src`` root."""
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def load_module(path: Path, root: Path, src_root: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises on bad syntax)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(
+        path=path,
+        relpath=path.relative_to(root).as_posix(),
+        module=module_name_for(path, src_root),
+        source=source,
+        lines=tuple(source.splitlines()),
+        tree=tree,
+        imports=_import_bindings(tree),
+    )
+
+
+def _read_tests_text(root: Path) -> str:
+    tests_dir = root / "tests"
+    if not tests_dir.is_dir():
+        return ""
+    chunks: List[str] = []
+    for path in sorted(tests_dir.rglob("*.py")):
+        chunks.append(path.read_text(encoding="utf-8"))
+    return "\n".join(chunks)
+
+
+def build_index(root: Path,
+                package_dir: str = "src/repro") -> ProjectIndex:
+    """Parse the whole package and index it for the rules."""
+    src_root = root / "src"
+    package_root = root / package_dir
+    if not package_root.is_dir():
+        raise FileNotFoundError(
+            f"no package directory at {package_root}; pass --root at the "
+            f"repository root (the directory holding pyproject.toml)")
+    modules = tuple(
+        load_module(path, root, src_root)
+        for path in sorted(package_root.rglob("*.py")))
+    functions = {
+        info.module: tuple(
+            node.name for node in info.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)))
+        for info in modules
+    }
+    return ProjectIndex(
+        root=root,
+        modules=modules,
+        functions=functions,
+        tests_text=_read_tests_text(root),
+    )
+
+
+def _pragma_rules(text: str) -> frozenset:
+    match = PRAGMA_RE.search(text)
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group("rules").split(",")
+        if part.strip())
+
+
+def is_waived(finding: Finding, module: ModuleInfo) -> bool:
+    """Whether an allow-pragma on the line (or the one above) covers it."""
+    for line in (finding.line, finding.line - 1):
+        if finding.rule in _pragma_rules(module.line_text(line)):
+            return True
+    return False
+
+
+def fingerprint_findings(findings: Sequence[Finding],
+                         modules_by_relpath: Dict[str, ModuleInfo],
+                         ) -> List[Finding]:
+    """Assign stable fingerprints, disambiguating identical lines.
+
+    The hash covers (rule, path, stripped offending line text, ordinal
+    among same-text findings) -- never the line number -- so a finding
+    keeps its identity while unrelated edits shift it around the file.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        module = modules_by_relpath.get(finding.path)
+        text = module.line_text(finding.line).strip() if module else ""
+        key = (finding.rule, finding.path, text)
+        ordinal = seen.get(key, 0)
+        seen[key] = ordinal + 1
+        digest = hashlib.blake2b(
+            f"{finding.rule}|{finding.path}|{text}|{ordinal}".encode("utf-8"),
+            digest_size=12).hexdigest()
+        out.append(replace(finding, fingerprint=digest))
+    return out
+
+
+class LintEngine:
+    """Runs a set of rules over the repository and collects findings."""
+
+    def __init__(self, rules: Sequence["Rule"]) -> None:
+        self.rules = list(rules)
+
+    def run(self, root: Path) -> List[Finding]:
+        index = build_index(root)
+        modules_by_relpath = {info.relpath: info for info in index.modules}
+        raw: List[Finding] = []
+        for rule in self.rules:
+            for info in index.modules:
+                raw.extend(rule.check_module(info))
+            raw.extend(rule.check_project(index))
+        kept = [
+            finding for finding in raw
+            if not (finding.path in modules_by_relpath
+                    and is_waived(finding, modules_by_relpath[finding.path]))
+        ]
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return fingerprint_findings(kept, modules_by_relpath)

@@ -1,0 +1,59 @@
+"""Human and JSON reporters for ``reprolint`` runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.lint.baseline import BaselineMatch
+from repro.lint.engine import Finding
+
+
+
+def _finding_dict(finding: Finding) -> Dict[str, Union[str, int]]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_human(match: BaselineMatch, elapsed: float) -> str:
+    """The human-readable report: one line per new finding + summary."""
+    lines: List[str] = []
+    for finding in match.new:
+        lines.append(
+            f"{finding.location()}: {finding.rule} {finding.message}")
+    if match.stale:
+        lines.append(
+            f"note: {len(match.stale)} stale baseline entr"
+            f"{'y' if len(match.stale) == 1 else 'ies'} no longer match "
+            f"any finding; run --update-baseline to drop them")
+    lines.append(
+        f"reprolint: {len(match.new)} new finding(s), "
+        f"{len(match.baselined)} baselined, checked in {elapsed:.2f}s")
+    return "\n".join(lines)
+
+
+def render_json(match: BaselineMatch, elapsed: float) -> str:
+    """Machine-readable report covering new/baselined/stale."""
+    payload: Dict[str, object] = {
+        "new": [_finding_dict(f) for f in match.new],
+        "baselined": [_finding_dict(f) for f in match.baselined],
+        "stale_fingerprints": list(match.stale),
+        "elapsed_seconds": round(elapsed, 3),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list(rules: Sequence[object]) -> str:
+    """The ``--list-rules`` table."""
+    lines = []
+    for rule in rules:
+        rule_id = getattr(rule, "rule_id", "?")
+        title = getattr(rule, "title", "")
+        lines.append(f"{rule_id}  {title}")
+    return "\n".join(lines)

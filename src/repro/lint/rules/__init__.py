@@ -1,0 +1,56 @@
+"""Rule registry for ``reprolint``.
+
+Adding a rule: write a module here subclassing
+:class:`~repro.lint.rules.base.Rule` with a unique ``rule_id``, append
+an instance to :data:`ALL_RULES`, document it in
+``docs/ARCHITECTURE.md``, and add positive/negative fixtures in
+``tests/lint/test_rules.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.rules.anonymization import AnonymizationTaintRule
+from repro.lint.rules.base import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.exceptions import ExceptionDisciplineRule
+from repro.lint.rules.kernel_twins import KernelTwinsRule
+from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.typed_core import TypedCoreRule
+
+#: Every registered rule, in rule-id order.
+ALL_RULES: Sequence[Rule] = (
+    DeterminismRule(),
+    AnonymizationTaintRule(),
+    KernelTwinsRule(),
+    ExceptionDisciplineRule(),
+    LockDisciplineRule(),
+    TypedCoreRule(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    """The requested rules (all of them for ``None``); raises
+    ``KeyError`` naming the first unknown id."""
+    if not rule_ids:
+        return list(ALL_RULES)
+    selected: List[Rule] = []
+    for rule_id in rule_ids:
+        normalized = rule_id.strip().upper()
+        if normalized not in RULES_BY_ID:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known rules: {known}")
+        selected.append(RULES_BY_ID[normalized])
+    return selected
+
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "select_rules",
+]

@@ -1,0 +1,151 @@
+"""RL002: raw device identifiers must never escape the privacy boundary.
+
+The paper's privacy pipeline (PAPER.md section 3, after DeKoven et al.,
+IMC '19) tokenizes MAC and client-IP addresses in
+``repro/pipeline/anonymize.py`` and discards the raw values; every
+layer downstream of that boundary operates on opaque tokens only.  This
+rule patrols the downstream modules for identifiers that *name* a raw
+identifier (``mac``, ``raw_mac``, ``client_ip``, ...) reaching an exfil
+sink: a logging/print call, an f-string or ``str.format`` rendering, or
+a serialization call (``json.dump``, ``pickle.dump``, file ``write``).
+
+Name-based taint is deliberately conservative: the anonymizer's own
+call sites (``anonymizer.device(device.mac)``) are not sinks, so the
+sanctioned hand-off at the boundary never trips the rule, while any
+attempt to print or persist something *called* a MAC downstream does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.engine import Finding, ModuleInfo, resolve_call_name
+from repro.lint.rules.base import Rule
+
+#: Modules downstream of the anonymization boundary: everything that
+#: consumes the flow dataset rather than building it.  The boundary
+#: modules themselves (pipeline.pipeline, pipeline.anonymize, the
+#: synthetic substrate and raw-log readers) legitimately hold raw
+#: identifiers and are out of scope.
+DOWNSTREAM_PREFIXES = (
+    "repro.pipeline.dataset", "repro.pipeline.store",
+    "repro.pipeline.visitors",
+    "repro.sessions", "repro.analysis", "repro.core",
+    "repro.apps", "repro.stats",
+)
+
+#: Single name tokens that mark a value as a raw device identifier.
+TAINT_TOKENS = frozenset({"mac"})
+
+#: Consecutive token pairs marking raw address fields (``client_ip``,
+#: splitting camel/underscore names).  A lone ``ip`` token is *not*
+#: tainted: signature IP-range matching (``ip_mask``) is sanctioned.
+TAINT_PAIRS = frozenset({
+    ("client", "ip"), ("src", "ip"), ("raw", "ip"),
+    ("orig", "ip"), ("resp", "ip"), ("raw", "mac"),
+})
+
+#: Fully resolved call targets that persist or emit their arguments.
+SINK_CALLS = frozenset({
+    "print",
+    "json.dump", "json.dumps",
+    "pickle.dump", "pickle.dumps",
+    "marshal.dump", "marshal.dumps",
+})
+
+#: Method names that emit their arguments regardless of receiver.
+SINK_METHODS = frozenset({"write", "writelines", "writerow", "writerows"})
+
+#: Logger-ish receiver names whose level methods count as sinks.
+LOG_RECEIVERS = frozenset({"logging", "logger", "log"})
+LOG_METHODS = frozenset({
+    "debug", "info", "warning", "warn", "error", "exception", "critical",
+})
+
+
+def _name_tokens(name: str) -> Tuple[str, ...]:
+    return tuple(part for part in name.lower().split("_") if part)
+
+
+def tainted_name(name: str) -> bool:
+    """Whether an identifier names a raw MAC/IP by its tokens."""
+    tokens = _name_tokens(name)
+    if TAINT_TOKENS.intersection(tokens):
+        return True
+    return any(pair in TAINT_PAIRS for pair in zip(tokens, tokens[1:]))
+
+
+def _tainted_in(node: ast.AST) -> Optional[ast.AST]:
+    """First tainted Name/Attribute inside ``node``, if any."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and tainted_name(child.id):
+            return child
+        if isinstance(child, ast.Attribute) and tainted_name(child.attr):
+            return child
+    return None
+
+
+def _taint_label(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return "<identifier>"
+
+
+class AnonymizationTaintRule(Rule):
+    rule_id = "RL002"
+    title = ("raw mac/client_ip identifiers must not reach logging, "
+             "f-strings, or serialization downstream of anonymize.py")
+
+    def _sink_name(self, call: ast.Call,
+                   module: ModuleInfo) -> Optional[str]:
+        resolved = resolve_call_name(call.func, module.imports)
+        if resolved is not None:
+            if resolved in SINK_CALLS or resolved.startswith("logging."):
+                return resolved
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in SINK_METHODS:
+                return f"<receiver>.{func.attr}"
+            if func.attr in LOG_METHODS:
+                root = func.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (isinstance(root, ast.Name)
+                        and root.id.lower() in LOG_RECEIVERS):
+                    return f"{root.id}.{func.attr}"
+        return None
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith(DOWNSTREAM_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                sink = self._sink_name(node, module)
+                is_format = (isinstance(node.func, ast.Attribute)
+                             and node.func.attr == "format")
+                if sink is None and not is_format:
+                    continue
+                for arg in [*node.args,
+                            *(kw.value for kw in node.keywords)]:
+                    hit = _tainted_in(arg)
+                    if hit is not None:
+                        label = sink or "str.format"
+                        yield self.finding(
+                            module, hit,
+                            f"raw identifier '{_taint_label(hit)}' "
+                            f"reaches sink {label}() downstream of the "
+                            f"anonymization boundary")
+            elif isinstance(node, ast.JoinedStr):
+                for value in node.values:
+                    if not isinstance(value, ast.FormattedValue):
+                        continue
+                    hit = _tainted_in(value.value)
+                    if hit is not None:
+                        yield self.finding(
+                            module, hit,
+                            f"raw identifier '{_taint_label(hit)}' is "
+                            f"rendered into an f-string downstream of "
+                            f"the anonymization boundary")

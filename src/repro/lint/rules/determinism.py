@@ -1,0 +1,86 @@
+"""RL001: every run of the reproduction must be bit-reproducible.
+
+The simulation, the retry schedule, and the anonymization tokens all
+derive from the study seed through named substreams
+(:mod:`repro.util.rng`); the golden tests pin byte-identical output for
+a fixed seed.  A single call to a wall clock or to a globally seeded
+RNG anywhere in the measurement path silently breaks that contract, so
+this rule bans the ambient-entropy stdlib/numpy surface everywhere in
+``src/repro`` except the explicit allowlist: the substream helper
+itself and the CLI's elapsed-time progress reporting (benchmarks live
+outside ``src`` and are never scanned).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ModuleInfo, resolve_call_name
+from repro.lint.rules.base import Rule
+
+#: Modules allowed to touch clocks/entropy: the seed-derivation helper
+#: (the one sanctioned RNG construction point) and CLI wall-clock
+#: progress timing, which never feeds measurement output.
+ALLOWED_MODULES = frozenset({"repro.util.rng", "repro.cli"})
+
+#: Calls that read ambient time or entropy.
+BANNED_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4",
+    "os.urandom", "os.getrandom",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.randbits", "secrets.choice",
+})
+
+#: Any call into these namespaces is globally seeded (or seeds a
+#: global) and therefore banned outright.
+BANNED_PREFIXES = ("random.", "numpy.random.")
+
+#: Constructors under ``numpy.random`` that are deterministic when --
+#: and only when -- they receive an explicit seed argument.
+SEEDABLE_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64", "numpy.random.PCG64DXSM",
+    "numpy.random.Philox", "numpy.random.MT19937", "numpy.random.SFC64",
+})
+
+
+class DeterminismRule(Rule):
+    rule_id = "RL001"
+    title = ("no wall clocks or unseeded RNGs outside repro.util.rng "
+             "and CLI timing")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.module in ALLOWED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, module.imports)
+            if name is None:
+                continue
+            if name in BANNED_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"call to {name}() is nondeterministic; derive from "
+                    f"the study seed via repro.util.rng.substream instead")
+            elif name in SEEDABLE_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f"{name}() without an explicit seed draws OS "
+                        f"entropy; pass a seed derived via "
+                        f"repro.util.rng.substream")
+            elif name.startswith(BANNED_PREFIXES):
+                yield self.finding(
+                    module, node,
+                    f"call to {name}() uses a global RNG stream; use a "
+                    f"named substream from repro.util.rng instead")

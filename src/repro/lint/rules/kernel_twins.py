@@ -1,0 +1,58 @@
+"""RL003: every vectorized kernel keeps a pure-Python reference twin.
+
+The performance layer's correctness story (PR 3) is that each numpy
+kernel is *bit-identical* to a slow, obviously-correct reference
+implementation, and that tests hold the pair together.  This rule makes
+the pairing a checked invariant: every public function in
+``repro.perf.kernels`` must have a ``<name>_reference`` twin defined
+somewhere in ``src/repro`` (by convention in
+``repro.perf.references``), and both names must appear in the test
+suite -- a twin nobody compares against is no evidence at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import Finding, ProjectIndex
+from repro.lint.rules.base import Rule
+
+#: The module whose public functions must all be twinned.
+KERNELS_MODULE = "repro.perf.kernels"
+
+
+class KernelTwinsRule(Rule):
+    rule_id = "RL003"
+    title = ("every public repro.perf.kernels function has a *_reference "
+             "twin and both appear in tests/")
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        kernels = project.module_named(KERNELS_MODULE)
+        if kernels is None:
+            return
+        all_functions = project.all_function_names()
+        for node in kernels.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") or node.name.endswith("_reference"):
+                continue
+            twin = f"{node.name}_reference"
+            if twin not in all_functions:
+                yield self.finding(
+                    kernels, node,
+                    f"public kernel '{node.name}' has no pure-Python "
+                    f"'{twin}' twin anywhere in src/repro")
+                continue
+            missing = [
+                name for name in (node.name, twin)
+                if not re.search(rf"\b{re.escape(name)}\b",
+                                 project.tests_text)
+            ]
+            if missing:
+                yield self.finding(
+                    kernels, node,
+                    f"kernel/reference pair '{node.name}'/'{twin}' is "
+                    f"not exercised in tests/ (missing: "
+                    f"{', '.join(missing)})")

@@ -23,9 +23,21 @@ suite in ``tests/property/test_stitch_props.py`` hold them to that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence, Set, Union
 
 import numpy as np
+
+
+class SupportsDaysSeen(Protocol):
+    """Anything carrying a ``days_seen`` set of active day indices
+    (e.g. :class:`repro.pipeline.dataset.DeviceProfile`)."""
+
+    days_seen: Set[int]
+
+
+#: One entry of the per-device activity input: a profile carrying a
+#: ``days_seen`` set, or the bare set itself.
+DaysSeenEntry = Union[SupportsDaysSeen, Set[int]]
 
 # ---------------------------------------------------------------------------
 # Signature domain tables.
@@ -126,7 +138,7 @@ class DayBitmap:
         return self.any_at_all() & ~self.any_before(day)
 
 
-def build_day_bitmap(days_seen_sets: Iterable) -> DayBitmap:
+def build_day_bitmap(days_seen_sets: Iterable[DaysSeenEntry]) -> DayBitmap:
     """Build the bitmap from per-device ``days_seen`` sets.
 
     One pass over the sets replaces the per-call ``any(day ...)``

@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 

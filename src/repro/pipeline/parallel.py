@@ -362,6 +362,9 @@ class ParallelPipeline:
             while True:
                 try:
                     outcome = _ingest_shard(replace(task, attempt=attempt))
+                # Broad on purpose (RL004-compliant): every failure is
+                # classified by the taxonomy -- transient ones retry,
+                # the rest re-raise wrapped as ShardFailure.
                 except Exception as exc:
                     if (is_transient(exc)
                             and self.retry_policy.allows_retry(attempt)):
@@ -449,6 +452,8 @@ class ParallelPipeline:
                     futures[future] = task  # in flight too: reclaim it
                     reclaim(exc)
                     continue
+                # Broad on purpose (RL004-compliant): classified by the
+                # taxonomy, retried or re-raised as ShardFailure.
                 except Exception as exc:
                     attempt = attempts[spec.index]
                     if (is_transient(exc)

@@ -12,7 +12,7 @@ immediately tokenized.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
@@ -33,7 +33,7 @@ from repro.zeek.engine import FlowEngine
 class PipelineStats:
     """Operational counters of one ingest run.
 
-    Every field is an additive counter, which is what makes per-shard
+    Every  is an additive counter, which is what makes per-shard
     stats :meth:`merge`-able into the totals a serial run would have
     produced (the tokenization-cache counters are the one per-process
     exception: shards warm their own caches, so their sums exceed a

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
-from typing import List
 
 import numpy as np
 

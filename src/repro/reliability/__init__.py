@@ -34,7 +34,7 @@ from repro.reliability.quarantine import QuarantinedRecord, QuarantineSink
 from repro.reliability.retry import RetryPolicy
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # CheckpointStore persists FlowDataset/PipelineStats, whose modules
     # themselves use this package's error taxonomy; importing it lazily
     # keeps `repro.reliability` importable from inside that stack.

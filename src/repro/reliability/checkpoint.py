@@ -26,7 +26,7 @@ import hashlib
 import json
 import os
 import shutil
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.config import StudyConfig
 from repro.pipeline.dataset import FlowDataset
@@ -65,7 +65,7 @@ def run_key(config: StudyConfig, shards: Sequence) -> str:
 class CheckpointStore:
     """Persists and recalls per-shard results for one run key."""
 
-    def __init__(self, root: str, key: str):
+    def __init__(self, root: str, key: str) -> None:
         self.root = root
         self.key = key
         self.directory = os.path.join(root, key)

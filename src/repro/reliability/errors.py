@@ -46,7 +46,7 @@ class RecordError(ReliabilityError, ValueError):
 
     def __init__(self, message: str, *, source: str, category: str,
                  line_no: Optional[int] = None,
-                 line: Optional[str] = None):
+                 line: Optional[str] = None) -> None:
         super().__init__(message)
         #: Which log stream the record came from ("conn", "dhcp", ...).
         self.source = source

@@ -10,7 +10,7 @@ loop, written once.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, TypeVar
 
 from repro.reliability.errors import CATEGORY_JSON, RecordError
 from repro.reliability.quarantine import QuarantineSink
@@ -18,6 +18,9 @@ from repro.reliability.quarantine import QuarantineSink
 #: The two parse modes accepted by every reader.
 MODE_STRICT = "strict"
 MODE_LENIENT = "lenient"
+
+#: Whatever record type a reader's ``parse`` callback produces.
+RecordT = TypeVar("RecordT")
 
 
 def parse_json_object(line: str, *, source: str,
@@ -37,9 +40,12 @@ def parse_json_object(line: str, *, source: str,
     return payload
 
 
-def read_jsonl_records(lines: Iterable[str], parse, *, source: str,
+def read_jsonl_records(lines: Iterable[str],
+                       parse: Callable[[str, int], RecordT], *,
+                       source: str,
                        mode: str = MODE_STRICT,
-                       sink: Optional[QuarantineSink] = None) -> Iterator:
+                       sink: Optional[QuarantineSink] = None,
+                       ) -> Iterator[RecordT]:
     """The one strict/lenient line loop behind every log reader.
 
     ``parse`` is ``(line, line_no) -> record`` raising

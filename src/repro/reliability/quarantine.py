@@ -42,7 +42,7 @@ class QuarantinedRecord:
 class QuarantineSink:
     """Counts (and samples) records refused by lenient-mode readers."""
 
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
         self._counts: Counter = Counter()
         self._samples: Dict[str, List[QuarantinedRecord]] = {}
         self.max_samples = max_samples

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sessions.stitch import StitchedSession
 from repro.util.timeutil import HOUR, month_key

@@ -95,7 +95,10 @@ def stitch_sessions(dataset: FlowDataset,
     # of a per-session Python branch-and-append loop. tuple.__new__ is
     # the construction floor: both the generated NamedTuple __new__ and
     # _make are Python-level functions and several times slower.
-    flat = list(map(tuple.__new__, repeat(StitchedSession), zip(
+    # The tuple.__new__ trick is untypeable; the explicit List
+    # annotation restores precise types for everything downstream.
+    flat: List[StitchedSession] = list(map(  # type: ignore[arg-type]
+        tuple.__new__, repeat(StitchedSession), zip(
         segments.device.tolist(), segments.start.tolist(),
         segments.end.tolist(), segments.total_bytes.tolist(),
         segments.flow_count.tolist(), segments.marked.tolist())))

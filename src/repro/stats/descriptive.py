@@ -8,7 +8,7 @@ for TikTok. One summary type carries everything those figures need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

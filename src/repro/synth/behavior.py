@@ -37,11 +37,10 @@ from repro.synth.devices import DeviceKind, SimDevice
 from repro.synth.personas import StudentPersona
 from repro.synth.timeline import (
     Phase,
-    is_instruction_day,
     phase_of,
     weeks_into_online_term,
 )
-from repro.util.timeutil import DAY, is_weekend, month_key
+from repro.util.timeutil import is_weekend, month_key
 
 # ---------------------------------------------------------------------------
 # Rate modifiers. Each entry maps a phase or month to a (domestic,

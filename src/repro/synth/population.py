@@ -9,7 +9,7 @@ Switches bought mid-lock-down (Section 5.3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from repro.synth.archetypes import AppArchetype
 from repro.synth.behavior import BehaviorModel
 from repro.synth.devices import SimDevice
 from repro.synth.personas import StudentPersona
-from repro.util.timeutil import DAY, HOUR, MINUTE
+from repro.util.timeutil import HOUR, MINUTE
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,8 @@ Wayback history) are constructed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.ip import Prefix, PrefixAllocator
 from repro.world.geo import GeoDatabase, GeoLocation, LOCATIONS

@@ -1,0 +1,58 @@
+"""Shared mini-repo builder for the reprolint rule and CLI tests.
+
+Each test materializes a tiny on-disk repository (``pyproject.toml``
+plus ``src/repro/...`` modules) so the rules run against exactly the
+same code path as ``python -m repro.lint`` on the real tree.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+from typing import Dict, List
+
+import pytest
+
+from repro.lint.engine import Finding, LintEngine
+from repro.lint.rules import RULES_BY_ID
+
+
+class MiniRepo:
+    """A throwaway repository rooted at ``root``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        (root / "pyproject.toml").write_text("[project]\nname = 'mini'\n")
+        (root / "src" / "repro").mkdir(parents=True)
+        (root / "src" / "repro" / "__init__.py").write_text("")
+
+    def write(self, relmodule: str, source: str) -> Path:
+        """Write ``src/repro/<relmodule>.py`` (slashes make packages)."""
+        path = self.root / "src" / "repro" / (relmodule + ".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.parents:
+            if parent == self.root / "src":
+                break
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        path.write_text(dedent(source))
+        return path
+
+    def write_test(self, name: str, source: str) -> Path:
+        path = self.root / "tests" / (name + ".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+        return path
+
+    def run_rule(self, rule_id: str) -> List[Finding]:
+        return LintEngine([RULES_BY_ID[rule_id]]).run(self.root)
+
+    def findings_by_rule(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in LintEngine(list(RULES_BY_ID.values())).run(self.root):
+            grouped.setdefault(finding.rule, []).append(finding)
+        return grouped
+
+
+@pytest.fixture
+def mini_repo(tmp_path: Path) -> MiniRepo:
+    return MiniRepo(tmp_path)

@@ -1,0 +1,143 @@
+"""End-to-end tests for ``python -m repro.lint``.
+
+Covers the acceptance contract from the issue: the CLI exits 0 on the
+current tree with the committed baseline, exits non-zero on a seeded
+violation fixture, and the baseline survives unrelated line drift
+because fingerprints hash source text, not line numbers.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# --- the real repository ---------------------------------------------------
+
+def test_real_tree_is_clean_with_committed_baseline():
+    """`python -m repro.lint` exits 0 on the repo as committed."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--root", str(REPO_ROOT)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 new finding(s)" in result.stdout
+
+
+def test_committed_baseline_is_valid_and_empty():
+    baseline = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert baseline["tool"] == "reprolint"
+    assert baseline["findings"] == []
+
+
+# --- seeded violations ------------------------------------------------------
+
+def test_seeded_violation_exits_nonzero(mini_repo, capsys):
+    mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    code = main(["--root", str(mini_repo.root)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RL001" in out
+    assert "1 new finding(s)" in out
+
+
+def test_rule_filter_limits_to_selected_rule(mini_repo, capsys):
+    mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp(x, y):
+            return time.time()
+        """)
+    code = main(["--root", str(mini_repo.root), "--rule", "RL002"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 new finding(s)" in out
+
+
+def test_unknown_rule_is_a_usage_error(mini_repo, capsys):
+    code = main(["--root", str(mini_repo.root), "--rule", "RL999"])
+    assert code == 2
+    assert "RL999" in capsys.readouterr().err
+
+
+def test_missing_package_root_is_a_setup_error(tmp_path, capsys):
+    code = main(["--root", str(tmp_path)])
+    assert code == 2
+    assert "no package directory" in capsys.readouterr().err
+
+
+# --- baseline workflow ------------------------------------------------------
+
+def test_update_baseline_then_clean_run(mini_repo, capsys):
+    mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert main(["--root", str(mini_repo.root)]) == 1
+    assert main(["--root", str(mini_repo.root), "--update-baseline"]) == 0
+    assert main(["--root", str(mini_repo.root)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_baseline_survives_line_drift(mini_repo, capsys):
+    path = mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert main(["--root", str(mini_repo.root), "--update-baseline"]) == 0
+    # Unrelated edits above the finding move it down the file; the
+    # text-based fingerprint keeps it matched to the baseline entry.
+    drifted = path.read_text().replace(
+        "import time", "import time\n\nPADDING = 1\nMORE_PADDING = 2")
+    path.write_text(drifted)
+    assert main(["--root", str(mini_repo.root)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_fixed_finding_is_reported_stale(mini_repo, capsys):
+    path = mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert main(["--root", str(mini_repo.root), "--update-baseline"]) == 0
+    path.write_text("def stamp(seed: int) -> int:\n    return seed\n")
+    assert main(["--root", str(mini_repo.root)]) == 0
+    assert "stale" in capsys.readouterr().out
+
+
+# --- output formats ---------------------------------------------------------
+
+def test_json_format_is_machine_readable(mini_repo, capsys):
+    mini_repo.write("analysis/bad", """\
+        import time
+        T = time.time()
+        """)
+    code = main(["--root", str(mini_repo.root), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["new"][0]["rule"] == "RL001"
+    assert payload["new"][0]["fingerprint"]
+
+
+def test_list_rules_names_all_six(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in out
