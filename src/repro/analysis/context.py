@@ -36,6 +36,8 @@ from repro.apps.signature import AppSignature
 from repro.dns.domains import site_of
 from repro.perf.kernels import DayBitmap, domain_str_array, table_flow_mask
 from repro.pipeline.dataset import FlowDataset
+from repro.reliability.coverage import CoverageReport
+from repro.reliability.errors import CoverageError
 from repro.sessions.stitch import (
     StitchedSession,
     stitch_sessions,
@@ -60,13 +62,27 @@ class AnalysisContext:
     all eight figures and the summary reuse the same tables.
     """
 
-    def __init__(self, dataset: FlowDataset, *, use_kernels: bool = True):
+    def __init__(self, dataset: FlowDataset, *, use_kernels: bool = True,
+                 coverage: Optional[CoverageReport] = None,
+                 strict_coverage: bool = False):
         self.dataset = dataset
         self.use_kernels = use_kernels
+        #: Telemetry coverage of the ingest behind this dataset; None
+        #: means "assume complete" (e.g. datasets reloaded from disk).
+        self.coverage = coverage
+        if (strict_coverage and coverage is not None
+                and not coverage.is_complete()):
+            gaps = {source: coverage.gaps(source).covered_seconds()
+                    for source in ("conn", "dhcp", "dns")
+                    if not coverage.gaps(source).is_empty}
+            raise CoverageError(
+                f"strict_coverage: telemetry gaps present ({gaps})")
         #: How many times each primitive was built (not fetched); every
         #: value should stay at 1 for the lifetime of a study run.
         self.stats: Dict[str, int] = {}
         self._lock = threading.RLock()
+        self._day_coverage: Dict[Tuple[Optional[str], int],
+                                 Optional[np.ndarray]] = {}
         self._domain_arr: Optional[np.ndarray] = None
         self._tables: Dict[AppSignature, np.ndarray] = {}
         self._masks: Dict[Tuple[str, AppSignature], np.ndarray] = {}
@@ -217,6 +233,30 @@ class AnalysisContext:
             "in_months", tuple(months), _kernel,
             lambda: devices_active_in_months_reference(self.dataset,
                                                        tuple(months)))
+
+    # -- telemetry coverage -----------------------------------------------
+
+    def day_coverage(self, n_days: int,
+                     source: Optional[str] = None) -> Optional[np.ndarray]:
+        """Per-day covered fraction, or None when coverage is complete.
+
+        Returning None on complete coverage keeps the clean analysis
+        path bit-identical: figure kernels only branch into their
+        normalization when gaps actually existed. ``source=None`` gives
+        the worst fraction across conn/dhcp/dns per day.
+        """
+        if self.coverage is None or self.coverage.is_complete():
+            return None
+        with self._lock:
+            key = (source, n_days)
+            if key not in self._day_coverage:
+                self._count(f"day_coverage:{source or 'all'}")
+                fractions = np.asarray(
+                    self.coverage.day_fractions(
+                        self.dataset.day0, n_days, source),
+                    dtype=np.float64)
+                self._day_coverage[key] = _freeze(fractions)
+            return self._day_coverage[key]
 
     # -- session stitching -------------------------------------------------
 

@@ -28,6 +28,13 @@ class Fig1Result:
     day_ts: np.ndarray
     total: np.ndarray
     by_class: Dict[str, np.ndarray]
+    #: Telemetry-coverage annotations, populated only when the run had
+    #: gaps: per-day covered fraction, counts normalized by it
+    #: (paper-style missing-data handling), and the affected day
+    #: indices. All None on a fully covered run.
+    day_coverage: Optional[np.ndarray] = None
+    adjusted_total: Optional[np.ndarray] = None
+    affected_days: Optional[np.ndarray] = None
 
     @property
     def peak(self) -> int:
@@ -62,8 +69,22 @@ def compute_fig1(dataset: FlowDataset,
         mask = classification.class_mask(name)
         by_class[name] = active[mask].sum(axis=0).astype(np.int64)
 
+    total = active.sum(axis=0).astype(np.int64)
+    day_coverage = ctx.day_coverage(n_days)
+    adjusted_total = None
+    affected_days = None
+    if day_coverage is not None:
+        # Normalize by covered fraction (a day with half its telemetry
+        # missing undercounts roughly 2x) and flag the affected days so
+        # downstream plots can annotate rather than silently mix them.
+        adjusted_total = total / np.maximum(day_coverage, 1e-9)
+        affected_days = np.flatnonzero(day_coverage < 1.0)
+
     return Fig1Result(
         day_ts=day_timestamps(dataset, n_days),
-        total=active.sum(axis=0).astype(np.int64),
+        total=total,
         by_class=by_class,
+        day_coverage=day_coverage,
+        adjusted_total=adjusted_total,
+        affected_days=affected_days,
     )

@@ -28,6 +28,12 @@ class Fig2Result:
     day_ts: np.ndarray
     mean_by_class: Dict[str, np.ndarray]
     median_by_class: Dict[str, np.ndarray]
+    #: Telemetry-coverage annotations (None on a fully covered run):
+    #: per-day covered fraction, per-class means normalized by it, and
+    #: the affected day indices.
+    day_coverage: Optional[np.ndarray] = None
+    adjusted_mean_by_class: Optional[Dict[str, np.ndarray]] = None
+    affected_days: Optional[np.ndarray] = None
 
     def skew_ratio(self, class_name: str) -> float:
         """Window-wide mean-to-median ratio for one class (NaN-safe)."""
@@ -72,8 +78,20 @@ def compute_fig2(dataset: FlowDataset,
         mean_by_class[name] = means
         median_by_class[name] = medians
 
+    day_coverage = ctx.day_coverage(n_days)
+    adjusted_mean_by_class = None
+    affected_days = None
+    if day_coverage is not None:
+        scale = np.maximum(day_coverage, 1e-9)
+        adjusted_mean_by_class = {
+            name: means / scale for name, means in mean_by_class.items()}
+        affected_days = np.flatnonzero(day_coverage < 1.0)
+
     return Fig2Result(
         day_ts=day_timestamps(dataset, n_days),
         mean_by_class=mean_by_class,
         median_by_class=median_by_class,
+        day_coverage=day_coverage,
+        adjusted_mean_by_class=adjusted_mean_by_class,
+        affected_days=affected_days,
     )

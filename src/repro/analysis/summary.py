@@ -43,6 +43,11 @@ class SummaryStats:
     distinct_sites_increase: float
     #: Filled by :func:`traffic_vs_baseline` when a 2019 baseline exists.
     traffic_increase_vs_2019: Optional[float] = None
+    #: Telemetry-coverage health of the run behind these numbers: how
+    #: many study days had any source below full coverage, and the
+    #: worst per-day fraction (1.0 on a clean run).
+    coverage_affected_days: int = 0
+    coverage_min_fraction: float = 1.0
 
 
 def compute_summary(dataset: FlowDataset,
@@ -90,6 +95,15 @@ def compute_summary(dataset: FlowDataset,
             dataset, post_shutdown_mask, ((2020, 4), (2020, 5)))
     sites_increase = (sites_aprmay / sites_feb - 1.0) if sites_feb > 0 else float("nan")
 
+    # Coverage health: kernel-independent (pure interval arithmetic),
+    # so the kernel/reference parity tests stay unaffected.
+    day_coverage = ctx.day_coverage(n_days)
+    coverage_affected_days = 0
+    coverage_min_fraction = 1.0
+    if day_coverage is not None and day_coverage.size:
+        coverage_affected_days = int((day_coverage < 1.0).sum())
+        coverage_min_fraction = float(day_coverage.min())
+
     return SummaryStats(
         peak_active_devices=peak,
         trough_active_devices=trough,
@@ -103,6 +117,8 @@ def compute_summary(dataset: FlowDataset,
         distinct_sites_feb=sites_feb,
         distinct_sites_aprmay=sites_aprmay,
         distinct_sites_increase=float(sites_increase),
+        coverage_affected_days=coverage_affected_days,
+        coverage_min_fraction=coverage_min_fraction,
     )
 
 

@@ -99,12 +99,15 @@ def _load_config(directory: str) -> StudyConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = StudyConfig(n_students=args.students, seed=args.seed,
-                         max_shard_retries=args.max_retries)
+                         max_shard_retries=args.max_retries,
+                         dhcp_staleness_seconds=args.dhcp_staleness)
     study = LockdownStudy(config)
     started = time.time()
     artifacts = study.run(progress=_progress, workers=args.workers,
                           checkpoint_dir=args.checkpoint_dir,
-                          resume=args.resume)
+                          resume=args.resume,
+                          strict_coverage=args.strict_coverage,
+                          shard_deadline=args.shard_deadline)
     if args.baseline:
         _progress("synthesizing 2019 baseline")
         study.run_baseline_2019(artifacts)
@@ -220,6 +223,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-retries", type=int, default=2,
                      help="retries per ingest shard on transient worker "
                           "failures (0 = fail fast)")
+    run.add_argument("--dhcp-staleness", type=float, default=3600.0,
+                     help="seconds an expired DHCP lease may be held over "
+                          "to attribute flows inside a DHCP telemetry gap "
+                          "(0 disables degraded attribution)")
+    run.add_argument("--shard-deadline", type=float, default=None,
+                     help="watchdog deadline in seconds: a shard that "
+                          "makes no heartbeat progress for this long is "
+                          "killed and retried as a transient failure")
+    run.add_argument("--strict-coverage", action="store_true",
+                     help="refuse to analyze a run with telemetry gaps "
+                          "instead of degrading (guarantees bit-identical "
+                          "figures vs. a clean run)")
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(

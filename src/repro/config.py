@@ -75,6 +75,13 @@ class StudyConfig:
     #: Seconds of inactivity after which the flow engine closes a flow.
     flow_idle_timeout: float = 600.0
 
+    #: Degraded-attribution bound: when a flow's timestamp falls in a
+    #: known DHCP log gap, the last lease for its IP may be held over
+    #: this many seconds past its logged expiry before the flow is
+    #: counted unattributed. 0 disables the hold-over (gap flows go
+    #: straight to ``flows_unattributed_gap``).
+    dhcp_staleness_seconds: float = 3600.0
+
     #: Salt for the anonymization of MAC/IP identifiers.
     anonymization_salt: str = "locked-in-lock-down"
 
@@ -122,3 +129,5 @@ class StudyConfig:
             raise ValueError("visitor_min_days must be at least 1")
         if self.max_shard_retries < 0:
             raise ValueError("max_shard_retries must be non-negative")
+        if self.dhcp_staleness_seconds < 0:
+            raise ValueError("dhcp_staleness_seconds must be non-negative")

@@ -47,6 +47,7 @@ from repro.geo.international import InternationalClassifier, MidpointReport
 from repro.pipeline.dataset import FlowDataset
 from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
 from repro.pipeline.visitors import visitor_filter_mask
+from repro.reliability.coverage import CoverageReport
 from repro.synth.generator import (
     PRESENCE_ALL_RESIDENTS,
     CampusTraceGenerator,
@@ -76,6 +77,9 @@ class StudyArtifacts:
     #: Memoized analysis primitives shared by every figure and the
     #: summary; created on demand when not provided by the study run.
     context: Optional[AnalysisContext] = None
+    #: Telemetry coverage of the ingest behind ``dataset`` (None when
+    #: reconstructed from saved data with no coverage sidecar).
+    coverage: Optional[CoverageReport] = None
     _cache: Dict[str, object] = field(default_factory=dict)
     _locks: Dict[str, threading.Lock] = field(default_factory=dict,
                                               repr=False)
@@ -186,7 +190,9 @@ class LockdownStudy:
     def run(self, progress: Optional[ProgressFn] = None,
             workers: int = 1, *,
             checkpoint_dir: Optional[str] = None,
-            resume: bool = True) -> StudyArtifacts:
+            resume: bool = True,
+            strict_coverage: bool = False,
+            shard_deadline: Optional[float] = None) -> StudyArtifacts:
         """Generate, measure, classify; returns the artifacts.
 
         With ``workers > 1`` the generate-and-measure stage runs as a
@@ -199,6 +205,12 @@ class LockdownStudy:
         with a ``checkpoint_dir``, finished shards are persisted and a
         rerun resumes instead of restarting (``resume=False`` clears
         prior checkpoints first).
+
+        ``strict_coverage=True`` makes the run fail (with
+        :class:`~repro.reliability.errors.CoverageError`) if any
+        telemetry source had gaps; ``shard_deadline`` enables the shard
+        watchdog (seconds without worker progress before a kill+retry;
+        parallel runs only).
         """
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -213,8 +225,10 @@ class LockdownStudy:
 
             result = ParallelPipeline(
                 config, workers, checkpoint_dir=checkpoint_dir,
-                resume=resume).run(progress=report)
+                resume=resume,
+                shard_deadline=shard_deadline).run(progress=report)
             dataset_all, pipeline_stats = result.dataset, result.stats
+            coverage = result.coverage
         else:
             excluded = generator.plan.excluded_blocks(
                 config.excluded_operators)
@@ -226,6 +240,7 @@ class LockdownStudy:
                            f"({len(pipeline.builder)} flows so far)")
             dataset_all = pipeline.finalize()
             pipeline_stats = pipeline.stats
+            coverage = pipeline.coverage_report()
         report(f"pipeline done: {len(dataset_all)} flows, "
                f"{dataset_all.n_devices} devices")
 
@@ -245,7 +260,8 @@ class LockdownStudy:
 
         # One shared context: the bitmap behind the post-shutdown mask
         # is the same one the figures will query.
-        context = AnalysisContext(dataset)
+        context = AnalysisContext(dataset, coverage=coverage,
+                                  strict_coverage=strict_coverage)
         post_shutdown = post_shutdown_device_mask(
             dataset, bitmap=context.day_bitmap())
         report(f"post-shutdown devices: {int(post_shutdown.sum())}, "
@@ -265,6 +281,7 @@ class LockdownStudy:
             signatures=signatures,
             pipeline_stats=pipeline_stats,
             context=context,
+            coverage=coverage,
         )
 
     # -- reconstruction from saved data --------------------------------------
@@ -342,6 +359,7 @@ class LockdownStudy:
                 checkpoint_dir=subdir,
                 resume=resume).run(progress=report)
             dataset_all, pipeline_stats = result.dataset, result.stats
+            coverage = result.coverage
         else:
             excluded = generator.plan.excluded_blocks(
                 config.excluded_operators)
@@ -351,6 +369,7 @@ class LockdownStudy:
                 pipeline.ingest_day(trace)
             dataset_all = pipeline.finalize()
             pipeline_stats = pipeline.stats
+            coverage = pipeline.coverage_report()
         report(f"counterfactual pipeline done: {len(dataset_all)} flows")
 
         retained = visitor_filter_mask(dataset_all, config.visitor_min_days)
@@ -363,7 +382,7 @@ class LockdownStudy:
             generator.plan.geo_db, config.geo_excluded_domains)
         midpoints = international.classify(dataset)
 
-        context = AnalysisContext(dataset)
+        context = AnalysisContext(dataset, coverage=coverage)
         return StudyArtifacts(
             config=config,
             generator=generator,
@@ -377,6 +396,7 @@ class LockdownStudy:
             signatures=default_registry(generator.plan.zoom_publication()),
             pipeline_stats=pipeline_stats,
             context=context,
+            coverage=coverage,
         )
 
     # -- prior-year baseline ------------------------------------------------

@@ -75,6 +75,28 @@ class IpMacResolver:
             return self._macs[ip][index]
         return None
 
+    def mac_at_stale(self, ip: int, ts: float,
+                     staleness_seconds: float) -> Optional[MacAddress]:
+        """Degraded lookup: hold the last lease over a bounded window.
+
+        Used only for timestamps inside a known DHCP log gap (see
+        :mod:`repro.pipeline.pipeline`): the renewal ACK that would have
+        extended the lease may exist but never have been logged. The
+        last binding stays answerable for ``staleness_seconds`` past its
+        logged expiry -- unless a *different* MAC was since granted the
+        address, which proves the hold-over wrong.
+        """
+        starts = self._starts.get(ip)
+        if not starts:
+            return None
+        index = bisect.bisect_right(starts, ts) - 1
+        if index < 0:
+            return None
+        end = self._ends[ip][index]
+        if ts < end or ts - end <= staleness_seconds:
+            return self._macs[ip][index]
+        return None
+
     def bindings_of(self, ip: int) -> Tuple[Tuple[float, float, MacAddress], ...]:
         """Full binding history of one IP (inspection/testing)."""
         return tuple(zip(self._starts.get(ip, ()),

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dns.records import DnsLogRecord
 from repro.reliability.errors import CATEGORY_ORDER, RecordError
@@ -91,6 +91,44 @@ class IpDomainResolver:
         if ts - self._last_seen[ip][index] > self.freshness_seconds:
             return None
         return self._names[ip][index]
+
+    def domain_at_degraded(
+            self, ip: int, ts: float,
+            gaps: Sequence[Tuple[float, float]]) -> Optional[str]:
+        """Gap-aware lookup: discount DNS outage seconds from staleness.
+
+        During a DNS log gap no observation *could* have refreshed the
+        epoch, so seconds the gap overlaps with ``(last_seen, ts]`` do
+        not count against the freshness budget. This is an explicit
+        degraded marker -- callers count every rescue -- rather than a
+        silent global widening of lookback; outside gaps behaviour is
+        exactly :meth:`domain_at`.
+        """
+        times = self._times.get(ip)
+        if not times:
+            return None
+        index = bisect.bisect_right(times, ts) - 1
+        if index < 0:
+            return None
+        last_seen = self._last_seen[ip][index]
+        stale = ts - last_seen
+        if stale <= self.freshness_seconds:
+            return self._names[ip][index]
+        # Merge overlapping gap spans before summing so double-declared
+        # outages cannot double-discount.
+        clipped = sorted(
+            (max(start, last_seen), min(end, ts))
+            for start, end in gaps if end > last_seen and start < ts)
+        covered = 0.0
+        cursor = float("-inf")
+        for start, end in clipped:
+            if end <= cursor:
+                continue
+            covered += end - max(start, cursor)
+            cursor = end
+        if stale - covered <= self.freshness_seconds:
+            return self._names[ip][index]
+        return None
 
     def observed_ips(self) -> Tuple[int, ...]:
         """All answer addresses seen (inspection/testing)."""

@@ -48,29 +48,59 @@ Fault tolerance (see :mod:`repro.reliability` and the chaos suite in
   or *fatal* errors abort, and then the pool is shut down with
   ``cancel_futures=True`` so no sibling shard leaks;
 * with a ``checkpoint_dir``, every completed shard's canonicalized
-  dataset and stats are persisted through a
+  dataset, stats and coverage report are persisted through a
   :class:`~repro.reliability.checkpoint.CheckpointStore` keyed by
   ``(config, shard plan)``; a rerun loads finished shards instead of
   re-executing them, so a killed multi-hour run resumes where it died.
+  A checkpoint that reads back corrupt is discarded, counted
+  (``PipelineStats.checkpoints_invalid``) and re-ingested instead of
+  aborting the resume;
+* with a ``shard_deadline``, a :class:`~repro.reliability.watchdog`
+  supervisor watches per-shard heartbeat files while futures are in
+  flight: a shard that stops making progress is killed (its worker
+  terminated, the pool rebuilt), classified transient
+  (:class:`~repro.reliability.watchdog.WatchdogTimeout`) and re-queued
+  under the same retry policy, while a per-shard circuit breaker fails
+  the run cleanly after ``circuit_limit`` consecutive timeouts.
+
+Telemetry gaps (``FaultPlan.log_gaps``) are applied worker-side via
+:meth:`~repro.reliability.faults.FaultPlan.drop_log_span` before each
+day is ingested -- warm-up days included, so shard resolver state
+matches the serial run's. Because degraded annotation can look further
+back than clean annotation (a held-over lease, gap-discounted DNS
+staleness), the planner widens every shard's warm-up by
+:func:`gap_warmup_allowance`; without it a shard would miss resolver
+state the serial run has, breaking serial==parallel equivalence.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
 from repro.dns.mapping import DEFAULT_FRESHNESS_SECONDS
 from repro.pipeline.dataset import FlowDataset
 from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
 from repro.reliability.checkpoint import CheckpointStore
-from repro.reliability.errors import ShardError, is_transient
-from repro.reliability.faults import FaultPlan
+from repro.reliability.coverage import CoverageReport
+from repro.reliability.errors import CheckpointError, ShardError, is_transient
+from repro.reliability.faults import FaultPlan, LogGap
 from repro.reliability.retry import RetryPolicy
+from repro.reliability.watchdog import (
+    ShardWatchdog,
+    WatchdogPolicy,
+    WatchdogTimeout,
+    read_heartbeat,
+    write_heartbeat,
+)
 from repro.util.timeutil import DAY, format_day, iter_days
 
 #: Days re-processed after a shard's owned range so flows whose first
@@ -123,6 +153,31 @@ def default_warmup_seconds(config: StudyConfig) -> float:
     horizon = max(config.flow_idle_timeout, config.dhcp_lease_seconds,
                   DEFAULT_FRESHNESS_SECONDS)
     return math.ceil(horizon / DAY) * DAY
+
+
+def gap_warmup_allowance(config: StudyConfig,
+                         gaps: Sequence[LogGap]) -> float:
+    """Extra warm-up (whole days) demanded by degraded annotation.
+
+    Degraded lookups reach further back than clean ones: a held-over
+    lease's ACK can be ``dhcp_lease_seconds + dhcp_staleness_seconds``
+    old, and gap-discounted DNS staleness extends the effective
+    freshness window by up to the total injected DNS-gap duration. The
+    planner adds this allowance so every shard's warm-up still covers
+    the serial run's effective lookback -- the invariant the
+    serial==parallel golden tests rest on.
+    """
+    extra = 0.0
+    if any(gap.source == "dhcp" for gap in gaps):
+        extra = max(extra, config.dhcp_lease_seconds
+                    + config.dhcp_staleness_seconds)
+    dns_total = sum(gap.end - gap.start
+                    for gap in gaps if gap.source == "dns")
+    if dns_total > 0:
+        extra = max(extra, dns_total)
+    if extra <= 0:
+        return 0.0
+    return math.ceil(extra / DAY) * DAY
 
 
 def plan_shards(config: StudyConfig, n_shards: int,
@@ -186,19 +241,28 @@ class _ShardTask:
     #: Dataset day-index origin override (baseline windows measure a
     #: different calendar range than the config's study window).
     day0: Optional[float] = None
+    #: Heartbeat file this worker touches once per ingested day; set
+    #: only when the shard watchdog is enabled.
+    heartbeat_path: Optional[str] = None
 
 
 class InjectedShardFault(RuntimeError):
     """Raised inside a worker by the failure-injection test hook."""
 
 
-def _ingest_shard(task: _ShardTask) -> Tuple[FlowDataset, PipelineStats]:
+def _ingest_shard(
+        task: _ShardTask,
+) -> Tuple[FlowDataset, PipelineStats, CoverageReport]:
     """Worker entry point: generate and measure one shard's day range."""
     # Imported here so pool workers pay the simulation imports, not the
     # parent at module-import time.
     from repro.synth.generator import CampusTraceGenerator
 
     config, spec = task.config, task.spec
+    if task.heartbeat_path is not None:
+        # First beat before the fault hook: a hang fault then freezes
+        # the fingerprint, which is exactly what the watchdog detects.
+        write_heartbeat(task.heartbeat_path, task.attempt, 0)
     if task.faults is not None:
         task.faults.apply(spec.index, task.attempt)
     generator = CampusTraceGenerator(config,
@@ -208,13 +272,21 @@ def _ingest_shard(task: _ShardTask) -> Tuple[FlowDataset, PipelineStats]:
         config, excluded,
         owned_window=(spec.owned_start, spec.owned_end),
         day0=task.day0)
+    days_done = 0
     for trace in generator.iter_days(spec.gen_start, spec.gen_end,
                                      presence=task.presence):
         if task.fault_day is not None and trace.day_start >= task.fault_day:
             raise InjectedShardFault(
                 f"injected fault at {format_day(task.fault_day)}")
+        if task.faults is not None:
+            # Warm-up days included: gap-shaped resolver state must
+            # match what the serial run built for these days.
+            trace = task.faults.drop_log_span(trace)
         pipeline.ingest_day(trace)
-    return pipeline.finalize(), pipeline.stats
+        days_done += 1
+        if task.heartbeat_path is not None:
+            write_heartbeat(task.heartbeat_path, task.attempt, days_done)
+    return pipeline.finalize(), pipeline.stats, pipeline.coverage_report()
 
 
 @dataclass
@@ -229,6 +301,8 @@ class ParallelResult:
     resumed: List[int] = field(default_factory=list)
     #: Attempts consumed per executed shard index (1 = first try worked).
     attempts: Dict[int, int] = field(default_factory=dict)
+    #: Merged telemetry coverage across all owned days.
+    coverage: CoverageReport = field(default_factory=CoverageReport.empty)
 
 
 class ParallelPipeline:
@@ -245,11 +319,18 @@ class ParallelPipeline:
                  checkpoint_dir: Optional[str] = None,
                  resume: bool = True,
                  window: Optional[Tuple[float, float]] = None,
-                 day0: Optional[float] = None):
+                 day0: Optional[float] = None,
+                 shard_deadline: Optional[float] = None,
+                 watchdog_policy: Optional[WatchdogPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.config = config
         self.workers = workers
+        if faults is not None and faults.log_gaps:
+            if warmup_seconds is None:
+                warmup_seconds = default_warmup_seconds(config)
+            warmup_seconds += gap_warmup_allowance(config, faults.log_gaps)
         self.shards = plan_shards(config, workers,
                                   warmup_seconds=warmup_seconds,
                                   tail_seconds=tail_seconds,
@@ -258,6 +339,14 @@ class ParallelPipeline:
             max_attempts=config.max_shard_retries + 1, seed=config.seed)
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        if watchdog_policy is None:
+            watchdog_policy = WatchdogPolicy(deadline_seconds=shard_deadline)
+        elif shard_deadline is not None:
+            raise ValueError(
+                "pass shard_deadline or watchdog_policy, not both")
+        self.watchdog_policy = watchdog_policy
+        self._clock = clock
+        self._timeouts = 0
         #: Accounting for the last pool run (submitted/completed/
         #: cancelled/orphaned futures); lets tests assert that a failed
         #: run leaked nothing. ``None`` until a pool run happens.
@@ -283,14 +372,27 @@ class ParallelPipeline:
         report(f"parallel ingest: {len(self.shards)} shard(s), "
                f"{self.workers} worker(s)")
 
+        self._timeouts = 0
         store = self._open_store(report)
-        outcomes: Dict[int, Tuple[FlowDataset, PipelineStats]] = {}
+        outcomes: Dict[int, Tuple[FlowDataset, PipelineStats,
+                                  CoverageReport]] = {}
         resumed: List[int] = []
+        invalid_checkpoints = 0
         if store is not None and self.resume:
             for index in store.completed_indices():
-                if index < len(self.shards):
+                if index >= len(self.shards):
+                    continue
+                try:
                     outcomes[index] = store.load_shard(index)
-                    resumed.append(index)
+                except CheckpointError as exc:
+                    # A torn/corrupt checkpoint is just missing work:
+                    # discard it, count it, re-ingest the shard.
+                    report(f"checkpoint for shard {index + 1} is "
+                           f"corrupt; re-ingesting ({exc})")
+                    store.discard(index)
+                    invalid_checkpoints += 1
+                    continue
+                resumed.append(index)
             if resumed:
                 report(f"resume: {len(resumed)} of {len(self.shards)} "
                        f"shard(s) recalled from checkpoints")
@@ -299,11 +401,13 @@ class ParallelPipeline:
                 if task.spec.index not in outcomes]
 
         def complete(index: int,
-                     outcome: Tuple[FlowDataset, PipelineStats]) -> None:
+                     outcome: Tuple[FlowDataset, PipelineStats,
+                                    CoverageReport]) -> None:
             if store is not None:
                 # Canonicalize before persisting: the checkpoint must be
                 # byte-stable however the shard accumulated its rows.
-                outcome = (outcome[0].canonicalize(), outcome[1])
+                outcome = (outcome[0].canonicalize(), outcome[1],
+                           outcome[2])
                 store.save_shard(index, *outcome)
             outcomes[index] = outcome
 
@@ -315,22 +419,36 @@ class ParallelPipeline:
             attempts = self._run_pool(todo, complete, report)
 
         ordered = [outcomes[spec.index] for spec in self.shards]
-        datasets = [dataset for dataset, _ in ordered]
-        shard_stats = [stats for _, stats in ordered]
-        for spec, (dataset, stats) in zip(self.shards, ordered):
+        datasets = [dataset for dataset, _, _ in ordered]
+        shard_stats = [stats for _, stats, _ in ordered]
+        coverage = CoverageReport.merged(cov for _, _, cov in ordered)
+        for spec, (dataset, stats, _) in zip(self.shards, ordered):
             report(f"shard {spec.index + 1}/{spec.n_shards} "
                    f"({spec.describe()}): {len(dataset)} flows, "
                    f"attribution {stats.attribution_rate:.3f}")
         merged = FlowDataset.merge(datasets)
         report(f"merged {len(self.shards)} shard(s): {len(merged)} flows, "
                f"{merged.n_devices} devices")
+        if not coverage.is_complete():
+            report("coverage: telemetry gaps detected -- "
+                   + ", ".join(
+                       f"{source} {coverage.fraction(source):.3f}"
+                       for source in ("conn", "dhcp", "dns")))
+        stats = PipelineStats.merged(shard_stats)
+        if invalid_checkpoints or self._timeouts:
+            # Parent-side supervision counters: never checkpointed per
+            # shard, folded in after the merge.
+            stats = stats.merge(PipelineStats(
+                checkpoints_invalid=invalid_checkpoints,
+                shard_timeouts=self._timeouts))
         return ParallelResult(
             dataset=merged,
-            stats=PipelineStats.merged(shard_stats),
+            stats=stats,
             shard_stats=shard_stats,
             shards=list(self.shards),
             resumed=sorted(resumed),
             attempts=attempts,
+            coverage=coverage,
         )
 
     # -- internals ---------------------------------------------------------
@@ -385,7 +503,10 @@ class ParallelPipeline:
 
         Invariants: every submitted future is either collected, retried,
         or cancelled via ``shutdown(cancel_futures=True)`` before this
-        method returns -- no orphaned futures, no zombie workers.
+        method returns -- no orphaned futures, no zombie workers. With a
+        watchdog deadline, the ``wait`` below polls so heartbeats are
+        observed while futures are in flight; without one, it blocks
+        exactly as before.
         """
         attempts = {task.spec.index: 0 for task in tasks}
         submitted = 0
@@ -395,6 +516,16 @@ class ParallelPipeline:
         #: Tasks awaiting (re)submission; drained at each loop top so a
         #: pool death during submission is handled in one place.
         pending: List[_ShardTask] = list(tasks)
+        policy = self.watchdog_policy
+        watchdog = ShardWatchdog(policy, clock=self._clock)
+        heartbeat_dir: Optional[str] = None
+        if policy.enabled:
+            heartbeat_dir = tempfile.mkdtemp(prefix="repro-heartbeat-")
+
+        def heartbeat_path(index: int) -> Optional[str]:
+            if heartbeat_dir is None:
+                return None
+            return os.path.join(heartbeat_dir, f"shard-{index:04d}.beat")
 
         def reclaim(exc: BaseException) -> None:
             # The pool is dead: every in-flight future fails with it
@@ -420,6 +551,45 @@ class ParallelPipeline:
             pending.extend(doomed)
             pool = self._new_pool(len(pending))
 
+        def reclaim_stalled(stalled: List[_ShardTask]) -> None:
+            # Unlike a pool death, the watchdog *knows* the culprits: the
+            # stalled shards are charged an attempt (and a consecutive
+            # timeout toward their circuit breaker); in-flight siblings
+            # are requeued uncharged. The wedged workers cannot be
+            # cancelled through the futures API -- terminate them and
+            # rebuild the pool.
+            nonlocal pool
+            stalled_indices = {task.spec.index for task in stalled}
+            doomed = list(futures.values())
+            futures.clear()
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=True, cancel_futures=True)
+            for victim in doomed:
+                index = victim.spec.index
+                if index not in stalled_indices:
+                    continue
+                self._timeouts += 1
+                strikes = watchdog.record_timeout(index)
+                cause = WatchdogTimeout(
+                    f"shard {index + 1}/{victim.spec.n_shards} made no "
+                    f"progress for {policy.deadline_seconds}s "
+                    f"(strike {strikes})")
+                if watchdog.tripped(index):
+                    raise ShardFailure(victim.spec, WatchdogTimeout(
+                        f"circuit breaker open: {strikes} consecutive "
+                        f"watchdog timeouts"), attempts[index] + 1)
+                attempt = attempts[index]
+                if not self.retry_policy.allows_retry(attempt):
+                    raise ShardFailure(victim.spec, cause, attempt + 1)
+                self._backoff(victim.spec, attempt, cause, report)
+                attempts[index] += 1
+            report(f"watchdog: killed {len(stalled_indices)} stalled "
+                   f"shard(s); rebuilding pool with "
+                   f"{len(doomed) + len(pending)} outstanding")
+            pending.extend(doomed)
+            pool = self._new_pool(len(pending))
+
         def submit_pending() -> None:
             nonlocal submitted
             while pending:
@@ -427,7 +597,9 @@ class ParallelPipeline:
                 try:
                     future = pool.submit(
                         _ingest_shard,
-                        replace(task, attempt=attempts[task.spec.index]))
+                        replace(task, attempt=attempts[task.spec.index],
+                                heartbeat_path=heartbeat_path(
+                                    task.spec.index)))
                 except BrokenProcessPool as exc:
                     # The pool broke between our last observation and
                     # this submit (e.g. a sibling worker was killed);
@@ -436,13 +608,27 @@ class ParallelPipeline:
                     reclaim(exc)
                     continue
                 futures[future] = task
+                watchdog.start(task.spec.index)
                 submitted += 1
                 pending.pop(0)
 
         try:
             while futures or pending:
                 submit_pending()
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED,
+                               timeout=(policy.poll_seconds
+                                        if policy.enabled else None))
+                if not done:
+                    # Poll tick: feed heartbeats, kill anything stalled.
+                    for in_flight in futures.values():
+                        index = in_flight.spec.index
+                        watchdog.beat(
+                            index, read_heartbeat(heartbeat_path(index)))
+                    stalled = [in_flight for in_flight in futures.values()
+                               if watchdog.stalled(in_flight.spec.index)]
+                    if stalled:
+                        reclaim_stalled(stalled)
+                    continue
                 future = next(iter(done))
                 task = futures.pop(future)
                 spec = task.spec
@@ -463,6 +649,7 @@ class ParallelPipeline:
                         pending.append(task)
                         continue
                     raise ShardFailure(spec, exc, attempt + 1) from exc
+                watchdog.record_success(spec.index)
                 complete(spec.index, outcome)
                 completed += 1
         finally:
@@ -471,6 +658,8 @@ class ParallelPipeline:
             # -- no orphaned futures outlive the run.
             leftover = list(futures)
             pool.shutdown(wait=True, cancel_futures=True)
+            if heartbeat_dir is not None:
+                shutil.rmtree(heartbeat_dir, ignore_errors=True)
             self.last_pool_stats = {
                 "submitted": submitted,
                 "completed": completed,

@@ -7,13 +7,24 @@ precisely, anything exposing ``dhcp_records``, ``dns_records`` and
 leave this module: flows whose client IP cannot be attributed through
 the DHCP logs are counted and dropped, and attributed MACs are
 immediately tokenized.
+
+Telemetry gaps are first-class: a day trace may carry ``log_gaps``
+(spans during which the DHCP or DNS log collector was down -- see
+:class:`repro.reliability.faults.LogGap`). The pipeline records them in
+a per-source :class:`~repro.reliability.coverage.CoverageTracker`, and
+flows whose timestamps fall inside a gap take a *degraded* annotation
+path: DHCP attribution falls back to the last lease within a bounded
+hold-over window (``StudyConfig.dhcp_staleness_seconds``), DNS
+annotation discounts gap seconds from the staleness budget. Both paths
+are counted explicitly -- no flow is ever silently dropped -- and
+neither executes on a gap-free run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
 from repro.dhcp.normalize import IpMacResolver
@@ -22,6 +33,7 @@ from repro.net.ip import Prefix
 from repro.pipeline.anonymize import Anonymizer, TokenCache
 from repro.pipeline.dataset import FlowDataset, FlowDatasetBuilder
 from repro.pipeline.tap import Tap
+from repro.reliability.coverage import CoverageReport, CoverageTracker
 from repro.reliability.errors import CATEGORY_VALUE, RecordError
 from repro.reliability.quarantine import QuarantineSink
 from repro.util.timeutil import DAY
@@ -58,6 +70,18 @@ class PipelineStats:
     quarantined_dhcp: int = 0
     quarantined_dns: int = 0
     blank_lines: int = 0
+    #: Telemetry-gap accounting. Flows attributed through the bounded
+    #: DHCP lease hold-over, flows whose DNS annotation discounted gap
+    #: seconds, and flows left unattributed *because* their timestamp
+    #: fell in a DHCP gap (a subset of ``flows_unattributed``).
+    flows_degraded_dhcp: int = 0
+    flows_degraded_dns: int = 0
+    flows_unattributed_gap: int = 0
+    #: Supervision accounting (parent-side; never checkpointed per
+    #: shard): corrupt checkpoints discarded on resume and shards
+    #: killed by the watchdog for missing their progress deadline.
+    checkpoints_invalid: int = 0
+    shard_timeouts: int = 0
 
     @property
     def attribution_rate(self) -> float:
@@ -127,6 +151,12 @@ class MonitoringPipeline:
         self.owned_window = owned_window
         # Tokenization is deterministic per MAC; memoize the hot path.
         self._anon_cache = TokenCache(self.anonymizer)
+        # Telemetry-coverage ledger (owned days only) and the gap spans
+        # seen on *any* ingested day (warm-up gaps still shape resolver
+        # state, so degraded lookups must know about them).
+        self.coverage = CoverageTracker()
+        self._gap_spans: Dict[str, List[Tuple[float, float]]] = {
+            "dhcp": [], "dns": []}
 
     @property
     def anon_cache_size(self) -> int:
@@ -146,6 +176,12 @@ class MonitoringPipeline:
     def ingest_day(self, trace) -> None:
         """Process one day of wire events and log records."""
         owned_day = self._owns(trace.day_start)
+        gaps = getattr(trace, "log_gaps", ())
+        for gap in gaps:
+            if gap.source in self._gap_spans:
+                self._gap_spans[gap.source].append((gap.start, gap.end))
+        if owned_day:
+            self.coverage.add_day(trace.day_start, gaps)
         for record in trace.dhcp_records:
             self.ip_mac.ingest(record)
         for record in trace.dns_records:
@@ -194,7 +230,15 @@ class MonitoringPipeline:
         self.stats.http_records += len(self.flow_engine.drain_http())
         return self.builder.finalize()
 
+    def coverage_report(self) -> CoverageReport:
+        """Freeze this pipeline's owned-day telemetry coverage."""
+        return self.coverage.report()
+
     # -- internals ---------------------------------------------------------
+
+    def _in_gap(self, source: str, ts: float) -> bool:
+        return any(start <= ts < end
+                   for start, end in self._gap_spans[source])
 
     def _register(self, conn: ConnRecord) -> None:
         if not self._owns(conn.ts):
@@ -203,6 +247,20 @@ class MonitoringPipeline:
             return
         self.stats.flows_closed += 1
         mac = self.ip_mac.mac_at(conn.orig_h, conn.ts)
+        if mac is None and self._gap_spans["dhcp"] \
+                and self._in_gap("dhcp", conn.ts):
+            # The flow fell in a DHCP outage: the ACK that would have
+            # renewed its lease may simply never have been logged. Hold
+            # the last lease over for a bounded staleness window (the
+            # paper-style conservative fallback) before giving up.
+            staleness = self.config.dhcp_staleness_seconds
+            if staleness > 0:
+                mac = self.ip_mac.mac_at_stale(
+                    conn.orig_h, conn.ts, staleness)
+                if mac is not None:
+                    self.stats.flows_degraded_dhcp += 1
+            if mac is None:
+                self.stats.flows_unattributed_gap += 1
         if mac is None:
             # No contemporaneous lease: traffic we cannot attribute to a
             # device (exactly what the real pipeline must drop).
@@ -222,6 +280,14 @@ class MonitoringPipeline:
         # evidence and fills in flows whose server never appeared in
         # the DNS logs.
         domain = self.ip_domain.domain_at(conn.resp_h, conn.ts)
+        if domain is None and self._gap_spans["dns"]:
+            # Staleness may only have accrued because the DNS log was
+            # down; discount gap seconds from the budget instead of
+            # silently widening lookback for everyone.
+            domain = self.ip_domain.domain_at_degraded(
+                conn.resp_h, conn.ts, self._gap_spans["dns"])
+            if domain is not None:
+                self.stats.flows_degraded_dns += 1
         if domain is None and conn.http_host is not None:
             domain = conn.http_host
             self.stats.flows_host_annotated += 1

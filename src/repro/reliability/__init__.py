@@ -14,24 +14,47 @@ them:
 * :mod:`~repro.reliability.checkpoint` -- per-shard checkpoint/resume
   for the parallel pipeline;
 * :mod:`~repro.reliability.faults` -- seeded fault injection driving
-  the chaos test suite.
+  the chaos test suite;
+* :mod:`~repro.reliability.coverage` -- interval-set telemetry
+  coverage tracking (which seconds of which log source actually
+  arrived);
+* :mod:`~repro.reliability.watchdog` -- heartbeat-based supervision
+  of shard workers (deadline, kill-and-retry, circuit breaker).
 """
 
+from repro.reliability.coverage import (
+    CoverageReport,
+    CoverageTracker,
+    IntervalSet,
+)
 from repro.reliability.errors import (
     CATEGORY_BLANK,
     CATEGORY_FIELD,
     CATEGORY_JSON,
     CATEGORY_ORDER,
     CATEGORY_VALUE,
+    CheckpointError,
+    CoverageError,
     RecordError,
     ReliabilityError,
     ShardError,
     TransientIOError,
     is_transient,
 )
-from repro.reliability.faults import FaultPlan, corrupt_log_lines
+from repro.reliability.faults import (
+    FaultPlan,
+    GappedDayTrace,
+    LogGap,
+    corrupt_log_lines,
+    seeded_log_gaps,
+)
 from repro.reliability.quarantine import QuarantinedRecord, QuarantineSink
 from repro.reliability.retry import RetryPolicy
+from repro.reliability.watchdog import (
+    ShardWatchdog,
+    WatchdogPolicy,
+    WatchdogTimeout,
+)
 
 
 def __getattr__(name: str) -> object:
@@ -49,16 +72,27 @@ __all__ = [
     "CATEGORY_JSON",
     "CATEGORY_ORDER",
     "CATEGORY_VALUE",
+    "CheckpointError",
     "CheckpointStore",
+    "CoverageError",
+    "CoverageReport",
+    "CoverageTracker",
     "FaultPlan",
+    "GappedDayTrace",
+    "IntervalSet",
+    "LogGap",
     "QuarantineSink",
     "QuarantinedRecord",
     "RecordError",
     "ReliabilityError",
     "RetryPolicy",
     "ShardError",
+    "ShardWatchdog",
     "TransientIOError",
+    "WatchdogPolicy",
+    "WatchdogTimeout",
     "corrupt_log_lines",
     "is_transient",
     "run_key",
+    "seeded_log_gaps",
 ]

@@ -2,21 +2,27 @@
 
 A multi-hour sharded ingest that dies on shard 7 of 8 should not redo
 shards 1-6. The store persists each completed shard's canonicalized
-:class:`~repro.pipeline.dataset.FlowDataset` and
+:class:`~repro.pipeline.dataset.FlowDataset`,
 :class:`~repro.pipeline.pipeline.PipelineStats` (via
-:mod:`repro.pipeline.store`) under a **run key** -- a digest of the
-study config and the exact shard plan -- so a resume can only ever reuse
-checkpoints from an identical run. Layout::
+:mod:`repro.pipeline.store`) and
+:class:`~repro.reliability.coverage.CoverageReport` under a **run
+key** -- a digest of the study config and the exact shard plan -- so a
+resume can only ever reuse checkpoints from an identical run. Layout::
 
     <root>/<run_key>/plan.json            # human-readable provenance
     <root>/<run_key>/shard-0003.npz       # canonicalized dataset
     <root>/<run_key>/shard-0003.npz.meta.json
     <root>/<run_key>/shard-0003.stats.json
+    <root>/<run_key>/shard-0003.coverage.json
     <root>/<run_key>/shard-0003.ok        # completion marker (last write)
 
 The ``.ok`` marker is written after the data files, so a shard killed
 mid-checkpoint is simply re-executed -- a torn checkpoint is never
-loaded.
+loaded. A checkpoint whose marker *does* exist but whose data files are
+truncated or corrupt (disk-full, bit rot, a concurrent writer) raises
+:class:`~repro.reliability.errors.CheckpointError`; the resume path in
+:mod:`repro.pipeline.parallel` treats that exactly like a missing
+checkpoint -- discard, count, re-ingest -- instead of dying mid-resume.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import hashlib
 import json
 import os
 import shutil
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.config import StudyConfig
 from repro.pipeline.dataset import FlowDataset
@@ -37,14 +43,21 @@ from repro.pipeline.store import (
     save_dataset,
     save_stats,
 )
+from repro.reliability.coverage import CoverageReport
+from repro.reliability.errors import CheckpointError
 
 #: Bump when the checkpoint layout changes; part of the run key, so a
 #: layout change silently invalidates old checkpoints instead of
-#: misreading them.
-CHECKPOINT_VERSION = 1
+#: misreading them. v2: per-shard coverage reports.
+CHECKPOINT_VERSION = 2
+
+#: Every file suffix a shard checkpoint may own (marker first, so a
+#: partially discarded checkpoint is never mistaken for a complete one).
+_SHARD_SUFFIXES = (".ok", ".npz", ".npz.meta.json", ".stats.json",
+                   ".coverage.json")
 
 
-def run_key(config: StudyConfig, shards: Sequence) -> str:
+def run_key(config: StudyConfig, shards: Sequence[Any]) -> str:
     """Digest identifying one ``(config, shard plan)`` run exactly.
 
     Any change to a config knob or to the plan (shard count, warm-up,
@@ -72,7 +85,7 @@ class CheckpointStore:
 
     @classmethod
     def for_run(cls, root: str, config: StudyConfig,
-                shards: Sequence) -> "CheckpointStore":
+                shards: Sequence[Any]) -> "CheckpointStore":
         """Open (creating if needed) the store for this exact run."""
         store = cls(root, run_key(config, shards))
         os.makedirs(store.directory, exist_ok=True)
@@ -101,22 +114,53 @@ class CheckpointStore:
         return os.path.exists(self._marker(index))
 
     def save_shard(self, index: int, dataset: FlowDataset,
-                   stats: PipelineStats) -> None:
+                   stats: PipelineStats,
+                   coverage: CoverageReport) -> None:
         """Checkpoint one completed shard (marker written last)."""
         base = self._base(index)
         save_dataset(dataset, base + ".npz")
         save_stats(stats, base + ".stats.json")
+        with open(base + ".coverage.json", "w") as fileobj:
+            json.dump(coverage.to_json(), fileobj)
         with open(self._marker(index), "w") as fileobj:
             fileobj.write("ok\n")
 
-    def load_shard(self, index: int) -> Tuple[FlowDataset, PipelineStats]:
-        """Recall one checkpointed shard."""
+    def load_shard(
+            self, index: int,
+    ) -> Tuple[FlowDataset, PipelineStats, CoverageReport]:
+        """Recall one checkpointed shard.
+
+        Raises ``FileNotFoundError`` when the shard was never
+        checkpointed, and :class:`CheckpointError` when the marker
+        exists but the data files cannot be read back -- the caller
+        decides whether that is fatal or just means "re-ingest".
+        """
         if not self.has_shard(index):
             raise FileNotFoundError(
                 f"no checkpoint for shard {index} under {self.directory}")
         base = self._base(index)
-        return (load_dataset(base + ".npz"),
-                load_stats(base + ".stats.json"))
+        try:
+            dataset = load_dataset(base + ".npz")
+            stats = load_stats(base + ".stats.json")
+            with open(base + ".coverage.json") as fileobj:
+                coverage = CoverageReport.from_json(json.load(fileobj))
+        except Exception as exc:
+            # RL004: anything unreadable under a valid marker -- truncated
+            # npz, mangled JSON, missing sidecar -- is one condition:
+            # a corrupt checkpoint.
+            raise CheckpointError(
+                f"corrupt checkpoint for shard {index} under "
+                f"{self.directory}: {exc}") from exc
+        return dataset, stats, coverage
+
+    def discard(self, index: int) -> None:
+        """Delete one shard's checkpoint files (marker removed first)."""
+        base = self._base(index)
+        for suffix in _SHARD_SUFFIXES:
+            try:
+                os.remove(base + suffix)
+            except FileNotFoundError:
+                pass
 
     def completed_indices(self) -> List[int]:
         """Shard indices with a finished checkpoint, sorted."""

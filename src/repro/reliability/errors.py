@@ -68,6 +68,22 @@ class TransientIOError(ReliabilityError, OSError):
     transient = True
 
 
+class CheckpointError(ReliabilityError):
+    """A persisted shard checkpoint is truncated or corrupt.
+
+    Fatal for the *checkpoint* but not for the run: the resume path
+    counts it, discards the damaged files, and re-ingests the shard.
+    """
+
+
+class CoverageError(ReliabilityError):
+    """Telemetry coverage is incomplete where completeness was required.
+
+    Raised by strict-coverage analysis; not transient -- missing log
+    spans do not come back on retry.
+    """
+
+
 def is_transient(exc: BaseException) -> bool:
     """Whether retrying the failed operation could plausibly succeed.
 

@@ -13,14 +13,22 @@ test is exactly reproducible:
   collector produces (truncation, garbage bytes, missing fields,
   non-object JSON), and returns exactly which lines it touched so
   quarantine counts can be asserted record-for-record.
+* :class:`LogGap` + :meth:`FaultPlan.drop_log_span` model a log
+  collector *outage*: DHCP or DNS records inside a declared span are
+  deleted from the day trace before ingest sees them, and the trace is
+  tagged with the gaps so the pipeline's coverage ledger and degraded
+  annotation know exactly what went missing.
+* ``hang_shards`` makes a worker sleep mid-shard -- the wedged-worker
+  failure mode the shard watchdog exists to detect.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 from repro.reliability.errors import TransientIOError
 from repro.util.rng import substream
@@ -28,6 +36,52 @@ from repro.util.rng import substream
 #: Exit code used by the injected worker kill (distinguishable from a
 #: Python traceback's exit 1 in CI logs).
 KILL_EXIT_CODE = 43
+
+#: Log sources a :class:`LogGap` may silence. The wire tap ("conn") is
+#: the collector itself -- if it is down there is no day trace at all --
+#: so only the side-channel logs can go missing independently.
+GAP_SOURCES = ("dhcp", "dns")
+
+
+@dataclass(frozen=True)
+class LogGap:
+    """A half-open span ``[start, end)`` during which one log is absent."""
+
+    source: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.source not in GAP_SOURCES:
+            raise ValueError(
+                f"gap source must be one of {GAP_SOURCES}, "
+                f"got {self.source!r}")
+        if not self.end > self.start:
+            raise ValueError("gap end must be after gap start")
+
+    def contains(self, ts: float) -> bool:
+        return self.start <= ts < self.end
+
+    def overlaps_day(self, day_start: float, day_end: float) -> bool:
+        return self.start < day_end and self.end > day_start
+
+
+@dataclass(frozen=True)
+class GappedDayTrace:
+    """A day trace with some log records deleted by a collector outage.
+
+    Mirrors the duck interface the pipeline reads from
+    :class:`repro.synth.generator.DayTrace`, plus ``log_gaps`` so the
+    pipeline's coverage ledger knows what was silenced.
+    """
+
+    day_start: float
+    dns_records: Tuple[Any, ...]
+    bursts: Tuple[Any, ...]
+    dhcp_records: Tuple[Any, ...]
+    session_count: int
+    connection_count: int
+    log_gaps: Tuple[LogGap, ...]
 
 
 @dataclass(frozen=True)
@@ -42,6 +96,18 @@ class FaultPlan:
     transient_shards: Tuple[int, ...] = ()
     #: Attempt numbers on which the transient error fires.
     transient_attempts: Tuple[int, ...] = (0,)
+    #: Collector outages: spans of DHCP/DNS log deleted from every
+    #: attempt (an outage is a property of the input, not the worker,
+    #: so it is deliberately *not* attempt-aware).
+    log_gaps: Tuple[LogGap, ...] = ()
+    #: Shards whose worker wedges (sleeps) instead of making progress.
+    hang_shards: Tuple[int, ...] = ()
+    #: Attempt numbers on which the hang fires.
+    hang_attempts: Tuple[int, ...] = (0,)
+    #: How long a hung worker sleeps. Chaos tests pick a value far above
+    #: the watchdog deadline; the watchdog kills the worker long before
+    #: the sleep finishes.
+    hang_seconds: float = 0.0
 
     def should_kill(self, shard_index: int, attempt: int) -> bool:
         return (shard_index in self.kill_shards
@@ -50,6 +116,11 @@ class FaultPlan:
     def should_raise_transient(self, shard_index: int, attempt: int) -> bool:
         return (shard_index in self.transient_shards
                 and attempt in self.transient_attempts)
+
+    def should_hang(self, shard_index: int, attempt: int) -> bool:
+        return (self.hang_seconds > 0.0
+                and shard_index in self.hang_shards
+                and attempt in self.hang_attempts)
 
     def apply(self, shard_index: int, attempt: int) -> None:
         """Fire any fault planned for this (shard, attempt). Worker-side."""
@@ -61,6 +132,77 @@ class FaultPlan:
             raise TransientIOError(
                 f"injected transient I/O fault "
                 f"(shard {shard_index}, attempt {attempt})")
+        if self.should_hang(shard_index, attempt):
+            # A wedged worker: alive (so the pool sees no BrokenProcessPool)
+            # but making no progress. Only the watchdog can detect this.
+            time.sleep(self.hang_seconds)
+
+    def gaps_for_day(self, day_start: float,
+                     day_end: float) -> Tuple[LogGap, ...]:
+        """The planned gaps overlapping one day (empty for clean days)."""
+        return tuple(gap for gap in self.log_gaps
+                     if gap.overlaps_day(day_start, day_end))
+
+    def drop_log_span(self, trace: Any) -> Any:
+        """Delete DHCP/DNS records inside planned gaps from a day trace.
+
+        Returns the trace unchanged (same object -- the clean code path
+        stays byte-identical) when no gap overlaps the day; otherwise
+        returns a :class:`GappedDayTrace` with the silenced records
+        removed and the overlapping gaps attached.
+        """
+        from repro.util.timeutil import DAY
+
+        day_start = trace.day_start
+        gaps = self.gaps_for_day(day_start, day_start + DAY)
+        if not gaps:
+            return trace
+        dhcp_gaps = [gap for gap in gaps if gap.source == "dhcp"]
+        dns_gaps = [gap for gap in gaps if gap.source == "dns"]
+        dhcp_records = tuple(
+            record for record in trace.dhcp_records
+            if not any(gap.contains(record.ts) for gap in dhcp_gaps))
+        dns_records = tuple(
+            record for record in trace.dns_records
+            if not any(gap.contains(record.ts) for gap in dns_gaps))
+        return GappedDayTrace(
+            day_start=day_start,
+            dns_records=dns_records,
+            bursts=tuple(trace.bursts),
+            dhcp_records=dhcp_records,
+            session_count=getattr(trace, "session_count", 0),
+            connection_count=getattr(trace, "connection_count", 0),
+            log_gaps=gaps)
+
+
+def seeded_log_gaps(seed: int,
+                    window_start: float,
+                    window_end: float,
+                    n_gaps: int,
+                    source: str = "dhcp",
+                    min_seconds: float = 3600.0,
+                    max_seconds: float = 6 * 3600.0) -> Tuple[LogGap, ...]:
+    """Draw ``n_gaps`` outage spans for one source from a seeded stream.
+
+    Starts are uniform over the window, durations uniform over
+    ``[min_seconds, max_seconds]`` and clipped to the window end -- a
+    deterministic stand-in for the unpredictable collector outages a
+    long deployment accumulates.
+    """
+    if window_end <= window_start:
+        raise ValueError("window_end must be after window_start")
+    if not 0.0 < min_seconds <= max_seconds:
+        raise ValueError("need 0 < min_seconds <= max_seconds")
+    rng = substream(seed, "log-gaps")
+    gaps: List[LogGap] = []
+    for _ in range(n_gaps):
+        start = window_start + float(rng.random()) * (
+            window_end - window_start - min_seconds)
+        length = min_seconds + float(rng.random()) * (
+            max_seconds - min_seconds)
+        end = min(start + length, window_end)
+        gaps.append(LogGap(source=source, start=start, end=end))
+    return tuple(sorted(gaps, key=lambda gap: gap.start))
 
 
 #: The malformation kinds cycled through by :func:`corrupt_log_lines`.

@@ -40,11 +40,19 @@ class QuarantinedRecord:
 
 
 class QuarantineSink:
-    """Counts (and samples) records refused by lenient-mode readers."""
+    """Counts (and samples) records refused by lenient-mode readers.
+
+    In-memory retention is strictly bounded: at most ``max_samples``
+    raw-line samples are kept per source, and every sample refused for
+    being over the cap is tallied in an explicit per-source *overflow*
+    counter -- so a pathological input file (millions of malformed
+    lines) costs O(1) memory while the accounting stays exact.
+    """
 
     def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
         self._counts: Counter = Counter()
         self._samples: Dict[str, List[QuarantinedRecord]] = {}
+        self._overflow: Counter = Counter()
         self.max_samples = max_samples
 
     def add(self, error: RecordError) -> None:
@@ -65,6 +73,8 @@ class QuarantineSink:
             samples.append(QuarantinedRecord(
                 source=source, category=category, line_no=line_no,
                 line=line[:_SAMPLE_PREFIX], error=error))
+        else:
+            self._overflow[source] += 1
 
     # -- accounting --------------------------------------------------------
 
@@ -96,6 +106,16 @@ class QuarantineSink:
         """Retained raw-line samples for one source."""
         return list(self._samples.get(source, []))
 
+    def overflow(self, source: Optional[str] = None) -> int:
+        """Samples refused because the per-source retention cap was hit.
+
+        Counts are still exact when this is nonzero -- only raw-line
+        *samples* are dropped, never accounting.
+        """
+        if source is not None:
+            return self._overflow.get(source, 0)
+        return sum(self._overflow.values())
+
     def __len__(self) -> int:
         return sum(self._counts.values())
 
@@ -105,4 +125,8 @@ class QuarantineSink:
             return "quarantine: empty"
         parts = [f"{src}/{cat}={n}"
                  for (src, cat), n in sorted(self._counts.items())]
-        return "quarantine: " + ", ".join(parts)
+        text = "quarantine: " + ", ".join(parts)
+        dropped = self.overflow()
+        if dropped:
+            text += f" (+{dropped} sample(s) dropped at retention cap)"
+        return text

@@ -1,0 +1,158 @@
+"""Shard supervision: heartbeats, deadlines, and a circuit breaker.
+
+A worker process can fail in two ways. It can *die* -- the pool raises
+``BrokenProcessPool`` and the existing retry machinery recovers -- or it
+can *wedge*: alive, consuming a pool slot, making no progress. Nothing
+in ``concurrent.futures`` ever times out a running task, so a single
+wedged worker stalls ``ParallelPipeline.run()`` forever.
+
+The watchdog closes that hole with three cooperating pieces:
+
+* **Heartbeats.** Each worker appends progress to a per-shard heartbeat
+  file (:func:`write_heartbeat`) once per ingested day. The parent
+  never compares wall-clock times across processes -- it fingerprints
+  the file *content* and only asks "has this changed since I last
+  looked?", which is immune to clock skew between parent and worker.
+* **Deadline.** :class:`ShardWatchdog` (driven by an injectable
+  monotonic clock, so tests never sleep) marks a shard *stalled* when
+  its fingerprint has not changed for ``deadline_seconds``. The
+  pipeline then terminates the pool's workers, classifies the stall as
+  a :class:`WatchdogTimeout` -- a transient error under the existing
+  taxonomy -- and re-queues the shard under its ``RetryPolicy``.
+* **Circuit breaker.** A shard that times out ``circuit_limit``
+  consecutive times is assumed to be deterministically wedged (not
+  unlucky); the run fails cleanly instead of burning retries forever.
+  Any successful completion resets the count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.reliability.errors import TransientIOError
+
+
+class WatchdogTimeout(TransientIOError):
+    """A shard exceeded its progress deadline and was killed.
+
+    Subclasses :class:`TransientIOError` so ``is_transient`` (and hence
+    the retry machinery) treats a watchdog kill exactly like any other
+    recoverable infrastructure fault.
+    """
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Deadline and circuit-breaker settings for shard supervision."""
+
+    #: Max seconds a shard may go without visible progress before it is
+    #: killed. ``None`` disables supervision entirely (the default --
+    #: the clean path takes zero new branches).
+    deadline_seconds: Optional[float] = None
+    #: How often the parent polls heartbeats while futures are pending.
+    poll_seconds: float = 0.25
+    #: Consecutive timeouts of one shard that trip the circuit breaker.
+    circuit_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.poll_seconds <= 0:
+            raise ValueError("poll_seconds must be positive")
+        if self.circuit_limit < 1:
+            raise ValueError("circuit_limit must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.deadline_seconds is not None
+
+
+@dataclass
+class ShardWatchdog:
+    """Tracks per-shard progress fingerprints against a deadline.
+
+    Purely in-memory state driven by an injectable clock; the pipeline
+    owns the side effects (killing workers, re-queuing shards).
+    """
+
+    policy: WatchdogPolicy
+    #: Monotonic time source; injectable so tests advance a fake clock.
+    clock: Callable[[], float] = time.monotonic
+    _last_progress: Dict[int, float] = field(default_factory=dict)
+    _fingerprints: Dict[int, Optional[bytes]] = field(default_factory=dict)
+    _consecutive_timeouts: Dict[int, int] = field(default_factory=dict)
+
+    def start(self, index: int) -> None:
+        """Arm the deadline for a (re)submitted shard."""
+        self._last_progress[index] = self.clock()
+        self._fingerprints[index] = None
+
+    def forget(self, index: int) -> None:
+        """Stop tracking a shard (completed or permanently failed)."""
+        self._last_progress.pop(index, None)
+        self._fingerprints.pop(index, None)
+
+    def beat(self, index: int, fingerprint: Optional[bytes]) -> bool:
+        """Feed the latest heartbeat fingerprint; True if it advanced.
+
+        A ``None`` fingerprint (heartbeat file not written yet) never
+        counts as progress -- the submission itself armed the deadline,
+        and a worker that cannot even write its first heartbeat is as
+        wedged as one that stopped.
+        """
+        if index not in self._last_progress:
+            return False
+        if fingerprint is None or fingerprint == self._fingerprints[index]:
+            return False
+        self._fingerprints[index] = fingerprint
+        self._last_progress[index] = self.clock()
+        return True
+
+    def stalled(self, index: int) -> bool:
+        """True when the shard's deadline has expired without progress."""
+        if not self.policy.enabled or index not in self._last_progress:
+            return False
+        deadline = self.policy.deadline_seconds
+        assert deadline is not None
+        return self.clock() - self._last_progress[index] > deadline
+
+    def record_timeout(self, index: int) -> int:
+        """Count one watchdog kill; returns the consecutive total."""
+        count = self._consecutive_timeouts.get(index, 0) + 1
+        self._consecutive_timeouts[index] = count
+        return count
+
+    def record_success(self, index: int) -> None:
+        """A completion resets the shard's consecutive-timeout count."""
+        self._consecutive_timeouts.pop(index, None)
+        self.forget(index)
+
+    def tripped(self, index: int) -> bool:
+        """True when the shard's circuit breaker is open."""
+        return (self._consecutive_timeouts.get(index, 0)
+                >= self.policy.circuit_limit)
+
+
+def write_heartbeat(path: Union[str, Path], attempt: int,
+                    progress: int) -> None:
+    """Worker-side: record progress in the shard's heartbeat file.
+
+    The content only has to *change* when progress happens -- the parent
+    fingerprints bytes, it never parses or compares timestamps.
+    """
+    Path(path).write_text(f"{attempt}:{progress}\n", encoding="utf-8")
+
+
+def read_heartbeat(path: Union[str, Path]) -> Optional[bytes]:
+    """Parent-side: the heartbeat fingerprint, or None if unreadable.
+
+    A missing or half-written file is indistinguishable from "no
+    progress yet", which is exactly how the watchdog treats ``None``.
+    """
+    try:
+        return Path(path).read_bytes()
+    except OSError:
+        return None

@@ -1,0 +1,170 @@
+"""Watchdog unit tests: deadlines, fingerprints, circuit breaker.
+
+All timing runs on a fake clock -- no test here ever sleeps.
+"""
+
+import pytest
+
+from repro.reliability.errors import TransientIOError, is_transient
+from repro.reliability.watchdog import (
+    ShardWatchdog,
+    WatchdogPolicy,
+    WatchdogTimeout,
+    read_heartbeat,
+    write_heartbeat,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _watchdog(deadline=10.0, circuit_limit=3, clock=None):
+    policy = WatchdogPolicy(deadline_seconds=deadline,
+                            circuit_limit=circuit_limit)
+    return ShardWatchdog(policy, clock=clock or FakeClock())
+
+
+class TestPolicy:
+    def test_disabled_by_default(self):
+        assert not WatchdogPolicy().enabled
+
+    def test_enabled_with_deadline(self):
+        assert WatchdogPolicy(deadline_seconds=5.0).enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_seconds": 0.0},
+        {"deadline_seconds": -1.0},
+        {"poll_seconds": 0.0},
+        {"circuit_limit": 0},
+    ])
+    def test_rejects_bad_settings(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogPolicy(**kwargs)
+
+
+class TestDeadline:
+    def test_fresh_shard_is_not_stalled(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        clock.advance(9.0)
+        assert not dog.stalled(0)
+
+    def test_stalls_past_deadline_without_progress(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        clock.advance(10.5)
+        assert dog.stalled(0)
+
+    def test_progress_resets_deadline(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        clock.advance(9.0)
+        assert dog.beat(0, b"1 day done")
+        clock.advance(9.0)
+        assert not dog.stalled(0)
+        clock.advance(2.0)
+        assert dog.stalled(0)
+
+    def test_unchanged_fingerprint_is_not_progress(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        assert dog.beat(0, b"stuck")
+        clock.advance(6.0)
+        assert not dog.beat(0, b"stuck")
+        clock.advance(6.0)
+        assert dog.stalled(0)
+
+    def test_missing_heartbeat_is_not_progress(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        assert not dog.beat(0, None)
+        clock.advance(11.0)
+        assert dog.stalled(0)
+
+    def test_untracked_and_forgotten_shards_never_stall(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        assert not dog.stalled(7)
+        dog.start(7)
+        dog.forget(7)
+        clock.advance(100.0)
+        assert not dog.stalled(7)
+
+    def test_disabled_policy_never_stalls(self):
+        clock = FakeClock()
+        dog = ShardWatchdog(WatchdogPolicy(), clock=clock)
+        dog.start(0)
+        clock.advance(1e9)
+        assert not dog.stalled(0)
+
+    def test_resubmission_rearms_deadline(self):
+        clock = FakeClock()
+        dog = _watchdog(clock=clock)
+        dog.start(0)
+        clock.advance(11.0)
+        assert dog.stalled(0)
+        dog.start(0)
+        assert not dog.stalled(0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_timeouts(self):
+        dog = _watchdog(circuit_limit=2)
+        assert dog.record_timeout(0) == 1
+        assert not dog.tripped(0)
+        assert dog.record_timeout(0) == 2
+        assert dog.tripped(0)
+
+    def test_success_resets_count(self):
+        dog = _watchdog(circuit_limit=2)
+        dog.record_timeout(0)
+        dog.record_success(0)
+        dog.record_timeout(0)
+        assert not dog.tripped(0)
+
+    def test_counts_are_per_shard(self):
+        dog = _watchdog(circuit_limit=2)
+        dog.record_timeout(0)
+        dog.record_timeout(1)
+        assert not dog.tripped(0)
+        assert not dog.tripped(1)
+
+
+class TestTaxonomy:
+    def test_watchdog_timeout_is_transient(self):
+        error = WatchdogTimeout("no progress for 30s")
+        assert isinstance(error, TransientIOError)
+        assert is_transient(error)
+
+
+class TestHeartbeatFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "shard-0.hb"
+        write_heartbeat(path, attempt=0, progress=3)
+        assert read_heartbeat(path) == b"0:3\n"
+
+    def test_content_changes_with_progress_and_attempt(self, tmp_path):
+        path = tmp_path / "shard-0.hb"
+        write_heartbeat(path, attempt=0, progress=0)
+        first = read_heartbeat(path)
+        write_heartbeat(path, attempt=0, progress=1)
+        second = read_heartbeat(path)
+        write_heartbeat(path, attempt=1, progress=0)
+        third = read_heartbeat(path)
+        assert len({first, second, third}) == 3
+
+    def test_missing_file_reads_none(self, tmp_path):
+        assert read_heartbeat(tmp_path / "never-written") is None
