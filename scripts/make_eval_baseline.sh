@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden baseline behind `repro eval`.
+#
+#   scripts/make_eval_baseline.sh
+#
+# Run this ONLY when a result change is intended and reviewed (a new
+# analysis, a deliberate simulator change): the freshly recorded
+# baseline is immediately re-evaluated so a flaky regeneration can
+# never be committed, and the diff of baselines/eval_small.json is the
+# review surface for exactly what moved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+BASELINE="baselines/eval_small.json"
+
+echo "== recording golden baseline ($BASELINE) =="
+python -m repro eval --preset eval-small --baseline "$BASELINE" \
+    --write-baseline
+
+echo "== verifying the fresh baseline gates clean =="
+python -m repro eval --baseline "$BASELINE" \
+    --report-out /tmp/eval_baseline_verify.json
+
+echo "== verifying the gate still trips on a perturbed run =="
+if python -m repro eval --baseline "$BASELINE" \
+    --perturb drop-coverage-day:40 \
+    --report-out /tmp/eval_baseline_perturbed.json; then
+    echo "ERROR: perturbed run did not regress -- gate is inert" >&2
+    exit 1
+fi
+echo "ok: baseline recorded, clean run passes, perturbed run regresses"

@@ -526,6 +526,36 @@ def evaluate_all(artifacts) -> List[Outcome]:
             for expectation in paper_expectations()]
 
 
+def expectation_ids() -> List[str]:
+    """Every encoded expectation id, in paper order."""
+    return [expectation.expectation_id
+            for expectation in paper_expectations()]
+
+
+def outcomes_payload(outcomes: List[Outcome]) -> dict:
+    """Outcomes as a JSON-safe mapping keyed by expectation id.
+
+    This is the ``outcomes`` artifact the results store serves and the
+    shape ``repro eval`` baselines commit: stable keys, the full
+    outcome record per id, and a status tally for quick reads.
+    """
+    table = {
+        outcome.expectation_id: {
+            "figure": outcome.figure,
+            "claim": outcome.claim,
+            "paper_value": outcome.paper_value,
+            "measured": outcome.measured,
+            "status": outcome.status,
+        }
+        for outcome in outcomes
+    }
+    counts = {
+        status: sum(1 for o in outcomes if o.status == status)
+        for status in (PASS, FAIL, SKIP)
+    }
+    return {"schema": 1, "counts": counts, "outcomes": table}
+
+
 def render_outcomes(outcomes: List[Outcome]) -> str:
     """Render outcomes as a Markdown table (EXPERIMENTS.md body)."""
     lines = [

@@ -12,8 +12,9 @@ The scalar findings the paper reports in prose:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
@@ -48,6 +49,43 @@ class SummaryStats:
     #: worst per-day fraction (1.0 on a clean run).
     coverage_affected_days: int = 0
     coverage_min_fraction: float = 1.0
+
+    #: The aggregates ``repro eval`` gates on, in declaration order.
+    #: Adding a field here makes it part of every future baseline.
+    METRIC_KEYS = (
+        "peak_active_devices",
+        "trough_active_devices",
+        "post_shutdown_devices",
+        "international_devices",
+        "international_fraction",
+        "feb_total_bytes",
+        "aprmay_total_bytes",
+        "traffic_increase_feb_to_aprmay",
+        "distinct_sites_feb",
+        "distinct_sites_aprmay",
+        "distinct_sites_increase",
+        "traffic_increase_vs_2019",
+        "coverage_affected_days",
+        "coverage_min_fraction",
+    )
+
+    def metrics(self) -> Dict[str, Optional[float]]:
+        """Every headline aggregate as a JSON-safe mapping.
+
+        The key set is :attr:`METRIC_KEYS`, pinned by tests; NaN and
+        absent optionals serialize as ``None`` ("no value at this
+        scale"), which the eval comparator treats as SKIP when the
+        baseline agrees and as a regression when it does not.
+        """
+        payload: Dict[str, Optional[float]] = {}
+        for key in self.METRIC_KEYS:
+            value = getattr(self, key)
+            if value is None or (isinstance(value, float)
+                                 and not math.isfinite(value)):
+                payload[key] = None
+            else:
+                payload[key] = value
+        return payload
 
 
 def compute_summary(dataset: FlowDataset,

@@ -10,6 +10,11 @@ Commands:
 * ``export``    -- synthesize a shareable trace directory (per-day
   gzipped wire/DHCP/DNS logs).
 * ``ingest``    -- measure a previously exported trace directory.
+* ``serve``     -- HTTP front end over a results store (cache-or-compute).
+* ``query``     -- fetch study artifacts through the store, computing
+  only what is missing.
+* ``eval``      -- regression-gate current results against a committed
+  golden baseline (nonzero exit on REGRESSED).
 """
 
 from __future__ import annotations
@@ -22,7 +27,11 @@ import time
 from typing import List, Optional
 
 from repro import LockdownStudy, StudyConfig
-from repro.analysis.expectations import evaluate_all, render_outcomes
+from repro.analysis.expectations import (
+    evaluate_all,
+    outcomes_payload,
+    render_outcomes,
+)
 from repro.core.report import (
     render_fig1,
     render_fig2,
@@ -61,40 +70,46 @@ def _full_report(artifacts) -> str:
 
 
 def _save_config(config: StudyConfig, directory: str) -> None:
-    payload = {
-        "seed": config.seed,
-        "n_students": config.n_students,
-        "international_fraction": config.international_fraction,
-        "start_ts": config.start_ts,
-        "end_ts": config.end_ts,
-        "visitor_min_days": config.visitor_min_days,
-        "remain_prob_domestic": config.remain_prob_domestic,
-        "remain_prob_international": config.remain_prob_international,
-        "visitor_fraction": config.visitor_fraction,
-        "new_switch_fraction": config.new_switch_fraction,
-    }
+    # Full-fidelity round trip (every field, tuples as lists); the
+    # same payload the serve fingerprint and eval baselines embed.
     with open(os.path.join(directory, _CONFIG_FILE), "w") as fileobj:
-        json.dump(payload, fileobj, indent=2)
+        json.dump(config.to_payload(), fileobj, indent=2, sort_keys=True)
 
 
 def _load_config(directory: str) -> StudyConfig:
     with open(os.path.join(directory, _CONFIG_FILE)) as fileobj:
         payload = json.load(fileobj)
+    return StudyConfig.from_payload(payload)
+
+
+#: Named configurations selectable via ``--preset``.
+_PRESETS = {
+    "ci": StudyConfig.ci_scale,
+    "laptop": StudyConfig.laptop_scale,
+    "eval-small": StudyConfig.eval_scale,
+    "recorded": StudyConfig.recorded_scale,
+}
+
+
+def _config_from_args(args: argparse.Namespace) -> StudyConfig:
+    """Resolve --preset/--students/--seed into a StudyConfig."""
+    preset = getattr(args, "preset", None)
+    if preset:
+        config = _PRESETS[preset]()
+        if getattr(args, "seed", None) is not None:
+            config = StudyConfig.from_payload(
+                {**config.to_payload(), "seed": args.seed})
+        return config
+    students = getattr(args, "students", None)
+    seed = getattr(args, "seed", None)
     return StudyConfig(
-        seed=int(payload["seed"]),
-        n_students=int(payload["n_students"]),
-        international_fraction=float(payload["international_fraction"]),
-        start_ts=float(payload["start_ts"]),
-        end_ts=float(payload["end_ts"]),
-        visitor_min_days=int(payload.get("visitor_min_days", 14)),
-        remain_prob_domestic=float(
-            payload.get("remain_prob_domestic", 0.16)),
-        remain_prob_international=float(
-            payload.get("remain_prob_international", 0.32)),
-        visitor_fraction=float(payload.get("visitor_fraction", 0.12)),
-        new_switch_fraction=float(
-            payload.get("new_switch_fraction", 0.12)),
-    )
+        n_students=students if students is not None else 100,
+        seed=seed if seed is not None else 7)
+
+
+def _utc_stamp() -> str:
+    """Wall-clock stamp for reports/baselines (CLI-only; RL001)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -196,6 +211,149 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- results serving --------------------------------------------------------
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ArtifactServer
+    from repro.serve.service import StudyService
+    from repro.serve.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    service = StudyService(store, workers=args.workers,
+                           progress=_progress)
+    server = ArtifactServer(store, service=service, host=args.host,
+                            port=args.port, progress=_progress)
+    host, port = server.address
+    _progress(f"serving {len(store.fingerprints())} stored studies "
+              f"on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _progress("shutting down")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.service import StudyService, artifact_names
+    from repro.serve.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    service = StudyService(store, workers=args.workers,
+                           progress=_progress)
+    names = tuple(args.artifacts) if args.artifacts else None
+    if args.fingerprint:
+        result = service.query_fingerprint(args.fingerprint, names=names,
+                                           compute=args.compute)
+    else:
+        result = service.query(_config_from_args(args), names=names,
+                               scenario=args.scenario,
+                               compute=args.compute)
+    envelope = {
+        "fingerprint": result.fingerprint,
+        "scenario": result.scenario,
+        "known_artifacts": list(artifact_names()),
+        "served_from_store": list(result.served),
+        "computed": list(result.computed),
+        "counters": service.counters_snapshot(),
+        "artifacts": result.payloads,
+    }
+    print(json.dumps(envelope, indent=2))
+    return 0
+
+
+def _parse_perturbation(spec: Optional[str]):
+    """``drop-coverage-day:<index>`` -> day index (None when absent)."""
+    if spec is None:
+        return None
+    kind, _, value = spec.partition(":")
+    if kind != "drop-coverage-day" or not value:
+        raise SystemExit(
+            f"unknown perturbation {spec!r}; supported: "
+            f"drop-coverage-day:<day-index>")
+    return int(value)
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.serve.evaluate import (
+        compare_to_baseline,
+        drop_coverage_day,
+        load_baseline,
+        make_baseline,
+        save_baseline,
+    )
+    from repro.serve.fingerprint import study_fingerprint
+    from repro.serve.service import StudyService
+    from repro.serve.store import ArtifactStore
+
+    perturb_day = _parse_perturbation(args.perturb)
+
+    # Resolve the configuration: explicit flags win; otherwise the
+    # committed baseline's embedded config payload is the ground truth
+    # for *what to run* (so CI needs no copy of the knobs).
+    if args.preset or args.students is not None or args.seed is not None:
+        config = _config_from_args(args)
+    elif not args.write_baseline and os.path.exists(args.baseline):
+        config = StudyConfig.from_payload(
+            load_baseline(args.baseline).get("config", {}))
+    else:
+        config = StudyConfig.eval_scale()
+    fingerprint = study_fingerprint(config, args.scenario)
+
+    # Obtain outcomes + summary metrics: through the store when one is
+    # given (cache-or-compute; unchanged studies are served, not
+    # re-run), or by a direct run. A perturbed run never touches the
+    # store -- it exists to prove the gate trips, not to be served.
+    if args.store and perturb_day is None:
+        service = StudyService(ArtifactStore(args.store),
+                               workers=args.workers, progress=_progress)
+        result = service.query(config, names=("summary", "outcomes"),
+                               scenario=args.scenario)
+        _progress(f"store: served {list(result.served)}, "
+                  f"computed {list(result.computed)}")
+        outcomes = result.payloads["outcomes"]["outcomes"]
+        from repro.analysis.summary import SummaryStats
+
+        metrics = {key: result.payloads["summary"].get(key)
+                   for key in SummaryStats.METRIC_KEYS}
+    else:
+        artifacts = LockdownStudy(config).run(progress=_progress,
+                                              workers=args.workers)
+        if perturb_day is not None:
+            _progress(f"perturbation: dropping coverage of study day "
+                      f"{perturb_day}")
+            artifacts = drop_coverage_day(artifacts, perturb_day)
+        outcomes = outcomes_payload(evaluate_all(artifacts))["outcomes"]
+        metrics = artifacts.summary().metrics()
+
+    if args.write_baseline:
+        baseline = make_baseline(config, outcomes, metrics,
+                                 scenario=args.scenario,
+                                 generated_at=_utc_stamp())
+        directory = os.path.dirname(args.baseline)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        save_baseline(args.baseline, baseline)
+        _progress(f"golden baseline written to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    report = compare_to_baseline(baseline, outcomes, metrics,
+                                 fingerprint=fingerprint,
+                                 generated_at=_utc_stamp())
+    print(report.render())
+
+    report_path = args.report_out
+    if report_path is None:
+        os.makedirs("eval_reports", exist_ok=True)
+        stamp = time.strftime("%Y%m%d_%H%M%S", time.gmtime())
+        report_path = os.path.join("eval_reports", f"eval_{stamp}.json")
+    with open(report_path, "w") as fileobj:
+        json.dump(report.to_payload(), fileobj, indent=2)
+        fileobj.write("\n")
+    _progress(f"machine-readable report written to {report_path}")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +425,69 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quarantine malformed log lines (with exact "
                              "per-category counts) instead of aborting")
     ingest.set_defaults(handler=_cmd_ingest)
+
+    def add_config_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--preset", choices=sorted(_PRESETS),
+                         default=None,
+                         help="named study configuration (overrides "
+                              "--students)")
+        sub.add_argument("--students", type=int, default=None)
+        sub.add_argument("--seed", type=int, default=None)
+        sub.add_argument("--scenario", type=str, default="lockdown-2020",
+                         help="study scenario to fingerprint and run")
+        sub.add_argument("--workers", type=int, default=1,
+                         help="worker threads for the analysis fan-out")
+
+    serve = commands.add_parser(
+        "serve", help="HTTP front end over a results store")
+    serve.add_argument("--store", type=str, default=".repro-store",
+                       help="artifact store root directory")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8742)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads for on-demand computation")
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="fetch artifacts via the store, computing only "
+                      "what is missing")
+    add_config_flags(query)
+    query.add_argument("--store", type=str, default=".repro-store")
+    query.add_argument("--fingerprint", type=str, default=None,
+                       help="query a study already in the store by its "
+                            "fingerprint instead of by config")
+    query.add_argument("--artifacts", nargs="*", default=None,
+                       metavar="NAME",
+                       help="artifact names to fetch (default: all)")
+    query.add_argument("--no-compute", dest="compute",
+                       action="store_false", default=True,
+                       help="read-only: never run a study, serve only "
+                            "what the store already has")
+    query.set_defaults(handler=_cmd_query)
+
+    evaluate = commands.add_parser(
+        "eval", help="regression-gate results against a golden baseline")
+    add_config_flags(evaluate)
+    evaluate.add_argument("--baseline", type=str,
+                          default=os.path.join("baselines",
+                                               "eval_small.json"),
+                          help="golden baseline file (its embedded "
+                               "config is run when no flags are given)")
+    evaluate.add_argument("--store", type=str, default=None,
+                          help="serve/compute through this artifact "
+                               "store instead of a direct run")
+    evaluate.add_argument("--write-baseline", action="store_true",
+                          help="write the baseline from this run "
+                               "instead of comparing against it")
+    evaluate.add_argument("--report-out", type=str, default=None,
+                          help="path for the machine-readable JSON "
+                               "report (default: timestamped file "
+                               "under eval_reports/)")
+    evaluate.add_argument("--perturb", type=str, default=None,
+                          metavar="KIND:ARG",
+                          help="inject a perturbation before comparing "
+                               "(supported: drop-coverage-day:<index>)")
+    evaluate.set_defaults(handler=_cmd_eval)
 
     return parser
 

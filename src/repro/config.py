@@ -10,8 +10,8 @@ approach the paper's absolute counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Tuple
 
 from repro import constants
 
@@ -112,6 +112,43 @@ class StudyConfig:
         """The configuration behind EXPERIMENTS.md's recorded run
         (~25 minutes, ~8.5M flows)."""
         return cls(n_students=300, seed=seed)
+
+    @classmethod
+    def eval_scale(cls, seed: int = 7) -> "StudyConfig":
+        """Full four-month window at the smallest scale that still
+        exercises every figure; the committed golden baseline behind
+        ``repro eval`` (see baselines/) is recorded at this scale
+        (~20 seconds end to end)."""
+        return cls(n_students=12, seed=seed)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Every field as a JSON-serializable mapping (tuples become
+        lists). The inverse of :meth:`from_payload`; also the input to
+        :func:`repro.serve.fingerprint.study_fingerprint`."""
+        payload: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            payload[spec.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "StudyConfig":
+        """Rebuild a config from :meth:`to_payload` output.
+
+        Unknown keys are ignored (forward compatibility with payloads
+        written by newer versions and with fingerprint mappings that
+        carry non-semantic run knobs); missing keys take the field
+        defaults.
+        """
+        known = {spec.name for spec in fields(cls)}
+        kwargs: Dict[str, Any] = {}
+        for key, value in payload.items():
+            if key not in known:
+                continue
+            kwargs[key] = tuple(value) if isinstance(value, list) else value
+        return cls(**kwargs)
 
     def __post_init__(self) -> None:
         if self.n_students <= 0:

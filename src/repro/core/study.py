@@ -86,9 +86,21 @@ class StudyArtifacts:
     _locks_guard: threading.Lock = field(default_factory=threading.Lock,
                                          repr=False)
 
-    #: Every cached analysis, in the order ``compute_all`` runs them.
+    #: Every cached analysis, in the order ``compute_all`` runs and
+    #: returns them. This tuple is a public contract: it is the
+    #: artifact enumeration of the results store
+    #: (:mod:`repro.serve`) -- an analysis absent from it is invisible
+    #: to ``repro serve``/``repro query`` and unguarded by ``repro
+    #: eval`` -- so a new analysis MUST be appended here (and gains a
+    #: method of the same name). The key set and order are pinned by
+    #: ``tests/core/test_artifact_enumeration.py``.
     ANALYSES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                 "fig8", "summary")
+
+    @classmethod
+    def artifact_names(cls) -> Tuple[str, ...]:
+        """The stable analysis key order (see :attr:`ANALYSES`)."""
+        return tuple(cls.ANALYSES)
 
     def __post_init__(self) -> None:
         if self.context is None:
@@ -149,6 +161,10 @@ class StudyArtifacts:
     def compute_all(self, workers: int = 1) -> Dict[str, object]:
         """Compute every figure and the summary; returns them by name.
 
+        The returned mapping's keys are exactly :attr:`ANALYSES`, in
+        that order, on both the serial and the threaded path -- the
+        results store iterates it to enumerate a run's artifacts.
+
         With ``workers > 1`` the analyses run on a thread pool. The
         shared context is warmed first so the cross-figure primitives
         (signature masks, day matrix, activity bitmap, site table) are
@@ -164,8 +180,8 @@ class StudyArtifacts:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {name: pool.submit(getattr(self, name))
                        for name in self.ANALYSES}
-            return {name: future.result()
-                    for name, future in futures.items()}
+            return {name: futures[name].result()
+                    for name in self.ANALYSES}
 
     def _cached(self, key: str, compute: Callable[[], object]):
         # Double-checked per-key locking: concurrent callers of the

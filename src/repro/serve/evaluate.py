@@ -1,0 +1,382 @@
+"""``repro eval``: the regression gate over study results.
+
+The harness follows the ground-truth -> run -> pass/fail ->
+timestamped-JSON idiom: a committed *golden baseline* records, for one
+exact (config, scenario) fingerprint, the status of every encoded
+paper expectation plus the summary's numeric aggregates; an eval run
+recomputes both (through the artifact store, so unchanged studies are
+served, not re-run) and compares:
+
+* **expectations** -- each outcome status is ranked ``FAIL < SKIP <
+  PASS``; a drop versus the baseline is ``REGRESSED``, a match keeps
+  the baseline status, a rise is reported as a PASS with an
+  "improved" note.
+* **metrics** -- each numeric aggregate must match the baseline within
+  an explicit per-metric :class:`Tolerance` (the baseline file carries
+  the tolerance table, so loosening one is a reviewed diff).
+
+Any ``REGRESSED`` record makes the report's exit code nonzero; FAILs
+that already existed in the baseline are reported but do not gate (the
+gate's contract is "no worse than the baseline", exactly like tier-1).
+
+No clocks here: ``generated_at`` is injected by the CLI so the library
+stays deterministic (lint RL001).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.config import StudyConfig
+from repro.serve.fingerprint import DEFAULT_SCENARIO, study_fingerprint
+
+#: Outcome labels shared with the expectation checklist, plus the one
+#: the gate adds: this run is *worse than the committed baseline*.
+PASS = "PASS"
+FAIL = "FAIL"
+SKIP = "SKIP"
+REGRESSED = "REGRESSED"
+
+BASELINE_SCHEMA = 1
+
+_STATUS_RANK = {FAIL: 0, SKIP: 1, PASS: 2}
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Per-metric numeric slack: ``|measured - expected| <= abs + rel*|expected|``."""
+
+    rel: float = 1e-6
+    abs: float = 0.0
+
+    def within(self, expected: float, measured: float) -> bool:
+        return (abs(measured - expected)
+                <= self.abs + self.rel * abs(expected))
+
+    def to_payload(self) -> Dict[str, float]:
+        return {"rel": self.rel, "abs": self.abs}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Tolerance":
+        return cls(rel=float(payload.get("rel", 0.0)),
+                   abs=float(payload.get("abs", 0.0)))
+
+
+#: Default tolerance table for freshly written baselines: integer
+#: census counts must match exactly; float aggregates tolerate small
+#: cross-platform summation jitter.
+DEFAULT_TOLERANCES: Dict[str, Tolerance] = {
+    "peak_active_devices": Tolerance(rel=0.0, abs=0.0),
+    "trough_active_devices": Tolerance(rel=0.0, abs=0.0),
+    "post_shutdown_devices": Tolerance(rel=0.0, abs=0.0),
+    "international_devices": Tolerance(rel=0.0, abs=0.0),
+    "coverage_affected_days": Tolerance(rel=0.0, abs=0.0),
+}
+DEFAULT_TOLERANCE = Tolerance(rel=1e-4, abs=0.0)
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One compared expectation or metric."""
+
+    kind: str  # "expectation" | "metric"
+    name: str
+    status: str  # PASS | FAIL | SKIP | REGRESSED
+    expected: Any
+    measured: Any
+    detail: str = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class EvalReport:
+    """The machine-readable result of one ``repro eval`` run."""
+
+    fingerprint: str
+    scenario: str
+    baseline_fingerprint: str
+    records: List[EvalRecord] = field(default_factory=list)
+    #: Wall-clock stamp injected by the CLI (None in library use).
+    generated_at: Optional[str] = None
+
+    def counts(self) -> Dict[str, int]:
+        totals = {PASS: 0, FAIL: 0, SKIP: 0, REGRESSED: 0}
+        for record in self.records:
+            totals[record.status] = totals.get(record.status, 0) + 1
+        return totals
+
+    @property
+    def regressed(self) -> List[str]:
+        """`kind:name` of every regressed record -- the gate's verdict."""
+        return [f"{record.kind}:{record.name}"
+                for record in self.records
+                if record.status == REGRESSED]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressed else 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "generated_at": self.generated_at,
+            "fingerprint": self.fingerprint,
+            "scenario": self.scenario,
+            "baseline_fingerprint": self.baseline_fingerprint,
+            "fingerprint_match":
+                self.fingerprint == self.baseline_fingerprint,
+            "counts": self.counts(),
+            "regressed": self.regressed,
+            "records": [record.to_payload() for record in self.records],
+        }
+
+    def render(self) -> str:
+        """Console table, regressions first."""
+        lines = [f"eval {self.fingerprint[:12]} vs baseline "
+                 f"{self.baseline_fingerprint[:12]}"]
+        ordered = sorted(
+            self.records,
+            key=lambda r: (r.status != REGRESSED, r.kind, r.name))
+        for record in ordered:
+            detail = f"  ({record.detail})" if record.detail else ""
+            lines.append(f"  [{record.status:>9}] {record.kind:>11} "
+                         f"{record.name}: expected {record.expected!r}, "
+                         f"measured {record.measured!r}{detail}")
+        counts = self.counts()
+        lines.append(
+            f"  {counts[PASS]} PASS, {counts[SKIP]} SKIP, "
+            f"{counts[FAIL]} FAIL (known), "
+            f"{counts[REGRESSED]} REGRESSED")
+        if self.regressed:
+            lines.append("  REGRESSED: " + ", ".join(self.regressed))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Baselines.
+
+def make_baseline(config: StudyConfig,
+                  outcomes: Mapping[str, Any],
+                  metrics: Mapping[str, Optional[float]],
+                  scenario: str = DEFAULT_SCENARIO,
+                  tolerances: Optional[Mapping[str, Tolerance]] = None,
+                  generated_at: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble a golden-baseline payload from one finished study.
+
+    ``outcomes`` is the mapping produced by
+    :func:`repro.analysis.expectations.outcomes_payload` (under its
+    ``"outcomes"`` key); ``metrics`` is
+    ``SummaryStats.metrics()``. The tolerance table defaults to exact
+    integers + small relative float slack and is embedded in the file
+    so changing it is a reviewed diff.
+    """
+    table = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        table.update(tolerances)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "generated_at": generated_at,
+        "scenario": scenario,
+        "fingerprint": study_fingerprint(config, scenario),
+        "config": config.to_payload(),
+        "outcomes": {name: dict(entry)
+                     for name, entry in outcomes.items()},
+        "metrics": dict(metrics),
+        "tolerances": {
+            "default": DEFAULT_TOLERANCE.to_payload(),
+            "metrics": {name: tol.to_payload()
+                        for name, tol in sorted(table.items())},
+        },
+    }
+
+
+def save_baseline(path: str, baseline: Mapping[str, Any]) -> None:
+    with open(path, "w") as fileobj:
+        json.dump(baseline, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path) as fileobj:
+        loaded = json.load(fileobj)
+    if not isinstance(loaded, dict) or "outcomes" not in loaded:
+        raise ValueError(f"{path} is not a repro eval baseline")
+    schema = loaded.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(f"unsupported baseline schema {schema!r} "
+                         f"(expected {BASELINE_SCHEMA})")
+    return loaded
+
+
+def _tolerance_for(baseline: Mapping[str, Any], metric: str) -> Tolerance:
+    table = baseline.get("tolerances", {})
+    per_metric = table.get("metrics", {})
+    if metric in per_metric:
+        return Tolerance.from_payload(per_metric[metric])
+    if "default" in table:
+        return Tolerance.from_payload(table["default"])
+    return DEFAULT_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Comparison.
+
+def _missing(value: Optional[float]) -> bool:
+    return value is None or (isinstance(value, float)
+                             and math.isnan(value))
+
+
+def _compare_outcome(name: str, expected_status: str,
+                     current: Optional[Mapping[str, Any]]) -> EvalRecord:
+    if current is None:
+        return EvalRecord(
+            kind="expectation", name=name, status=REGRESSED,
+            expected=expected_status, measured=None,
+            detail="expectation missing from current run")
+    measured_status = str(current.get("status", FAIL))
+    expected_rank = _STATUS_RANK.get(expected_status, 0)
+    measured_rank = _STATUS_RANK.get(measured_status, 0)
+    detail = str(current.get("measured", ""))
+    if measured_rank < expected_rank:
+        return EvalRecord(kind="expectation", name=name,
+                          status=REGRESSED, expected=expected_status,
+                          measured=measured_status, detail=detail)
+    if measured_rank > expected_rank:
+        return EvalRecord(kind="expectation", name=name, status=PASS,
+                          expected=expected_status,
+                          measured=measured_status,
+                          detail=f"improved over baseline; {detail}")
+    return EvalRecord(kind="expectation", name=name,
+                      status=measured_status, expected=expected_status,
+                      measured=measured_status, detail=detail)
+
+
+def _compare_metric(name: str, expected: Optional[float],
+                    measured: Optional[float],
+                    tolerance: Tolerance,
+                    present: bool) -> EvalRecord:
+    if not present:
+        return EvalRecord(kind="metric", name=name, status=REGRESSED,
+                          expected=expected, measured=None,
+                          detail="metric missing from current run")
+    if _missing(expected) and _missing(measured):
+        return EvalRecord(kind="metric", name=name, status=SKIP,
+                          expected=expected, measured=measured,
+                          detail="no value at this scale (baseline agrees)")
+    if _missing(expected):
+        return EvalRecord(kind="metric", name=name, status=SKIP,
+                          expected=expected, measured=measured,
+                          detail="newly measured; not in baseline")
+    if _missing(measured):
+        return EvalRecord(kind="metric", name=name, status=REGRESSED,
+                          expected=expected, measured=measured,
+                          detail="baseline had a value, current run lost it")
+    assert expected is not None and measured is not None
+    if tolerance.within(float(expected), float(measured)):
+        return EvalRecord(kind="metric", name=name, status=PASS,
+                          expected=expected, measured=measured)
+    delta = float(measured) - float(expected)
+    rel = (delta / expected) if expected else float("inf")
+    return EvalRecord(
+        kind="metric", name=name, status=REGRESSED,
+        expected=expected, measured=measured,
+        detail=f"delta {delta:+.6g} (rel {rel:+.4%}) exceeds "
+               f"tolerance rel={tolerance.rel} abs={tolerance.abs}")
+
+
+def compare_to_baseline(baseline: Mapping[str, Any],
+                        outcomes: Mapping[str, Any],
+                        metrics: Mapping[str, Optional[float]],
+                        fingerprint: str,
+                        generated_at: Optional[str] = None) -> EvalReport:
+    """Compare one run's outcomes/metrics against a golden baseline.
+
+    ``outcomes`` maps expectation id -> outcome entry (with at least a
+    ``status`` key); ``metrics`` maps aggregate name -> value. Records
+    cover the union of baseline and current names; only drops versus
+    the baseline regress the report.
+    """
+    report = EvalReport(
+        fingerprint=fingerprint,
+        scenario=str(baseline.get("scenario", DEFAULT_SCENARIO)),
+        baseline_fingerprint=str(baseline.get("fingerprint", "")),
+        generated_at=generated_at)
+
+    baseline_outcomes = baseline.get("outcomes", {})
+    for name in sorted(baseline_outcomes):
+        expected_status = str(baseline_outcomes[name].get("status", FAIL))
+        report.records.append(
+            _compare_outcome(name, expected_status, outcomes.get(name)))
+    for name in sorted(set(outcomes) - set(baseline_outcomes)):
+        entry = outcomes[name]
+        report.records.append(EvalRecord(
+            kind="expectation", name=name,
+            status=str(entry.get("status", FAIL)),
+            expected=None, measured=str(entry.get("status", FAIL)),
+            detail="new since baseline (not gated)"))
+
+    baseline_metrics = baseline.get("metrics", {})
+    for name in sorted(baseline_metrics):
+        report.records.append(_compare_metric(
+            name, baseline_metrics[name], metrics.get(name),
+            _tolerance_for(baseline, name), present=name in metrics))
+    for name in sorted(set(metrics) - set(baseline_metrics)):
+        report.records.append(EvalRecord(
+            kind="metric", name=name, status=SKIP,
+            expected=None, measured=metrics[name],
+            detail="new since baseline (not gated)"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Perturbations (self-tests of the gate).
+
+def drop_coverage_day(artifacts: Any, day_index: int) -> Any:
+    """Rebuild artifacts as if one study day lost all telemetry.
+
+    A seeded perturbation for exercising the regression gate end to
+    end: subtracting one day from every source's observed coverage
+    flips the summary's coverage aggregates (``coverage_affected_days``
+     0 -> 1, ``coverage_min_fraction`` 1.0 -> 0.0), which an eval run
+    against a clean-run baseline must report as REGRESSED, naming the
+    metric. The flow data itself is untouched -- this perturbs the
+    run's *telemetry accounting*, exactly what a collector outage does.
+    """
+    from repro.analysis.common import study_day_count
+    from repro.analysis.context import AnalysisContext
+    from repro.reliability.coverage import (
+        SOURCES,
+        CoverageReport,
+        IntervalSet,
+    )
+    from repro.util.timeutil import DAY
+
+    dataset = artifacts.dataset
+    n_days = study_day_count(dataset)
+    if not 0 <= day_index < n_days:
+        raise ValueError(f"day_index {day_index} outside study window "
+                         f"of {n_days} days")
+    window = IntervalSet.from_spans(
+        [(dataset.day0, dataset.day0 + n_days * DAY)])
+    base = artifacts.coverage
+    if base is None:
+        base = CoverageReport(expected=window,
+                              observed={source: window
+                                        for source in SOURCES})
+    day = IntervalSet.from_spans(
+        [(dataset.day0 + day_index * DAY,
+          dataset.day0 + (day_index + 1) * DAY)])
+    coverage = CoverageReport(
+        expected=base.expected.union(day),
+        observed={source: base.observed_for(source).subtract(day)
+                  for source in SOURCES})
+    context = AnalysisContext(dataset, coverage=coverage)
+    return dataclasses.replace(
+        artifacts, coverage=coverage, context=context,
+        _cache={}, _locks={})

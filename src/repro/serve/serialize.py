@@ -1,0 +1,69 @@
+"""One-way serialization of analysis results into JSON payloads.
+
+Figure results are numpy-heavy dataclasses
+(:class:`~repro.analysis.fig1_active_devices.Fig1Result`, box-stat
+tables keyed by ``(year, month)`` tuples, ...). The store serves JSON,
+so this module flattens them generically:
+
+* dataclasses and NamedTuples become field mappings;
+* numpy arrays become (nested) lists, numpy scalars become Python
+  scalars;
+* non-finite floats become ``None`` (JSON has no NaN, and a NaN in a
+  served artifact is "no value at this scale", not data);
+* tuple mapping keys are joined with ``/`` (``(2020, 2)`` ->
+  ``"2020/2"``), other non-string keys become ``str(key)``.
+
+The encoding is intentionally one-way: the consumers are the HTTP/CLI
+query surface and the ``repro eval`` comparator, neither of which
+reconstructs result objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+JSONValue = Union[None, bool, int, float, str, List[Any], Dict[str, Any]]
+
+
+def _key_str(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _float_payload(value: float) -> Union[None, float]:
+    return value if math.isfinite(value) else None
+
+
+def artifact_payload(value: Any) -> JSONValue:
+    """Recursively flatten an analysis result into JSON-safe data."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return _float_payload(float(value))
+    if isinstance(value, np.ndarray):
+        return [artifact_payload(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {spec.name: artifact_payload(getattr(value, spec.name))
+                for spec in dataclasses.fields(value)}
+    if isinstance(value, tuple) and hasattr(value, "_fields"):
+        # NamedTuple: keep the field names, they are the schema.
+        return {name: artifact_payload(getattr(value, name))
+                for name in value._fields}
+    if isinstance(value, Mapping):
+        return {_key_str(key): artifact_payload(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items: Sequence[Any] = (sorted(value, key=str)
+                                if isinstance(value, (set, frozenset))
+                                else value)
+        return [artifact_payload(item) for item in items]
+    return str(value)

@@ -1,0 +1,183 @@
+"""A small local HTTP front end over the artifact store.
+
+``repro serve`` binds a :class:`ArtifactServer` on localhost and
+answers JSON:
+
+* ``GET /health`` -- liveness plus store size.
+* ``GET /fingerprints`` -- every study in the store, with scenario and
+  artifact inventory.
+* ``GET /artifacts/<fingerprint>`` -- artifact names for one study.
+* ``GET /artifacts/<fingerprint>/<name>`` -- one artifact payload,
+  served from the store; append ``?compute=1`` to have a missing
+  artifact computed on demand (the store's meta carries the config, so
+  the service can re-run the study) -- the cache-or-compute path.
+
+The server is stdlib-only (``http.server``), threads per request, and
+deliberately read-mostly: the only mutation it can cause is the
+service computing and storing a missing artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.service import StudyService
+from repro.serve.store import ArtifactStore, StoreIntegrityError
+
+ProgressFn = Callable[[str], None]
+
+
+class _StoreHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the store/service for handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 handler: Any, store: ArtifactStore,
+                 service: StudyService, progress: ProgressFn) -> None:
+        super().__init__(address, handler)
+        self.store = store
+        self.service = service
+        self.progress = progress
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _StoreHTTPServer
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        self.server.progress(f"{self.address_string()} {format % args}")
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = parse_qs(parsed.query)
+        try:
+            if parts in ([], ["health"]):
+                self._reply(200, {
+                    "status": "ok",
+                    "fingerprints": len(self.server.store.fingerprints()),
+                })
+            elif parts == ["fingerprints"]:
+                self._list_fingerprints()
+            elif len(parts) == 2 and parts[0] == "artifacts":
+                self._list_artifacts(parts[1])
+            elif len(parts) == 3 and parts[0] == "artifacts":
+                compute = query.get("compute", ["0"])[-1] in ("1", "true")
+                self._serve_artifact(parts[1], parts[2], compute)
+            else:
+                self._error(404, f"unknown path {parsed.path!r}")
+        except ValueError as error:
+            self._error(400, str(error))
+        except StoreIntegrityError as error:
+            self._error(500, str(error))
+
+    def _list_fingerprints(self) -> None:
+        store = self.server.store
+        runs = []
+        for fingerprint in store.fingerprints():
+            meta = store.get_meta(fingerprint) or {}
+            runs.append({
+                "fingerprint": fingerprint,
+                "scenario": meta.get("scenario"),
+                "artifacts": store.artifact_names(fingerprint),
+            })
+        self._reply(200, {"fingerprints": runs})
+
+    def _list_artifacts(self, fingerprint: str) -> None:
+        store = self.server.store
+        names = store.artifact_names(fingerprint)
+        if not names and store.get_meta(fingerprint) is None:
+            self._error(404, f"unknown fingerprint {fingerprint!r}")
+            return
+        self._reply(200, {"fingerprint": fingerprint, "artifacts": names})
+
+    def _serve_artifact(self, fingerprint: str, name: str,
+                        compute: bool) -> None:
+        store = self.server.store
+        if store.has(fingerprint, name):
+            self._reply(200, {
+                "fingerprint": fingerprint, "name": name,
+                "source": "store",
+                "payload": store.get(fingerprint, name),
+            })
+            return
+        if not compute:
+            self._error(404, f"artifact {name!r} not stored for "
+                             f"{fingerprint!r} (retry with ?compute=1)")
+            return
+        result = self.server.service.query_fingerprint(
+            fingerprint, names=(name,), compute=True)
+        if name not in result.payloads:
+            self._error(404, f"artifact {name!r} could not be computed "
+                             f"for {fingerprint!r} (no stored config)")
+            return
+        source = "computed" if name in result.computed else "store"
+        self._reply(200, {
+            "fingerprint": fingerprint, "name": name, "source": source,
+            "payload": result.payloads[name],
+        })
+
+
+class ArtifactServer:
+    """Lifecycle wrapper: bind, serve (optionally in-thread), shut down."""
+
+    def __init__(self, store: ArtifactStore, *,
+                 service: Optional[StudyService] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.store = store
+        self.service = service or StudyService(store)
+        self._httpd = _StoreHTTPServer(
+            (host, port), _Handler, store, self.service,
+            progress or (lambda message: None))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- port is concrete even if 0 was asked."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "ArtifactServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        thread = threading.Thread(target=self._httpd.serve_forever,
+                                  name="repro-serve", daemon=True)
+        thread.start()
+        self._thread = thread
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,221 @@
+"""Cache-or-compute: serve stored artifacts, compute only the missing.
+
+:class:`StudyService` is the layer between the artifact store and
+:class:`~repro.core.study.LockdownStudy`. A query names a config (or a
+fingerprint already in the store) and a set of artifact names; the
+service serves every artifact the store already has and computes the
+rest by running the study once and fanning the analyses out through
+``StudyArtifacts.compute_all`` -- the same double-checked per-key
+locking that keeps concurrent figure requests computed exactly once.
+
+Every serve and every compute increments a counter, so the
+"second query is served from the store without recomputation"
+guarantee is *testable*, not aspirational (see
+``tests/serve/test_service.py`` and the acceptance criteria in
+ISSUE 6).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.config import StudyConfig
+from repro.serve.fingerprint import (
+    DEFAULT_SCENARIO,
+    fingerprint_payload,
+    study_fingerprint,
+)
+from repro.serve.serialize import artifact_payload
+from repro.serve.store import ArtifactStore
+
+ProgressFn = Callable[[str], None]
+
+#: Scenario name -> the LockdownStudy entry point that runs it.
+SCENARIOS: Tuple[str, ...] = (DEFAULT_SCENARIO, "counterfactual")
+
+#: Derived artifacts the service adds on top of the figure/summary
+#: enumeration of ``StudyArtifacts.ANALYSES``.
+DERIVED_ARTIFACTS: Tuple[str, ...] = ("outcomes",)
+
+
+def artifact_names() -> Tuple[str, ...]:
+    """Every artifact the service stores per study, in serving order.
+
+    The figure/summary names come straight from
+    ``StudyArtifacts.ANALYSES`` (the store enumerates what the study
+    exposes -- a new analysis joins the store by joining that tuple),
+    followed by the derived expectation ``outcomes``.
+    """
+    from repro.core.study import StudyArtifacts
+
+    return tuple(StudyArtifacts.ANALYSES) + DERIVED_ARTIFACTS
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query's artifacts plus where each came from."""
+
+    fingerprint: str
+    scenario: str
+    payloads: Dict[str, Any]
+    #: Artifact names served straight from the store.
+    served: Tuple[str, ...]
+    #: Artifact names computed (and stored) by this query.
+    computed: Tuple[str, ...]
+
+
+class StudyService:
+    """Store-backed study serving with explicit compute accounting."""
+
+    def __init__(self, store: ArtifactStore, *, workers: int = 1,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.store = store
+        self.workers = workers
+        self.progress = progress or (lambda message: None)
+        #: Monotonic counters: how many artifacts were served from the
+        #: store, how many had to be computed, and how many full study
+        #: runs that took. The acceptance gate for the cache layer.
+        self.counters: Dict[str, int] = {
+            "artifacts_served": 0,
+            "artifacts_computed": 0,
+            "studies_run": 0,
+        }
+        self._lock = threading.Lock()
+        self._studies: Dict[str, Any] = {}
+
+    # -- study execution ------------------------------------------------
+
+    def _run_study(self, config: StudyConfig, scenario: str) -> Any:
+        from repro.core.study import LockdownStudy
+
+        study = LockdownStudy(config)
+        if scenario == DEFAULT_SCENARIO:
+            return study.run(progress=self.progress, workers=self.workers)
+        if scenario == "counterfactual":
+            return study.run_counterfactual(progress=self.progress,
+                                            workers=self.workers)
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"known: {SCENARIOS}")
+
+    def _study_for(self, fingerprint: str, config: StudyConfig,
+                   scenario: str) -> Any:
+        with self._lock:
+            cached = self._studies.get(fingerprint)
+        if cached is not None:
+            return cached
+        artifacts = self._run_study(config, scenario)
+        with self._lock:
+            self._studies[fingerprint] = artifacts
+            self.counters["studies_run"] += 1
+        return artifacts
+
+    def _compute_payload(self, artifacts: Any, name: str) -> Any:
+        if name == "outcomes":
+            from repro.analysis.expectations import (
+                evaluate_all,
+                outcomes_payload,
+            )
+
+            return outcomes_payload(evaluate_all(artifacts))
+        return artifact_payload(getattr(artifacts, name)())
+
+    # -- queries --------------------------------------------------------
+
+    def query(self, config: StudyConfig,
+              names: Optional[Sequence[str]] = None,
+              scenario: str = DEFAULT_SCENARIO,
+              compute: bool = True) -> QueryResult:
+        """Serve the named artifacts (all known ones by default).
+
+        Cached entries come from the store; with ``compute=True`` the
+        missing ones are computed by running the study at most once and
+        fanning the analyses out via ``StudyArtifacts.compute_all``.
+        With ``compute=False`` missing artifacts are simply absent from
+        the result (read-only mode, used by the HTTP server's default
+        path).
+        """
+        fingerprint = study_fingerprint(config, scenario)
+        known = artifact_names()
+        requested = tuple(names) if names else known
+        for name in requested:
+            if name not in known:
+                raise ValueError(f"unknown artifact {name!r}; "
+                                 f"known: {known}")
+
+        payloads: Dict[str, Any] = {}
+        served, missing = [], []
+        for name in requested:
+            if self.store.has(fingerprint, name):
+                payloads[name] = self.store.get(fingerprint, name)
+                served.append(name)
+            else:
+                missing.append(name)
+
+        computed: Tuple[str, ...] = ()
+        if missing and compute:
+            artifacts = self._study_for(fingerprint, config, scenario)
+            # Warm every analysis through the shared double-checked
+            # fan-out once; per-name serialization below then never
+            # triggers a figure computation of its own.
+            artifacts.compute_all(workers=self.workers)
+            self.store.put_meta(fingerprint, {
+                "fingerprint": fingerprint,
+                "scenario": scenario,
+                "config": config.to_payload(),
+                "fingerprinted": fingerprint_payload(config, scenario),
+            })
+            # The study ran; backfill *every* known artifact (not just
+            # the requested ones) so any later query -- even from a
+            # fresh process -- is a pure store hit. ``computed`` lists
+            # everything stored by this query.
+            stored = []
+            for name in known:
+                if self.store.has(fingerprint, name):
+                    continue
+                payload = self._compute_payload(artifacts, name)
+                self.store.put(fingerprint, name, payload)
+                stored.append(name)
+                if name in requested:
+                    payloads[name] = payload
+            computed = tuple(stored)
+
+        with self._lock:
+            self.counters["artifacts_served"] += len(served)
+            self.counters["artifacts_computed"] += len(computed)
+        return QueryResult(fingerprint=fingerprint, scenario=scenario,
+                           payloads=payloads, served=tuple(served),
+                           computed=computed)
+
+    def query_fingerprint(self, fingerprint: str,
+                          names: Optional[Sequence[str]] = None,
+                          compute: bool = False) -> QueryResult:
+        """Serve artifacts for a fingerprint already known to the store.
+
+        The stored meta carries the full config payload, so with
+        ``compute=True`` a fingerprint query can rebuild the config and
+        compute artifacts the store is missing -- the "compute missing
+        on demand" path of the HTTP server.
+        """
+        meta = self.store.get_meta(fingerprint)
+        if meta is None:
+            requested = tuple(names) if names else None
+            present = self.store.artifact_names(fingerprint)
+            use = requested if requested is not None else tuple(present)
+            payloads = {name: self.store.get(fingerprint, name)
+                        for name in use if name in present}
+            with self._lock:
+                self.counters["artifacts_served"] += len(payloads)
+            return QueryResult(fingerprint=fingerprint,
+                               scenario=DEFAULT_SCENARIO,
+                               payloads=payloads,
+                               served=tuple(payloads), computed=())
+        scenario = str(meta.get("scenario", DEFAULT_SCENARIO))
+        config = StudyConfig.from_payload(meta.get("config", {}))
+        return self.query(config, names=names, scenario=scenario,
+                          compute=compute)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)

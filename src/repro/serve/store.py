@@ -1,0 +1,158 @@
+"""The on-disk artifact store: content-addressed, integrity-checked.
+
+Layout (one directory per study fingerprint, sharded by prefix so a
+store with thousands of runs keeps directory listings short)::
+
+    <root>/objects/<fp[:2]>/<fp>/meta.json   # scenario + config payload
+    <root>/objects/<fp[:2]>/<fp>/fig1.json   # one envelope per artifact
+    ...                          summary.json
+                                 outcomes.json
+
+Every artifact file is an *envelope*: the JSON payload plus the
+SHA-256 of its canonical encoding. :meth:`ArtifactStore.get` re-hashes
+on read and raises :class:`StoreIntegrityError` on mismatch, so a
+truncated or hand-edited entry can never be served as a result.
+Writes go through a temp file + :func:`os.replace`, so a crashed
+writer leaves either the old entry or none -- never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.serve.fingerprint import canonical_json
+
+#: Artifact names are path components; keep them boring.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_\-]{0,63}$")
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+_META_FILE = "meta.json"
+
+
+class StoreIntegrityError(RuntimeError):
+    """A stored artifact failed its content-hash check."""
+
+
+def _payload_sha256(payload: Any) -> str:
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid artifact name {name!r}")
+    return name
+
+
+def _check_fingerprint(fingerprint: str) -> str:
+    if not _FINGERPRINT_RE.match(fingerprint):
+        raise ValueError(f"invalid fingerprint {fingerprint!r}")
+    return fingerprint
+
+
+def _write_atomic(path: str, text: str) -> None:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as fileobj:
+        fileobj.write(text)
+    os.replace(tmp_path, path)
+
+
+class ArtifactStore:
+    """Content-addressed study artifacts under one root directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # -- paths ----------------------------------------------------------
+
+    def _run_dir(self, fingerprint: str) -> str:
+        fingerprint = _check_fingerprint(fingerprint)
+        return os.path.join(self.root, "objects", fingerprint[:2],
+                            fingerprint)
+
+    def entry_path(self, fingerprint: str, name: str) -> str:
+        return os.path.join(self._run_dir(fingerprint),
+                            _check_name(name) + ".json")
+
+    # -- run metadata ---------------------------------------------------
+
+    def put_meta(self, fingerprint: str, meta: Dict[str, Any]) -> None:
+        """Record the (scenario, config payload, ...) behind a key."""
+        run_dir = self._run_dir(fingerprint)
+        os.makedirs(run_dir, exist_ok=True)
+        _write_atomic(os.path.join(run_dir, _META_FILE),
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+
+    def get_meta(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        path = os.path.join(self._run_dir(fingerprint), _META_FILE)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fileobj:
+            loaded = json.load(fileobj)
+        assert isinstance(loaded, dict)
+        return loaded
+
+    # -- artifacts ------------------------------------------------------
+
+    def put(self, fingerprint: str, name: str, payload: Any) -> str:
+        """Store one artifact payload; returns its content hash."""
+        run_dir = self._run_dir(fingerprint)
+        os.makedirs(run_dir, exist_ok=True)
+        digest = _payload_sha256(payload)
+        envelope = {
+            "name": _check_name(name),
+            "fingerprint": fingerprint,
+            "sha256": digest,
+            "payload": payload,
+        }
+        _write_atomic(self.entry_path(fingerprint, name),
+                      json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+        return digest
+
+    def get(self, fingerprint: str, name: str) -> Any:
+        """Load one artifact payload, verifying its content hash."""
+        path = self.entry_path(fingerprint, name)
+        with open(path) as fileobj:
+            envelope = json.load(fileobj)
+        payload = envelope.get("payload")
+        recorded = envelope.get("sha256")
+        actual = _payload_sha256(payload)
+        if recorded != actual:
+            raise StoreIntegrityError(
+                f"artifact {name!r} of {fingerprint[:12]} is corrupt: "
+                f"recorded sha256 {recorded} != recomputed {actual}")
+        return payload
+
+    def has(self, fingerprint: str, name: str) -> bool:
+        return os.path.exists(self.entry_path(fingerprint, name))
+
+    def artifact_names(self, fingerprint: str) -> List[str]:
+        """Artifacts present for one fingerprint, sorted by name."""
+        run_dir = self._run_dir(fingerprint)
+        if not os.path.isdir(run_dir):
+            return []
+        names = []
+        for entry in os.listdir(run_dir):
+            if not entry.endswith(".json") or entry == _META_FILE:
+                continue
+            names.append(entry[:-len(".json")])
+        return sorted(names)
+
+    def fingerprints(self) -> List[str]:
+        """Every study fingerprint with a directory in the store."""
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return []
+        found = []
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for fingerprint in sorted(os.listdir(shard_dir)):
+                if _FINGERPRINT_RE.match(fingerprint):
+                    found.append(fingerprint)
+        return found

@@ -1,0 +1,44 @@
+"""Pin the study's artifact enumeration -- the results store's contract.
+
+``StudyArtifacts.ANALYSES`` is what the serve layer enumerates, stores
+and fingerprints per study. Changing it (adding an analysis, renaming
+a figure) must be a conscious, reviewed act: these tests pin the exact
+key set and the documented key order of ``compute_all``.
+"""
+
+import inspect
+
+from repro.core.study import StudyArtifacts
+
+PINNED_ANALYSES = ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                   "fig7", "fig8", "summary")
+
+
+def test_analyses_tuple_is_pinned():
+    assert StudyArtifacts.ANALYSES == PINNED_ANALYSES
+    assert StudyArtifacts.artifact_names() == PINNED_ANALYSES
+
+
+def test_every_analysis_is_a_zero_arg_method():
+    for name in StudyArtifacts.ANALYSES:
+        method = getattr(StudyArtifacts, name)
+        assert callable(method), name
+        parameters = inspect.signature(method).parameters
+        assert list(parameters) == ["self"], name
+
+
+def test_compute_all_key_order_serial_and_parallel(mini_artifacts):
+    serial = mini_artifacts.compute_all()
+    assert tuple(serial) == PINNED_ANALYSES
+    parallel = mini_artifacts.compute_all(workers=3)
+    assert tuple(parallel) == PINNED_ANALYSES
+    # Same cached objects either way: compute_all never recomputes a
+    # memoized analysis.
+    for name in PINNED_ANALYSES:
+        assert serial[name] is parallel[name]
+
+
+def test_serve_enumeration_extends_analyses():
+    from repro.serve.service import DERIVED_ARTIFACTS, artifact_names
+
+    assert artifact_names() == PINNED_ANALYSES + DERIVED_ARTIFACTS

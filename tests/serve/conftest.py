@@ -1,0 +1,30 @@
+"""Shared serve-suite fixtures: one ci-scale study behind one store.
+
+The ci-scale study (8 students over two February weeks) runs in a few
+seconds; it is computed once per session through a StudyService so the
+suite can assert against both the resulting artifacts and the store
+that served them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.serve.service import StudyService
+from repro.serve.store import ArtifactStore
+
+
+@pytest.fixture(scope="session")
+def ci_config():
+    return StudyConfig.ci_scale()
+
+
+@pytest.fixture(scope="session")
+def populated_store(tmp_path_factory, ci_config):
+    """A store holding every artifact of one ci-scale run."""
+    store = ArtifactStore(str(tmp_path_factory.mktemp("serve-store")))
+    service = StudyService(store)
+    result = service.query(ci_config)
+    assert result.computed  # the fixture itself did the computing
+    return store

@@ -1,0 +1,212 @@
+"""The regression gate: baselines, tolerances, perturbations, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro import LockdownStudy
+from repro.analysis.expectations import evaluate_all, outcomes_payload
+from repro.serve.evaluate import (
+    BASELINE_SCHEMA,
+    DEFAULT_TOLERANCES,
+    REGRESSED,
+    Tolerance,
+    compare_to_baseline,
+    drop_coverage_day,
+    load_baseline,
+    make_baseline,
+    save_baseline,
+)
+from repro.serve.fingerprint import study_fingerprint
+
+
+@pytest.fixture(scope="module")
+def ci_artifacts(ci_config):
+    return LockdownStudy(ci_config).run()
+
+
+@pytest.fixture(scope="module")
+def ci_baseline(ci_config, ci_artifacts):
+    outcomes = outcomes_payload(evaluate_all(ci_artifacts))["outcomes"]
+    return make_baseline(ci_config, outcomes,
+                         ci_artifacts.summary().metrics(),
+                         generated_at="2026-01-01T00:00:00Z")
+
+
+def _evaluate(ci_config, artifacts, baseline):
+    outcomes = outcomes_payload(evaluate_all(artifacts))["outcomes"]
+    return compare_to_baseline(
+        baseline, outcomes, artifacts.summary().metrics(),
+        fingerprint=study_fingerprint(ci_config))
+
+
+# -- tolerances -------------------------------------------------------------
+
+def test_tolerance_semantics():
+    tol = Tolerance(rel=0.01, abs=0.5)
+    assert tol.within(100.0, 101.0)
+    assert tol.within(100.0, 101.5)
+    assert not tol.within(100.0, 101.6)
+    assert tol.within(0.0, 0.5)
+    assert not tol.within(0.0, 0.6)
+    assert Tolerance.from_payload(tol.to_payload()) == tol
+
+
+def test_integer_census_tolerances_are_exact():
+    for name in ("peak_active_devices", "coverage_affected_days"):
+        tol = DEFAULT_TOLERANCES[name]
+        assert tol.within(5, 5)
+        assert not tol.within(5, 6)
+
+
+# -- round trip -------------------------------------------------------------
+
+def test_fresh_run_passes_its_own_baseline(ci_config, ci_artifacts,
+                                           ci_baseline):
+    """The golden-path acceptance criterion: exit code 0, nothing
+    regressed, baseline FAILs reported as known rather than gating."""
+    report = _evaluate(ci_config, ci_artifacts, ci_baseline)
+    assert report.exit_code == 0
+    assert report.regressed == []
+    counts = report.counts()
+    assert counts[REGRESSED] == 0
+    assert counts["PASS"] > 0
+    # ci-scale runs outside the shutdown window, so some expectations
+    # legitimately FAIL -- identically in baseline and run.
+    assert report.fingerprint == report.baseline_fingerprint
+
+
+def test_baseline_round_trips_through_disk(tmp_path, ci_config,
+                                           ci_artifacts, ci_baseline):
+    path = str(tmp_path / "baseline.json")
+    save_baseline(path, ci_baseline)
+    report = _evaluate(ci_config, ci_artifacts, load_baseline(path))
+    assert report.exit_code == 0
+
+
+def test_load_baseline_rejects_wrong_schema(tmp_path, ci_baseline):
+    path = str(tmp_path / "baseline.json")
+    save_baseline(path, {**ci_baseline, "schema": BASELINE_SCHEMA + 1})
+    with pytest.raises(ValueError, match="unsupported baseline schema"):
+        load_baseline(path)
+    save_baseline(path, {"not": "a baseline", "schema": BASELINE_SCHEMA})
+    with pytest.raises(ValueError, match="not a repro eval baseline"):
+        load_baseline(path)
+
+
+# -- regressions ------------------------------------------------------------
+
+def test_dropped_coverage_day_regresses_by_name(ci_config, ci_artifacts,
+                                                ci_baseline):
+    """The seeded perturbation: one lost telemetry day must be caught
+    and must name the offending metric."""
+    perturbed = drop_coverage_day(ci_artifacts, day_index=4)
+    report = _evaluate(ci_config, perturbed, ci_baseline)
+    assert report.exit_code == 1
+    assert "metric:coverage_affected_days" in report.regressed
+    record = next(r for r in report.records
+                  if r.name == "coverage_affected_days")
+    assert record.status == REGRESSED
+    assert record.expected == 0 and record.measured == 1
+    assert "coverage_affected_days" in report.render()
+
+
+def test_drop_coverage_day_rejects_out_of_window(ci_artifacts):
+    with pytest.raises(ValueError, match="outside study window"):
+        drop_coverage_day(ci_artifacts, day_index=10_000)
+
+
+def test_tampered_metric_regresses(ci_config, ci_artifacts, ci_baseline):
+    tampered = copy.deepcopy(ci_baseline)
+    tampered["metrics"]["peak_active_devices"] += 1
+    report = _evaluate(ci_config, ci_artifacts, tampered)
+    assert report.regressed == ["metric:peak_active_devices"]
+    assert report.exit_code == 1
+
+
+def test_expectation_drop_regresses(ci_config, ci_artifacts, ci_baseline):
+    """A baseline PASS that now FAILs is a regression; a baseline FAIL
+    that now FAILs is merely known."""
+    promoted = copy.deepcopy(ci_baseline)
+    name = next(n for n, entry in promoted["outcomes"].items()
+                if entry["status"] == "FAIL")
+    promoted["outcomes"][name]["status"] = "PASS"
+    report = _evaluate(ci_config, ci_artifacts, promoted)
+    assert f"expectation:{name}" in report.regressed
+
+
+def test_expectation_improvement_does_not_gate(ci_config, ci_artifacts,
+                                               ci_baseline):
+    demoted = copy.deepcopy(ci_baseline)
+    name = next(n for n, entry in demoted["outcomes"].items()
+                if entry["status"] == "PASS")
+    demoted["outcomes"][name]["status"] = "FAIL"
+    report = _evaluate(ci_config, ci_artifacts, demoted)
+    assert report.exit_code == 0
+    record = next(r for r in report.records if r.name == name)
+    assert record.status == "PASS"
+    assert "improved" in record.detail
+
+
+def test_missing_metric_and_new_names(ci_config, ci_artifacts,
+                                      ci_baseline):
+    widened = copy.deepcopy(ci_baseline)
+    widened["metrics"]["metric_of_the_future"] = 42.0
+    report = _evaluate(ci_config, ci_artifacts, widened)
+    assert "metric:metric_of_the_future" in report.regressed
+
+    # The reverse direction -- names new since the baseline -- never
+    # gates.
+    narrowed = copy.deepcopy(ci_baseline)
+    del narrowed["metrics"]["peak_active_devices"]
+    del narrowed["outcomes"][next(iter(narrowed["outcomes"]))]
+    report = _evaluate(ci_config, ci_artifacts, narrowed)
+    assert report.exit_code == 0
+
+
+def test_report_payload_shape(ci_config, ci_artifacts, ci_baseline):
+    report = _evaluate(ci_config, ci_artifacts, ci_baseline)
+    payload = report.to_payload()
+    assert payload["schema"] == BASELINE_SCHEMA
+    assert payload["fingerprint_match"] is True
+    assert payload["regressed"] == []
+    assert len(payload["records"]) == len(report.records)
+    assert {r["kind"] for r in payload["records"]} == {"expectation",
+                                                       "metric"}
+    json.dumps(payload)  # machine-readable means JSON-serializable
+
+
+# -- CLI end to end ---------------------------------------------------------
+
+def test_cli_eval_round_trip(tmp_path, monkeypatch):
+    """write-baseline -> eval (exit 0) -> perturbed eval (exit 1)."""
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    baseline = str(tmp_path / "baseline.json")
+
+    assert main(["eval", "--preset", "ci", "--baseline", baseline,
+                 "--write-baseline"]) == 0
+
+    report_path = str(tmp_path / "report.json")
+    assert main(["eval", "--baseline", baseline,
+                 "--report-out", report_path]) == 0
+    clean = json.load(open(report_path))
+    assert clean["counts"]["REGRESSED"] == 0
+    assert clean["fingerprint_match"] is True
+
+    assert main(["eval", "--baseline", baseline,
+                 "--perturb", "drop-coverage-day:4",
+                 "--report-out", report_path]) == 1
+    perturbed = json.load(open(report_path))
+    assert "metric:coverage_affected_days" in perturbed["regressed"]
+
+
+def test_cli_eval_rejects_unknown_perturbation():
+    from repro.cli import _parse_perturbation
+
+    with pytest.raises(SystemExit, match="unknown perturbation"):
+        _parse_perturbation("melt-the-routers:1")
+    assert _parse_perturbation(None) is None
+    assert _parse_perturbation("drop-coverage-day:12") == 12

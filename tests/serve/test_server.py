@@ -1,0 +1,112 @@
+"""HTTP front end: routes, status codes, compute-on-demand."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.fingerprint import study_fingerprint
+from repro.serve.server import ArtifactServer
+from repro.serve.service import StudyService, artifact_names
+from repro.serve.store import ArtifactStore
+
+
+@pytest.fixture(scope="module")
+def server(populated_store):
+    instance = ArtifactServer(populated_store, port=0).start_background()
+    yield instance
+    instance.shutdown()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get_error(server, path):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, path)
+    return excinfo.value.code, json.loads(excinfo.value.read())
+
+
+def test_health(server):
+    status, payload = _get(server, "/health")
+    assert status == 200
+    assert payload == {"status": "ok", "fingerprints": 1}
+
+
+def test_fingerprint_listing(server, ci_config):
+    status, payload = _get(server, "/fingerprints")
+    assert status == 200
+    (run,) = payload["fingerprints"]
+    assert run["fingerprint"] == study_fingerprint(ci_config)
+    assert run["scenario"] == "lockdown-2020"
+    assert sorted(run["artifacts"]) == sorted(artifact_names())
+
+
+def test_artifact_inventory_and_payload(server, ci_config):
+    fingerprint = study_fingerprint(ci_config)
+    status, listing = _get(server, f"/artifacts/{fingerprint}")
+    assert status == 200
+    assert "summary" in listing["artifacts"]
+
+    status, artifact = _get(server, f"/artifacts/{fingerprint}/summary")
+    assert status == 200
+    assert artifact["source"] == "store"
+    assert "peak_active_devices" in artifact["payload"]
+
+
+def test_unknown_paths_404(server, ci_config):
+    fingerprint = study_fingerprint(ci_config)
+    for path in ("/bogus",
+                 "/artifacts/" + "00" * 32,
+                 f"/artifacts/{fingerprint}/fig99",
+                 f"/artifacts/{fingerprint}/summary/extra"):
+        code, payload = _get_error(server, path)
+        assert code == 404, path
+        assert "error" in payload
+
+
+def test_invalid_fingerprint_400(server):
+    code, payload = _get_error(server, "/artifacts/NOT-HEX")
+    assert code == 400
+    assert "invalid fingerprint" in payload["error"]
+
+
+def test_compute_on_demand(populated_store, ci_config):
+    """A deleted entry 404s read-only but comes back with ?compute=1.
+
+    Uses its own server so the module-scoped one never observes the
+    temporarily missing artifact.
+    """
+    import os
+
+    fingerprint = study_fingerprint(ci_config)
+    os.remove(populated_store.entry_path(fingerprint, "summary"))
+    server = ArtifactServer(
+        populated_store,
+        service=StudyService(populated_store)).start_background()
+    try:
+        code, _ = _get_error(server, f"/artifacts/{fingerprint}/summary")
+        assert code == 404
+        status, artifact = _get(
+            server, f"/artifacts/{fingerprint}/summary?compute=1")
+        assert status == 200
+        assert artifact["source"] == "computed"
+        assert "peak_active_devices" in artifact["payload"]
+        assert populated_store.has(fingerprint, "summary")
+    finally:
+        server.shutdown()
+
+
+def test_compute_without_meta_404s(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    server = ArtifactServer(store).start_background()
+    try:
+        code, payload = _get_error(
+            server, "/artifacts/" + "12" * 32 + "/summary?compute=1")
+        assert code == 404
+        assert "could not be computed" in payload["error"]
+    finally:
+        server.shutdown()

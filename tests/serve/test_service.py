@@ -1,0 +1,112 @@
+"""StudyService: cache-or-compute with auditable counters."""
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.core.study import StudyArtifacts
+from repro.serve.fingerprint import study_fingerprint
+from repro.serve.service import DERIVED_ARTIFACTS, StudyService, artifact_names
+from repro.serve.store import ArtifactStore
+
+
+def test_known_artifacts_follow_the_study_enumeration():
+    assert artifact_names() == tuple(StudyArtifacts.ANALYSES) + DERIVED_ARTIFACTS
+    assert DERIVED_ARTIFACTS == ("outcomes",)
+
+
+def test_unknown_artifact_name_is_rejected(tmp_path, ci_config):
+    service = StudyService(ArtifactStore(str(tmp_path)))
+    with pytest.raises(ValueError, match="unknown artifact"):
+        service.query(ci_config, names=("fig99",))
+
+
+def test_unknown_scenario_is_rejected(tmp_path, ci_config):
+    service = StudyService(ArtifactStore(str(tmp_path)))
+    with pytest.raises(ValueError, match="unknown scenario"):
+        service.query(ci_config, scenario="moon-landing")
+
+
+def test_first_query_computes_then_second_serves(populated_store, ci_config):
+    """The acceptance criterion: a repeated query is a pure store hit.
+
+    ``populated_store`` already ran the study (in a different service
+    instance), so a *fresh* service -- as a new process would build --
+    must serve everything without a single study run.
+    """
+    service = StudyService(populated_store)
+    result = service.query(ci_config)
+
+    assert result.fingerprint == study_fingerprint(ci_config)
+    assert result.computed == ()
+    assert result.served == artifact_names()
+    assert set(result.payloads) == set(artifact_names())
+    assert service.counters_snapshot() == {
+        "artifacts_served": len(artifact_names()),
+        "artifacts_computed": 0,
+        "studies_run": 0,
+    }
+
+
+def test_single_run_backfills_every_artifact(tmp_path, ci_config):
+    """One query for one figure still stores the whole study."""
+    store = ArtifactStore(str(tmp_path))
+    service = StudyService(store)
+    result = service.query(ci_config, names=("summary",))
+
+    assert set(result.payloads) == {"summary"}
+    assert set(result.computed) == set(artifact_names())
+    assert service.counters["studies_run"] == 1
+    assert (store.artifact_names(result.fingerprint)
+            == sorted(artifact_names()))
+    meta = store.get_meta(result.fingerprint)
+    assert meta["scenario"] == result.scenario
+    assert StudyConfig.from_payload(meta["config"]) == ci_config
+
+
+def test_compute_false_serves_only_whats_stored(tmp_path, ci_config):
+    service = StudyService(ArtifactStore(str(tmp_path)))
+    result = service.query(ci_config, compute=False)
+    assert result.payloads == {}
+    assert result.computed == ()
+    assert service.counters["studies_run"] == 0
+
+
+def test_query_fingerprint_round_trip(populated_store, ci_config):
+    """The stored meta is enough to answer by fingerprint alone."""
+    service = StudyService(populated_store)
+    fingerprint = study_fingerprint(ci_config)
+    result = service.query_fingerprint(fingerprint, names=("summary",))
+    assert result.served == ("summary",)
+    assert "peak_active_devices" in result.payloads["summary"]
+    assert service.counters["studies_run"] == 0
+
+
+def test_query_fingerprint_without_meta_serves_present_entries(tmp_path):
+    store = ArtifactStore(str(tmp_path))
+    fingerprint = "ef" * 32
+    store.put(fingerprint, "summary", {"peak_active_devices": 3})
+    service = StudyService(store)
+    result = service.query_fingerprint(fingerprint)
+    assert result.served == ("summary",)
+    assert result.payloads["summary"] == {"peak_active_devices": 3}
+
+
+def test_summary_payload_matches_metric_keys(populated_store, ci_config):
+    from repro.analysis.summary import SummaryStats
+
+    service = StudyService(populated_store)
+    summary = service.query(ci_config, names=("summary",)).payloads["summary"]
+    assert set(SummaryStats.METRIC_KEYS) <= set(summary)
+
+
+def test_outcomes_payload_shape(populated_store, ci_config):
+    from repro.analysis.expectations import expectation_ids
+
+    service = StudyService(populated_store)
+    outcomes = service.query(ci_config, names=("outcomes",)).payloads["outcomes"]
+    assert outcomes["schema"] == 1
+    assert sorted(outcomes["outcomes"]) == sorted(expectation_ids())
+    statuses = {entry["status"] for entry in outcomes["outcomes"].values()}
+    assert statuses <= {"PASS", "FAIL", "SKIP"}
+    assert (sum(outcomes["counts"].values())
+            == len(outcomes["outcomes"]))

@@ -1,0 +1,95 @@
+"""ArtifactStore: round trips, integrity checks, hostile names."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.store import ArtifactStore, StoreIntegrityError
+
+FP = "ab" * 32  # a well-formed 64-hex fingerprint
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "store"))
+
+
+def test_round_trip_preserves_payload(store):
+    payload = {"total": [1, 2, 3], "by_class": {"mobile": [4, 5, 6]},
+               "nan_free": None, "nested": {"deep": [{"x": 1.5}]}}
+    digest = store.put(FP, "fig1", payload)
+    assert len(digest) == 64
+    assert store.has(FP, "fig1")
+    assert store.get(FP, "fig1") == payload
+
+
+def test_store_layout_is_sharded_by_prefix(store):
+    store.put(FP, "summary", {"peak": 21})
+    expected = os.path.join(store.root, "objects", FP[:2], FP,
+                            "summary.json")
+    assert store.entry_path(FP, "summary") == expected
+    assert os.path.exists(expected)
+
+
+def test_missing_artifact(store):
+    assert not store.has(FP, "fig1")
+    assert store.artifact_names(FP) == []
+    assert store.fingerprints() == []
+    with pytest.raises(FileNotFoundError):
+        store.get(FP, "fig1")
+
+
+def test_listing(store):
+    store.put(FP, "fig2", {"a": 1})
+    store.put(FP, "fig1", {"b": 2})
+    store.put_meta(FP, {"scenario": "lockdown-2020"})
+    other = "cd" * 32
+    store.put(other, "summary", {})
+    assert store.artifact_names(FP) == ["fig1", "fig2"]
+    assert store.fingerprints() == [FP, other]
+    assert store.get_meta(FP) == {"scenario": "lockdown-2020"}
+    assert store.get_meta(other) is None
+
+
+def test_tampered_entry_is_refused(store):
+    store.put(FP, "summary", {"peak_active_devices": 21})
+    path = store.entry_path(FP, "summary")
+    with open(path) as fileobj:
+        envelope = json.load(fileobj)
+    envelope["payload"]["peak_active_devices"] = 9999
+    with open(path, "w") as fileobj:
+        json.dump(envelope, fileobj)
+    with pytest.raises(StoreIntegrityError, match="summary.*corrupt"):
+        store.get(FP, "summary")
+
+
+def test_overwrite_replaces_cleanly(store):
+    store.put(FP, "summary", {"v": 1})
+    store.put(FP, "summary", {"v": 2})
+    assert store.get(FP, "summary") == {"v": 2}
+    assert store.artifact_names(FP) == ["summary"]
+
+
+@pytest.mark.parametrize("name", [
+    "../evil", "a/b", "", ".hidden", "UPPER", "x" * 65, "meta.json",
+])
+def test_hostile_artifact_names_are_rejected(store, name):
+    with pytest.raises(ValueError, match="invalid artifact name"):
+        store.put(FP, name, {})
+
+
+@pytest.mark.parametrize("fingerprint", [
+    "", "xyz", "AB" * 32, "ab" * 40, "../../etc", "abc-def",
+])
+def test_hostile_fingerprints_are_rejected(store, fingerprint):
+    with pytest.raises(ValueError, match="invalid fingerprint"):
+        store.put(fingerprint, "summary", {})
+
+
+def test_no_tmp_droppings_after_writes(store):
+    store.put(FP, "fig1", {"x": list(range(100))})
+    store.put_meta(FP, {"scenario": "lockdown-2020"})
+    run_dir = os.path.dirname(store.entry_path(FP, "fig1"))
+    assert not [entry for entry in os.listdir(run_dir)
+                if entry.endswith(".tmp")]
