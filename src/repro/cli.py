@@ -32,17 +32,7 @@ from repro.analysis.expectations import (
     outcomes_payload,
     render_outcomes,
 )
-from repro.core.report import (
-    render_fig1,
-    render_fig2,
-    render_fig3,
-    render_fig4,
-    render_fig5,
-    render_fig6,
-    render_fig7,
-    render_fig8,
-    render_summary,
-)
+from repro.core.report import render_full_report
 from repro.pipeline.store import load_dataset, save_dataset
 
 _CONFIG_FILE = "config.json"
@@ -55,18 +45,7 @@ def _progress(message: str) -> None:
 
 
 def _full_report(artifacts) -> str:
-    sections = [
-        render_summary(artifacts.summary()),
-        render_fig1(artifacts.fig1()),
-        render_fig2(artifacts.fig2()),
-        render_fig3(artifacts.fig3()),
-        render_fig4(artifacts.fig4()),
-        render_fig5(artifacts.fig5()),
-        render_fig6(artifacts.fig6()),
-        render_fig7(artifacts.fig7()),
-        render_fig8(artifacts.fig8()),
-    ]
-    return "\n\n".join(sections)
+    return render_full_report(artifacts)
 
 
 def _save_config(config: StudyConfig, directory: str) -> None:
@@ -85,6 +64,7 @@ def _load_config(directory: str) -> StudyConfig:
 #: Named configurations selectable via ``--preset``.
 _PRESETS = {
     "ci": StudyConfig.ci_scale,
+    "chaos": StudyConfig.chaos_scale,
     "laptop": StudyConfig.laptop_scale,
     "eval-small": StudyConfig.eval_scale,
     "recorded": StudyConfig.recorded_scale,
@@ -112,10 +92,59 @@ def _utc_stamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def _run_config(args: argparse.Namespace) -> StudyConfig:
+    if getattr(args, "preset", None):
+        config = _PRESETS[args.preset]()
+        return StudyConfig.from_payload({
+            **config.to_payload(),
+            "seed": (args.seed if args.seed is not None
+                     else config.seed),
+            "max_shard_retries": args.max_retries,
+            "dhcp_staleness_seconds": args.dhcp_staleness,
+        })
+    return StudyConfig(
+        n_students=args.students if args.students is not None else 100,
+        seed=args.seed if args.seed is not None else 7,
+        max_shard_retries=args.max_retries,
+        dhcp_staleness_seconds=args.dhcp_staleness)
+
+
+def _cmd_run_journaled(args: argparse.Namespace) -> int:
+    from repro.core.runner import JournaledRun
+
+    if args.resume_run:
+        # The journal is the source of truth on resume; only pass a
+        # config (for the fingerprint cross-check, or to restart an
+        # empty journal) when the user actually specified one.
+        explicit = (args.preset is not None
+                    or args.students is not None
+                    or args.seed is not None)
+        run = JournaledRun.resume(
+            args.journal_dir, args.resume_run,
+            config=_run_config(args) if explicit else None,
+            workers=args.workers, store_root=args.store)
+    else:
+        run = JournaledRun.start(args.journal_dir,
+                                 config=_run_config(args),
+                                 workers=args.workers,
+                                 run_id=args.run_id,
+                                 store_root=args.store)
+    started = time.time()
+    result = run.execute(progress=_progress)
+    _progress(f"run {result.run_id} completed in "
+              f"{time.time() - started:.0f}s "
+              f"(executed={list(result.executed)} "
+              f"replayed={list(result.replayed)})")
+    print(result.report_text)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = StudyConfig(n_students=args.students, seed=args.seed,
-                         max_shard_retries=args.max_retries,
-                         dhcp_staleness_seconds=args.dhcp_staleness)
+    if args.journal_dir:
+        return _cmd_run_journaled(args)
+    if args.resume_run or args.run_id:
+        raise SystemExit("--run-id/--resume-run require --journal-dir")
+    config = _run_config(args)
     study = LockdownStudy(config)
     started = time.time()
     artifacts = study.run(progress=_progress, workers=args.workers,
@@ -362,8 +391,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser(
         "run", help="run a study and print/persist the figure report")
-    run.add_argument("--students", type=int, default=100)
-    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--preset", choices=sorted(_PRESETS), default=None,
+                     help="named configuration (overrides --students)")
+    run.add_argument("--students", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None)
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes for sharded parallel ingest "
                           "(1 = serial; results are equivalent)")
@@ -393,6 +424,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="refuse to analyze a run with telemetry gaps "
                           "instead of degrading (guarantees bit-identical "
                           "figures vs. a clean run)")
+    run.add_argument("--journal-dir", type=str, default=None,
+                     help="run under the crash-safe journaled runner: "
+                          "each run gets a directory here with a durable "
+                          "write-ahead journal, per-stage outputs and an "
+                          "artifact store (ignores --out)")
+    run.add_argument("--run-id", type=str, default=None,
+                     help="explicit run id for a new journaled run "
+                          "(default: derived from the config fingerprint)")
+    run.add_argument("--resume-run", type=str, default=None,
+                     help="resume the journaled run with this id: replay "
+                          "completed stages from the journal, re-execute "
+                          "only the in-flight one")
+    run.add_argument("--store", type=str, default=None,
+                     help="artifact-store root for the journaled publish "
+                          "stage (default: <run-dir>/store)")
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(

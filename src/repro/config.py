@@ -114,6 +114,20 @@ class StudyConfig:
         return cls(n_students=300, seed=seed)
 
     @classmethod
+    def chaos_scale(cls, seed: int = 11) -> "StudyConfig":
+        """One-week micro window for crash/fault-injection chaos runs.
+
+        Small enough that the SIGKILL-at-every-barrier resume matrix
+        (:mod:`repro.reliability.crashmatrix`) runs a full
+        kill-then-resume cycle in a couple of seconds, while still
+        producing every stage output a real run has."""
+        from repro.util.timeutil import utc_ts
+        return cls(n_students=4, seed=seed,
+                   start_ts=utc_ts(2020, 2, 1),
+                   end_ts=utc_ts(2020, 2, 8),
+                   visitor_min_days=2)
+
+    @classmethod
     def eval_scale(cls, seed: int = 7) -> "StudyConfig":
         """Full four-month window at the smallest scale that still
         exercises every figure; the committed golden baseline behind

@@ -173,3 +173,23 @@ def render_summary(stats: SummaryStats) -> str:
                  f"{stats.distinct_sites_aprmay:.1f} "
                  f"({stats.distinct_sites_increase:+.0%})")
     return "\n".join(lines)
+
+
+def render_full_report(artifacts) -> str:
+    """Every section, summary first -- the canonical run report.
+
+    Shared by the CLI ``report`` path and the journaled runner's
+    ``report.txt`` stage output, so both render byte-identically.
+    """
+    sections = [
+        render_summary(artifacts.summary()),
+        render_fig1(artifacts.fig1()),
+        render_fig2(artifacts.fig2()),
+        render_fig3(artifacts.fig3()),
+        render_fig4(artifacts.fig4()),
+        render_fig5(artifacts.fig5()),
+        render_fig6(artifacts.fig6()),
+        render_fig7(artifacts.fig7()),
+        render_fig8(artifacts.fig8()),
+    ]
+    return "\n\n".join(sections)

@@ -303,14 +303,22 @@ class LockdownStudy:
     # -- reconstruction from saved data --------------------------------------
 
     @classmethod
-    def artifacts_from_dataset(cls, config: StudyConfig,
-                               dataset: FlowDataset) -> StudyArtifacts:
+    def artifacts_from_dataset(
+            cls, config: StudyConfig, dataset: FlowDataset, *,
+            coverage: Optional[CoverageReport] = None,
+            pipeline_stats: Optional[PipelineStats] = None,
+    ) -> StudyArtifacts:
         """Rebuild analysis artifacts around a saved (filtered) dataset.
 
         The address plan, OUI registry and signatures are deterministic
         functions of the catalog, so a dataset persisted with
         :func:`repro.pipeline.store.save_dataset` is enough to recompute
         every figure without re-running the simulation or pipeline.
+        Passing the run's saved ``coverage`` and ``pipeline_stats``
+        sidecars back in makes the rebuilt artifacts match
+        :meth:`run`'s exactly (the journaled-resume path relies on
+        this); without them the artifacts carry no coverage and
+        zeroed counters.
         """
         generator = CampusTraceGenerator(config)
         classification = DeviceClassifier(
@@ -318,7 +326,7 @@ class LockdownStudy:
         midpoints = InternationalClassifier(
             generator.plan.geo_db,
             config.geo_excluded_domains).classify(dataset)
-        context = AnalysisContext(dataset)
+        context = AnalysisContext(dataset, coverage=coverage)
         return StudyArtifacts(
             config=config,
             generator=generator,
@@ -330,8 +338,10 @@ class LockdownStudy:
             post_shutdown_mask=post_shutdown_device_mask(
                 dataset, bitmap=context.day_bitmap()),
             signatures=default_registry(generator.plan.zoom_publication()),
-            pipeline_stats=PipelineStats(),
+            pipeline_stats=(pipeline_stats if pipeline_stats is not None
+                            else PipelineStats()),
             context=context,
+            coverage=coverage,
         )
 
     # -- no-pandemic counterfactual -------------------------------------------

@@ -92,7 +92,7 @@ from repro.pipeline.pipeline import MonitoringPipeline, PipelineStats
 from repro.reliability.checkpoint import CheckpointStore
 from repro.reliability.coverage import CoverageReport
 from repro.reliability.errors import CheckpointError, ShardError, is_transient
-from repro.reliability.faults import FaultPlan, LogGap
+from repro.reliability.faults import FaultPlan, LogGap, maybe_crash
 from repro.reliability.retry import RetryPolicy
 from repro.reliability.watchdog import (
     ShardWatchdog,
@@ -347,6 +347,11 @@ class ParallelPipeline:
         self.watchdog_policy = watchdog_policy
         self._clock = clock
         self._timeouts = 0
+        #: Cumulative backoff requested per shard index; what the retry
+        #: policy's ``total_deadline`` is charged against. Tracked as
+        #: the sum of scheduled delays (never a wall clock) so the
+        #: retry schedule stays bit-reproducible.
+        self._retry_elapsed: Dict[int, float] = {}
         #: Accounting for the last pool run (submitted/completed/
         #: cancelled/orphaned futures); lets tests assert that a failed
         #: run leaked nothing. ``None`` until a pool run happens.
@@ -373,6 +378,7 @@ class ParallelPipeline:
                f"{self.workers} worker(s)")
 
         self._timeouts = 0
+        self._retry_elapsed = {}
         store = self._open_store(report)
         outcomes: Dict[int, Tuple[FlowDataset, PipelineStats,
                                   CoverageReport]] = {}
@@ -409,6 +415,10 @@ class ParallelPipeline:
                 outcome = (outcome[0].canonicalize(), outcome[1],
                            outcome[2])
                 store.save_shard(index, *outcome)
+                # Mid-stage SIGKILL point for the crash-chaos harness:
+                # some shards checkpointed, the stage's journal record
+                # not yet written.
+                maybe_crash("mid:ingest:shard")
             outcomes[index] = outcome
 
         if not todo:
@@ -435,12 +445,14 @@ class ParallelPipeline:
                        f"{source} {coverage.fraction(source):.3f}"
                        for source in ("conn", "dhcp", "dns")))
         stats = PipelineStats.merged(shard_stats)
-        if invalid_checkpoints or self._timeouts:
+        orphans_swept = store.orphans_swept if store is not None else 0
+        if invalid_checkpoints or self._timeouts or orphans_swept:
             # Parent-side supervision counters: never checkpointed per
             # shard, folded in after the merge.
             stats = stats.merge(PipelineStats(
                 checkpoints_invalid=invalid_checkpoints,
-                shard_timeouts=self._timeouts))
+                shard_timeouts=self._timeouts,
+                checkpoint_orphans_swept=orphans_swept))
         return ParallelResult(
             dataset=merged,
             stats=stats,
@@ -464,14 +476,21 @@ class ParallelPipeline:
             store.clear()
         return store
 
+    def _allows_retry(self, index: int, attempt: int) -> bool:
+        """Attempt budget *and* the policy's cumulative-delay deadline."""
+        return self.retry_policy.allows_retry(
+            attempt, self._retry_elapsed.get(index, 0.0))
+
     def _backoff(self, spec: ShardSpec, attempt: int,
                  cause: BaseException, report: ProgressFn) -> None:
-        delay = self.retry_policy.delay(spec.index, attempt)
+        elapsed = self._retry_elapsed.get(spec.index, 0.0)
+        delay = self.retry_policy.delay(spec.index, attempt, elapsed)
         report(f"shard {spec.index + 1}/{spec.n_shards} attempt "
                f"{attempt + 1} failed transiently ({cause!r}); "
                f"retrying in {delay:.2f}s")
         if delay > 0:
             time.sleep(delay)
+        self._retry_elapsed[spec.index] = elapsed + delay
 
     def _run_inline(self, tasks, complete, report) -> Dict[int, int]:
         attempts: Dict[int, int] = {}
@@ -485,7 +504,8 @@ class ParallelPipeline:
                 # the rest re-raise wrapped as ShardFailure.
                 except Exception as exc:
                     if (is_transient(exc)
-                            and self.retry_policy.allows_retry(attempt)):
+                            and self._allows_retry(task.spec.index,
+                                                   attempt)):
                         self._backoff(task.spec, attempt, exc, report)
                         attempt += 1
                         continue
@@ -539,7 +559,7 @@ class ParallelPipeline:
             pool.shutdown(wait=True)
             for victim in doomed:
                 attempt = attempts[victim.spec.index]
-                if not self.retry_policy.allows_retry(attempt):
+                if not self._allows_retry(victim.spec.index, attempt):
                     raise ShardFailure(victim.spec, exc,
                                        attempt + 1) from exc
             report(f"worker pool died ({exc!r}); rebuilding with "
@@ -580,7 +600,7 @@ class ParallelPipeline:
                         f"circuit breaker open: {strikes} consecutive "
                         f"watchdog timeouts"), attempts[index] + 1)
                 attempt = attempts[index]
-                if not self.retry_policy.allows_retry(attempt):
+                if not self._allows_retry(index, attempt):
                     raise ShardFailure(victim.spec, cause, attempt + 1)
                 self._backoff(victim.spec, attempt, cause, report)
                 attempts[index] += 1
@@ -643,7 +663,7 @@ class ParallelPipeline:
                 except Exception as exc:
                     attempt = attempts[spec.index]
                     if (is_transient(exc)
-                            and self.retry_policy.allows_retry(attempt)):
+                            and self._allows_retry(spec.index, attempt)):
                         self._backoff(spec, attempt, exc, report)
                         attempts[spec.index] += 1
                         pending.append(task)

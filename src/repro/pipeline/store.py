@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.pipeline.dataset import DeviceProfile, FlowDataset
 from repro.pipeline.pipeline import PipelineStats
+from repro.reliability.atomic import replacing, write_text
 
 #: Format marker written into the sidecar; bump on breaking changes.
 FORMAT_VERSION = 1
@@ -28,20 +29,30 @@ def _sidecar_path(path: str) -> str:
 
 
 def save_dataset(dataset: FlowDataset, path: str) -> None:
-    """Write a dataset to ``path`` (.npz) plus a JSON sidecar."""
-    np.savez_compressed(
-        path,
-        ts=dataset.ts,
-        duration=dataset.duration,
-        device=dataset.device,
-        resp_h=dataset.resp_h,
-        resp_p=dataset.resp_p,
-        proto=dataset.proto,
-        orig_bytes=dataset.orig_bytes,
-        resp_bytes=dataset.resp_bytes,
-        domain=dataset.domain,
-        day=dataset.day,
-    )
+    """Write a dataset to ``path`` (.npz) plus a JSON sidecar.
+
+    Both files go through the atomic-write chokepoint
+    (:mod:`repro.reliability.atomic`): the ``.npz`` is staged to a
+    temp sibling, fsync'd and renamed; the sidecar is replace-written
+    after it. A crash mid-save leaves the old files (or a swept-up
+    orphan), never a torn dataset.
+    """
+    # np.savez appends .npz when missing; normalize before staging.
+    target = path if path.endswith(".npz") else path + ".npz"
+    with replacing(target) as staged:
+        np.savez_compressed(
+            staged,
+            ts=dataset.ts,
+            duration=dataset.duration,
+            device=dataset.device,
+            resp_h=dataset.resp_h,
+            resp_p=dataset.resp_p,
+            proto=dataset.proto,
+            orig_bytes=dataset.orig_bytes,
+            resp_bytes=dataset.resp_bytes,
+            domain=dataset.domain,
+            day=dataset.day,
+        )
     sidecar = {
         "format_version": FORMAT_VERSION,
         "day0": dataset.day0,
@@ -49,10 +60,7 @@ def save_dataset(dataset: FlowDataset, path: str) -> None:
         "devices": [_profile_to_json(profile)
                     for profile in dataset.devices],
     }
-    # np.savez appends .npz when missing; mirror that for the sidecar.
-    target = path if path.endswith(".npz") else path + ".npz"
-    with open(_sidecar_path(target), "w") as fileobj:
-        json.dump(sidecar, fileobj)
+    write_text(_sidecar_path(target), json.dumps(sidecar))
 
 
 def load_dataset(path: str) -> FlowDataset:
@@ -89,8 +97,7 @@ def save_stats(stats: PipelineStats, path: str) -> None:
     """Write pipeline counters as JSON (checkpoints, run artifacts)."""
     payload = {"format_version": FORMAT_VERSION,
                "counters": dataclasses.asdict(stats)}
-    with open(path, "w") as fileobj:
-        json.dump(payload, fileobj)
+    write_text(path, json.dumps(payload))
 
 
 def load_stats(path: str) -> PipelineStats:

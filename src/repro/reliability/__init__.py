@@ -19,9 +19,24 @@ them:
   coverage tracking (which seconds of which log source actually
   arrived);
 * :mod:`~repro.reliability.watchdog` -- heartbeat-based supervision
-  of shard workers (deadline, kill-and-retry, circuit breaker).
+  of shard workers (deadline, kill-and-retry, circuit breaker);
+* :mod:`~repro.reliability.atomic` -- the single atomic-write
+  chokepoint (stage, fsync, rename) every durable writer goes through,
+  plus the disk-fault injection seam;
+* :mod:`~repro.reliability.journal` -- the write-ahead run journal
+  behind crash-safe ``repro run --journal-dir`` orchestration.
 """
 
+from repro.reliability.atomic import (
+    append_line,
+    disk_faults,
+    fsync_dir,
+    is_orphan,
+    replacing,
+    sweep_orphans,
+    write_bytes,
+    write_text,
+)
 from repro.reliability.coverage import (
     CoverageReport,
     CoverageTracker,
@@ -35,21 +50,34 @@ from repro.reliability.errors import (
     CATEGORY_VALUE,
     CheckpointError,
     CoverageError,
+    DiskFullError,
+    JournalError,
     RecordError,
     ReliabilityError,
     ShardError,
+    TornWriteError,
     TransientIOError,
     is_transient,
 )
 from repro.reliability.faults import (
+    DiskFault,
+    DiskFaultInjector,
     FaultPlan,
     GappedDayTrace,
     LogGap,
     corrupt_log_lines,
+    maybe_crash,
     seeded_log_gaps,
 )
+from repro.reliability.journal import (
+    JournalRecord,
+    ResumePlan,
+    RunJournal,
+    replay,
+    resume_plan,
+)
 from repro.reliability.quarantine import QuarantinedRecord, QuarantineSink
-from repro.reliability.retry import RetryPolicy
+from repro.reliability.retry import RetryPolicy, run_with_retries
 from repro.reliability.watchdog import (
     ShardWatchdog,
     WatchdogPolicy,
@@ -77,22 +105,41 @@ __all__ = [
     "CoverageError",
     "CoverageReport",
     "CoverageTracker",
+    "DiskFault",
+    "DiskFaultInjector",
+    "DiskFullError",
     "FaultPlan",
     "GappedDayTrace",
     "IntervalSet",
+    "JournalError",
+    "JournalRecord",
     "LogGap",
     "QuarantineSink",
     "QuarantinedRecord",
     "RecordError",
     "ReliabilityError",
+    "ResumePlan",
     "RetryPolicy",
+    "RunJournal",
     "ShardError",
     "ShardWatchdog",
+    "TornWriteError",
     "TransientIOError",
     "WatchdogPolicy",
     "WatchdogTimeout",
+    "append_line",
     "corrupt_log_lines",
-    "is_transient",
+    "disk_faults",
+    "fsync_dir",
+    "is_orphan",
+    "maybe_crash",
+    "replacing",
+    "replay",
+    "resume_plan",
     "run_key",
+    "run_with_retries",
     "seeded_log_gaps",
+    "sweep_orphans",
+    "write_bytes",
+    "write_text",
 ]

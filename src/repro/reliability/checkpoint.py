@@ -43,6 +43,7 @@ from repro.pipeline.store import (
     save_dataset,
     save_stats,
 )
+from repro.reliability.atomic import sweep_orphans, write_text
 from repro.reliability.coverage import CoverageReport
 from repro.reliability.errors import CheckpointError
 
@@ -82,22 +83,33 @@ class CheckpointStore:
         self.root = root
         self.key = key
         self.directory = os.path.join(root, key)
+        #: Staged-write temp files (crash debris) removed when this
+        #: store was opened; folded into
+        #: ``PipelineStats.checkpoint_orphans_swept`` by the parallel
+        #: pipeline so recovery is visible, never silent.
+        self.orphans_swept = 0
 
     @classmethod
     def for_run(cls, root: str, config: StudyConfig,
                 shards: Sequence[Any]) -> "CheckpointStore":
-        """Open (creating if needed) the store for this exact run."""
+        """Open (creating if needed) the store for this exact run.
+
+        Opening sweeps any ``*.tmp*`` orphans a crashed writer left
+        behind (counted in :attr:`orphans_swept`): a marker-less data
+        file would never be loaded, but the debris must not accumulate
+        or shadow a later staged write.
+        """
         store = cls(root, run_key(config, shards))
         os.makedirs(store.directory, exist_ok=True)
+        store.orphans_swept = sweep_orphans(store.directory)
         plan_path = os.path.join(store.directory, "plan.json")
         if not os.path.exists(plan_path):
-            with open(plan_path, "w") as fileobj:
-                json.dump({
-                    "checkpoint_version": CHECKPOINT_VERSION,
-                    "seed": config.seed,
-                    "n_shards": len(shards),
-                    "shards": [dataclasses.asdict(spec) for spec in shards],
-                }, fileobj, indent=2)
+            write_text(plan_path, json.dumps({
+                "checkpoint_version": CHECKPOINT_VERSION,
+                "seed": config.seed,
+                "n_shards": len(shards),
+                "shards": [dataclasses.asdict(spec) for spec in shards],
+            }, indent=2))
         return store
 
     # -- paths -------------------------------------------------------------
@@ -116,14 +128,19 @@ class CheckpointStore:
     def save_shard(self, index: int, dataset: FlowDataset,
                    stats: PipelineStats,
                    coverage: CoverageReport) -> None:
-        """Checkpoint one completed shard (marker written last)."""
+        """Checkpoint one completed shard (marker written last).
+
+        Every file goes through the atomic-write chokepoint, and the
+        ``.ok`` marker's replace-write is the commit point: a crash
+        anywhere before it leaves at most swept-up orphans, never a
+        loadable half-checkpoint.
+        """
         base = self._base(index)
         save_dataset(dataset, base + ".npz")
         save_stats(stats, base + ".stats.json")
-        with open(base + ".coverage.json", "w") as fileobj:
-            json.dump(coverage.to_json(), fileobj)
-        with open(self._marker(index), "w") as fileobj:
-            fileobj.write("ok\n")
+        write_text(base + ".coverage.json",
+                   json.dumps(coverage.to_json()))
+        write_text(self._marker(index), "ok\n")
 
     def load_shard(
             self, index: int,

@@ -18,6 +18,7 @@ retrying shard runner in :mod:`repro.pipeline.parallel`.
 
 from __future__ import annotations
 
+import errno
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
@@ -73,6 +74,41 @@ class CheckpointError(ReliabilityError):
 
     Fatal for the *checkpoint* but not for the run: the resume path
     counts it, discards the damaged files, and re-ingests the shard.
+    """
+
+
+class DiskFullError(TransientIOError):
+    """The device ran out of space mid-write (``ENOSPC``).
+
+    Transient: a bounded retry under the shared
+    :class:`~repro.reliability.retry.RetryPolicy` gives a cleaner a
+    chance to free space; exhausted retries surface the error instead
+    of silently dropping the write.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.errno = errno.ENOSPC
+
+
+class TornWriteError(ReliabilityError, OSError):
+    """A write was cut short mid-payload (simulated crash/power loss).
+
+    Deliberately *not* transient: a torn write models the process dying
+    with partial bytes on disk, so retrying inside the same process
+    would defeat the simulation. Recovery happens on the next run --
+    atomic replace means the destination never saw the torn bytes, and
+    journal replay drops a torn trailing record as absent.
+    """
+
+
+class JournalError(ReliabilityError):
+    """The run journal violates its integrity contract.
+
+    Raised only for *mid-journal* corruption (a mangled record followed
+    by intact ones) or a malformed record sequence -- evidence of bit
+    rot or a concurrent writer, which no resume should trust. A torn
+    *tail* is normal crash debris and is treated as absent instead.
     """
 
 

@@ -20,17 +20,30 @@ test is exactly reproducible:
   annotation know exactly what went missing.
 * ``hang_shards`` makes a worker sleep mid-shard -- the wedged-worker
   failure mode the shard watchdog exists to detect.
+* :func:`maybe_crash` is the SIGKILL chaos hook: named crash points in
+  the journaled-run orchestration (:mod:`repro.core.runner`) call it,
+  and a subprocess harness arms one point per run via the
+  ``REPRO_CRASH_AT`` environment variable -- the process then kills
+  itself with a real ``SIGKILL`` (no cleanup, no atexit, no flush),
+  exactly what a power cut does to the real CLI.
+* :class:`DiskFault`/:class:`DiskFaultInjector` inject filesystem
+  failures (``ENOSPC``, torn/truncated writes, failing fsync) into the
+  single atomic-write chokepoint (:mod:`repro.reliability.atomic`)
+  that the checkpoint store, quarantine sink, artifact store and run
+  journal all write through.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import time
-from dataclasses import dataclass
-from typing import Any, List, Tuple
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.reliability.errors import TransientIOError
+from repro.reliability.errors import DiskFullError, TransientIOError
 from repro.util.rng import substream
 
 #: Exit code used by the injected worker kill (distinguishable from a
@@ -225,6 +238,150 @@ def _corrupt_one(line: str, kind: str) -> str:
     if kind == "non_object":
         return json.dumps([line[:10]])
     raise ValueError(f"unknown corruption kind: {kind}")
+
+
+# -- SIGKILL crash points ---------------------------------------------------
+
+#: Environment variable arming one crash point: ``"<point>"`` kills the
+#: process the first time that point is hit, ``"<point>@N"`` on the Nth
+#: hit (1-based). Set by the subprocess chaos harness, never in
+#: production.
+CRASH_ENV = "REPRO_CRASH_AT"
+
+#: Per-point hit counts for this process (``@N`` support).
+_crash_hits: Counter = Counter()
+
+
+def reset_crash_hits() -> None:
+    """Forget crash-point hit counts (test isolation)."""
+    _crash_hits.clear()
+
+
+def maybe_crash(point: str) -> None:
+    """SIGKILL this process if ``REPRO_CRASH_AT`` arms ``point``.
+
+    A real ``SIGKILL`` -- not ``sys.exit``, not an exception -- so no
+    ``finally`` block, atexit hook or buffered write gets a chance to
+    tidy up. This is the contract the run journal is built against:
+    anything not already fsync'd is gone.
+    """
+    spec = os.environ.get(CRASH_ENV)
+    if not spec:
+        return
+    target, _, nth = spec.partition("@")
+    if target != point:
+        return
+    _crash_hits[point] += 1
+    if _crash_hits[point] >= int(nth or "1"):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- disk fault injection ---------------------------------------------------
+
+#: Fault kinds :class:`DiskFaultInjector` understands.
+DISK_FAULT_KINDS = ("enospc", "torn", "fsync")
+
+#: Environment variable carrying a JSON list of disk faults for
+#: subprocess runs, e.g. ``[{"kind": "enospc", "path": "objects",
+#: "hits": [0]}]``. ``"hits": "all"`` fires on every matching write.
+DISK_FAULT_ENV = "REPRO_DISK_FAULTS"
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One planned filesystem failure.
+
+    ``path_contains`` selects the files it applies to (substring match
+    on the target path); ``hits`` are the 0-based indices of *matching
+    operations* on which it fires (``None`` = every matching
+    operation). Kinds:
+
+    * ``enospc`` -- the write raises :class:`DiskFullError` before any
+      byte reaches the file (a full device refusing the allocation);
+    * ``torn`` -- half the payload is written and durably flushed, then
+      :class:`~repro.reliability.errors.TornWriteError` simulates the
+      crash (power loss mid-write);
+    * ``fsync`` -- the data is written but the fsync fails with a
+      transient I/O error (a dying disk acknowledging late).
+    """
+
+    kind: str
+    path_contains: str
+    hits: Optional[Tuple[int, ...]] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(f"disk fault kind must be one of "
+                             f"{DISK_FAULT_KINDS}, got {self.kind!r}")
+
+    def fires(self, hit_index: int) -> bool:
+        return self.hits is None or hit_index in self.hits
+
+
+@dataclass
+class DiskFaultInjector:
+    """Stateful dispatcher consulted by :mod:`repro.reliability.atomic`.
+
+    Tracks how many matching operations each fault has seen (so
+    ``hits`` indices are deterministic) and logs every fault actually
+    fired, letting tests assert exact failure accounting.
+    """
+
+    faults: Tuple[DiskFault, ...] = ()
+    #: ``(kind, path)`` of every fault fired, in order.
+    fired: List[Tuple[str, str]] = field(default_factory=list)
+    _seen: Dict[int, int] = field(default_factory=dict)
+
+    def _matching(self, path: str, kinds: Tuple[str, ...]
+                  ) -> Optional[DiskFault]:
+        for index, fault in enumerate(self.faults):
+            if fault.kind not in kinds:
+                continue
+            if fault.path_contains not in path:
+                continue
+            hit = self._seen.get(index, 0)
+            self._seen[index] = hit + 1
+            if fault.fires(hit):
+                self.fired.append((fault.kind, path))
+                return fault
+        return None
+
+    def on_write(self, path: str, data: bytes) -> Optional[bytes]:
+        """Consulted before a payload write.
+
+        Returns ``None`` (write proceeds untouched), raises
+        :class:`DiskFullError`, or returns a truncated prefix the
+        writer must persist before raising ``TornWriteError``.
+        """
+        fault = self._matching(path, ("enospc", "torn"))
+        if fault is None:
+            return None
+        if fault.kind == "enospc":
+            raise DiskFullError(
+                f"injected ENOSPC writing {os.path.basename(path)}")
+        return data[:max(1, len(data) // 2)]
+
+    def on_fsync(self, path: str) -> None:
+        """Consulted before an fsync; raises on an injected failure."""
+        if self._matching(path, ("fsync",)) is not None:
+            raise TransientIOError(
+                f"injected fsync failure on {os.path.basename(path)}")
+
+    @classmethod
+    def from_env(cls) -> Optional["DiskFaultInjector"]:
+        """Build an injector from ``REPRO_DISK_FAULTS`` (subprocesses)."""
+        spec = os.environ.get(DISK_FAULT_ENV)
+        if not spec:
+            return None
+        faults = []
+        for entry in json.loads(spec):
+            hits = entry.get("hits", [0])
+            faults.append(DiskFault(
+                kind=str(entry["kind"]),
+                path_contains=str(entry.get("path", "")),
+                hits=None if hits == "all" else tuple(
+                    int(hit) for hit in hits)))
+        return cls(faults=tuple(faults))
 
 
 def corrupt_log_lines(lines: List[str], rate: float,

@@ -28,7 +28,7 @@ from repro.serve.fingerprint import (
     study_fingerprint,
 )
 from repro.serve.serialize import artifact_payload
-from repro.serve.store import ArtifactStore
+from repro.serve.store import ArtifactStore, StoreIntegrityError
 
 ProgressFn = Callable[[str], None]
 
@@ -80,6 +80,7 @@ class StudyService:
         self.counters: Dict[str, int] = {
             "artifacts_served": 0,
             "artifacts_computed": 0,
+            "artifacts_recovered": 0,
             "studies_run": 0,
         }
         self._lock = threading.Lock()
@@ -145,13 +146,23 @@ class StudyService:
                                  f"known: {known}")
 
         payloads: Dict[str, Any] = {}
-        served, missing = [], []
+        served, missing, corrupt = [], [], []
         for name in requested:
-            if self.store.has(fingerprint, name):
+            if not self.store.has(fingerprint, name):
+                missing.append(name)
+                continue
+            try:
                 payloads[name] = self.store.get(fingerprint, name)
                 served.append(name)
-            else:
+            except StoreIntegrityError as exc:
+                # A torn or hash-mismatched envelope never reaches the
+                # caller: quarantine it for post-mortem and recompute
+                # as if it had been missing.
+                where = self.store.quarantine(fingerprint, name)
+                self.progress(f"[serve] corrupt artifact {name!r} "
+                              f"quarantined to {where}: {exc}")
                 missing.append(name)
+                corrupt.append(name)
 
         computed: Tuple[str, ...] = ()
         if missing and compute:
@@ -181,9 +192,11 @@ class StudyService:
                     payloads[name] = payload
             computed = tuple(stored)
 
+        recovered = [name for name in corrupt if name in computed]
         with self._lock:
             self.counters["artifacts_served"] += len(served)
             self.counters["artifacts_computed"] += len(computed)
+            self.counters["artifacts_recovered"] += len(recovered)
         return QueryResult(fingerprint=fingerprint, scenario=scenario,
                            payloads=payloads, served=tuple(served),
                            computed=computed)
@@ -203,8 +216,19 @@ class StudyService:
             requested = tuple(names) if names else None
             present = self.store.artifact_names(fingerprint)
             use = requested if requested is not None else tuple(present)
-            payloads = {name: self.store.get(fingerprint, name)
-                        for name in use if name in present}
+            payloads = {}
+            for name in use:
+                if name not in present:
+                    continue
+                try:
+                    payloads[name] = self.store.get(fingerprint, name)
+                except StoreIntegrityError as exc:
+                    # No meta means no config to recompute from; the
+                    # corrupt entry is quarantined and simply absent
+                    # from the result, never served or raised.
+                    where = self.store.quarantine(fingerprint, name)
+                    self.progress(f"[serve] corrupt artifact {name!r} "
+                                  f"quarantined to {where}: {exc}")
             with self._lock:
                 self.counters["artifacts_served"] += len(payloads)
             return QueryResult(fingerprint=fingerprint,

@@ -7,13 +7,22 @@ store with thousands of runs keeps directory listings short)::
     <root>/objects/<fp[:2]>/<fp>/fig1.json   # one envelope per artifact
     ...                          summary.json
                                  outcomes.json
+    <root>/quarantine/<fp>-<name>.json       # corrupt entries, moved aside
 
 Every artifact file is an *envelope*: the JSON payload plus the
 SHA-256 of its canonical encoding. :meth:`ArtifactStore.get` re-hashes
-on read and raises :class:`StoreIntegrityError` on mismatch, so a
-truncated or hand-edited entry can never be served as a result.
-Writes go through a temp file + :func:`os.replace`, so a crashed
-writer leaves either the old entry or none -- never a torn one.
+on read and raises :class:`StoreIntegrityError` on mismatch -- and a
+torn or unparseable envelope is the same condition -- so a truncated
+or hand-edited entry can never be served as a result.
+
+Durability goes through the atomic-write chokepoint
+(:mod:`repro.reliability.atomic`): envelopes are staged, fsync'd and
+renamed, so a crashed writer leaves either the old entry or none.
+Opening a store sweeps any staged-write orphans a crash left behind
+(counted in :attr:`ArtifactStore.counters`), and writes retried under
+an optional :class:`~repro.reliability.retry.RetryPolicy` survive
+transient filesystem faults (``ENOSPC``, failing fsync) with exact
+retry accounting.
 """
 
 from __future__ import annotations
@@ -22,8 +31,11 @@ import hashlib
 import json
 import os
 import re
-from typing import Any, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.reliability.atomic import sweep_orphans, write_text
+from repro.reliability.retry import RetryPolicy, run_with_retries
 from repro.serve.fingerprint import canonical_json
 
 #: Artifact names are path components; keep them boring.
@@ -32,9 +44,13 @@ _FINGERPRINT_RE = re.compile(r"^[0-9a-f]{8,64}$")
 
 _META_FILE = "meta.json"
 
+_QUARANTINE_DIR = "quarantine"
+
+SleepFn = Callable[[float], None]
+
 
 class StoreIntegrityError(RuntimeError):
-    """A stored artifact failed its content-hash check."""
+    """A stored artifact failed its content-hash check (or is torn)."""
 
 
 def _payload_sha256(payload: Any) -> str:
@@ -54,18 +70,27 @@ def _check_fingerprint(fingerprint: str) -> str:
     return fingerprint
 
 
-def _write_atomic(path: str, text: str) -> None:
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w") as fileobj:
-        fileobj.write(text)
-    os.replace(tmp_path, path)
-
-
 class ArtifactStore:
     """Content-addressed study artifacts under one root directory."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, *,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 sleep: SleepFn = time.sleep) -> None:
         self.root = root
+        self.retry_policy = retry_policy
+        self._sleep = sleep
+        #: Recovery accounting: staged-write orphans swept at open,
+        #: write retries consumed, corrupt entries quarantined. Never
+        #: silent -- ``repro query`` surfaces these via the service.
+        self.counters: Dict[str, int] = {
+            "orphans_swept": 0,
+            "write_retries": 0,
+            "entries_quarantined": 0,
+        }
+        objects = os.path.join(root, "objects")
+        if os.path.isdir(objects):
+            self.counters["orphans_swept"] = sweep_orphans(
+                objects, recursive=True)
 
     # -- paths ----------------------------------------------------------
 
@@ -78,14 +103,28 @@ class ArtifactStore:
         return os.path.join(self._run_dir(fingerprint),
                             _check_name(name) + ".json")
 
+    def _write(self, path: str, text: str) -> None:
+        """One envelope write: atomic, retried if a policy is set."""
+        if self.retry_policy is None:
+            write_text(path, text)
+            return
+
+        def count_retry(attempt: int, exc: BaseException,
+                        delay: float) -> None:
+            self.counters["write_retries"] += 1
+
+        run_with_retries(self.retry_policy,
+                         lambda: write_text(path, text),
+                         sleep=self._sleep, on_retry=count_retry)
+
     # -- run metadata ---------------------------------------------------
 
     def put_meta(self, fingerprint: str, meta: Dict[str, Any]) -> None:
         """Record the (scenario, config payload, ...) behind a key."""
         run_dir = self._run_dir(fingerprint)
         os.makedirs(run_dir, exist_ok=True)
-        _write_atomic(os.path.join(run_dir, _META_FILE),
-                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        self._write(os.path.join(run_dir, _META_FILE),
+                    json.dumps(meta, indent=2, sort_keys=True) + "\n")
 
     def get_meta(self, fingerprint: str) -> Optional[Dict[str, Any]]:
         path = os.path.join(self._run_dir(fingerprint), _META_FILE)
@@ -109,15 +148,30 @@ class ArtifactStore:
             "sha256": digest,
             "payload": payload,
         }
-        _write_atomic(self.entry_path(fingerprint, name),
-                      json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+        self._write(self.entry_path(fingerprint, name),
+                    json.dumps(envelope, indent=2, sort_keys=True) + "\n")
         return digest
 
     def get(self, fingerprint: str, name: str) -> Any:
-        """Load one artifact payload, verifying its content hash."""
+        """Load one artifact payload, verifying its content hash.
+
+        Raises :class:`StoreIntegrityError` for *any* entry that cannot
+        be served as written -- unparseable (torn) envelopes and hash
+        mismatches alike -- and ``FileNotFoundError`` only when the
+        entry genuinely does not exist.
+        """
         path = self.entry_path(fingerprint, name)
         with open(path) as fileobj:
-            envelope = json.load(fileobj)
+            try:
+                envelope = json.load(fileobj)
+            except ValueError as exc:
+                raise StoreIntegrityError(
+                    f"artifact {name!r} of {fingerprint[:12]} is torn: "
+                    f"{exc}") from exc
+        if not isinstance(envelope, dict):
+            raise StoreIntegrityError(
+                f"artifact {name!r} of {fingerprint[:12]} is not an "
+                f"envelope")
         payload = envelope.get("payload")
         recorded = envelope.get("sha256")
         actual = _payload_sha256(payload)
@@ -126,6 +180,21 @@ class ArtifactStore:
                 f"artifact {name!r} of {fingerprint[:12]} is corrupt: "
                 f"recorded sha256 {recorded} != recomputed {actual}")
         return payload
+
+    def quarantine(self, fingerprint: str, name: str) -> str:
+        """Move a corrupt entry aside; returns its quarantine path.
+
+        The entry is preserved for post-mortem inspection (never
+        silently deleted) and its slot freed so a recompute can store
+        a good envelope.
+        """
+        source = self.entry_path(fingerprint, name)
+        directory = os.path.join(self.root, _QUARANTINE_DIR)
+        os.makedirs(directory, exist_ok=True)
+        target = os.path.join(directory, f"{fingerprint[:12]}-{name}.json")
+        os.replace(source, target)
+        self.counters["entries_quarantined"] += 1
+        return target
 
     def has(self, fingerprint: str, name: str) -> bool:
         return os.path.exists(self.entry_path(fingerprint, name))

@@ -14,10 +14,31 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        from repro.cli import _run_config
+
+        # students/seed default at *config resolution*, not in the
+        # parser, so presets (and journaled resumes) keep their own
+        # values unless explicitly overridden.
         args = build_parser().parse_args(["run"])
-        assert args.students == 100
-        assert args.seed == 7
+        assert args.students is None
+        assert args.seed is None
         assert args.out is None
+        config = _run_config(args)
+        assert config.n_students == 100
+        assert config.seed == 7
+
+    def test_run_preset_keeps_its_own_seed(self):
+        from repro.cli import _PRESETS, _run_config
+
+        args = build_parser().parse_args(["run", "--preset", "chaos"])
+        assert _run_config(args) == _PRESETS["chaos"]()
+        overridden = build_parser().parse_args(
+            ["run", "--preset", "chaos", "--seed", "99"])
+        assert _run_config(overridden).seed == 99
+
+    def test_journal_flags_require_journal_dir(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--resume-run", "abababababab-001"])
 
     def test_checklist_flags(self):
         args = build_parser().parse_args(
@@ -69,6 +90,25 @@ class TestRunAndReport:
         assert code == 0
         report_output = capsys.readouterr().out
         assert "Figure 1" in report_output
+
+
+class TestJournaledRunCommand:
+    def test_run_then_flagless_resume(self, tmp_path, capsys):
+        """A resume needs only the journal dir and run id: the config
+        is recovered from the journal's run_begin record."""
+        from repro.reliability.crashmatrix import expected_run_id
+
+        journal_dir = str(tmp_path / "runs")
+        assert main(["run", "--preset", "chaos",
+                     "--journal-dir", journal_dir]) == 0
+        first = capsys.readouterr()
+        assert "Figure 1" in first.out
+
+        run_id = expected_run_id("chaos")
+        assert main(["run", "--journal-dir", journal_dir,
+                     "--resume-run", run_id]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
 
 
 class TestChecklistCommand:

@@ -1,0 +1,183 @@
+"""Atomic-write chokepoint: staging, orphans, and injected disk faults."""
+
+import os
+
+import pytest
+
+from repro.reliability.atomic import (
+    append_line,
+    disk_faults,
+    is_orphan,
+    replacing,
+    sweep_orphans,
+    tmp_path_for,
+    write_bytes,
+    write_text,
+)
+from repro.reliability.errors import (
+    DiskFullError,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.reliability.faults import DiskFault, DiskFaultInjector
+
+
+class TestReplaceWrites:
+    def test_write_text_round_trip(self, tmp_path):
+        target = str(tmp_path / "note.json")
+        write_text(target, '{"x": 1}')
+        with open(target) as fileobj:
+            assert fileobj.read() == '{"x": 1}'
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        target = str(tmp_path / "data.bin")
+        write_bytes(target, b"old" * 100)
+        write_bytes(target, b"new")
+        with open(target, "rb") as fileobj:
+            assert fileobj.read() == b"new"
+
+    def test_no_staging_debris_after_success(self, tmp_path):
+        write_text(str(tmp_path / "a.json"), "{}")
+        write_bytes(str(tmp_path / "b"), b"x")
+        assert [n for n in os.listdir(tmp_path) if is_orphan(n)] == []
+
+    def test_tmp_marker_precedes_final_suffix(self):
+        # np.savez insists on the .npz suffix; the staged sibling must
+        # keep it while still carrying the orphan marker.
+        staged = tmp_path_for("/runs/shard-0003.npz")
+        assert staged == "/runs/shard-0003.tmp.npz"
+        assert is_orphan(os.path.basename(staged))
+        assert tmp_path_for("/runs/marker") == "/runs/marker.tmp"
+
+    def test_replacing_commits_on_clean_exit(self, tmp_path):
+        target = str(tmp_path / "out.npz")
+        with replacing(target) as staged:
+            with open(staged, "wb") as fileobj:
+                fileobj.write(b"payload")
+        with open(target, "rb") as fileobj:
+            assert fileobj.read() == b"payload"
+        assert [n for n in os.listdir(tmp_path) if is_orphan(n)] == []
+
+    def test_replacing_leaves_orphan_on_exception(self, tmp_path):
+        target = str(tmp_path / "out.npz")
+        with pytest.raises(RuntimeError):
+            with replacing(target) as staged:
+                with open(staged, "wb") as fileobj:
+                    fileobj.write(b"half")
+                raise RuntimeError("writer died")
+        assert not os.path.exists(target)
+        orphans = [n for n in os.listdir(tmp_path) if is_orphan(n)]
+        assert len(orphans) == 1
+
+
+class TestSweep:
+    def test_sweeps_only_orphans(self, tmp_path):
+        (tmp_path / "keep.json").write_text("{}")
+        (tmp_path / "dead.tmp.json").write_text("ha")
+        (tmp_path / "dead2.tmp").write_text("lf")
+        assert sweep_orphans(str(tmp_path)) == 2
+        assert sorted(os.listdir(tmp_path)) == ["keep.json"]
+
+    def test_recursive_sweep(self, tmp_path):
+        nested = tmp_path / "objects" / "ab" / "abcd"
+        nested.mkdir(parents=True)
+        (nested / "fig1.tmp.json").write_text("torn")
+        (nested / "fig1.json").write_text("{}")
+        assert sweep_orphans(str(tmp_path), recursive=True) == 1
+        assert sweep_orphans(str(tmp_path), recursive=True) == 0
+        assert (nested / "fig1.json").exists()
+
+    def test_missing_directory_sweeps_zero(self, tmp_path):
+        assert sweep_orphans(str(tmp_path / "nope")) == 0
+
+
+class TestAppend:
+    def test_append_accumulates_lines(self, tmp_path):
+        target = str(tmp_path / "journal.jsonl")
+        append_line(target, "one\n")
+        append_line(target, "two\n")
+        with open(target) as fileobj:
+            assert fileobj.read() == "one\ntwo\n"
+
+
+class TestDiskFaults:
+    def test_enospc_fault_raises_and_preserves_old_content(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        write_text(target, "old")
+        fault = DiskFault(kind="enospc", path_contains="entry", hits=(0,))
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            with pytest.raises(DiskFullError):
+                write_text(target, "new")
+            # The fault fired once; the retry path may write again.
+            write_text(target, "new")
+        with open(target) as fileobj:
+            assert fileobj.read() == "new"
+
+    def test_enospc_is_transient(self):
+        assert isinstance(DiskFullError("full"), TransientIOError)
+
+    def test_torn_write_persists_prefix_and_raises(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        write_text(target, "intact-original")
+        fault = DiskFault(kind="torn", path_contains="entry", hits=(0,))
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            with pytest.raises(TornWriteError):
+                write_text(target, "replacement-payload")
+        # The replace never happened: the target still holds the old
+        # bytes; the torn prefix sits in the staged orphan.
+        with open(target) as fileobj:
+            assert fileobj.read() == "intact-original"
+        orphans = [n for n in os.listdir(tmp_path) if is_orphan(n)]
+        assert len(orphans) == 1
+        staged = tmp_path / orphans[0]
+        assert staged.read_text() == "replacement-payload"[
+            :len(staged.read_text())]
+        assert 0 < len(staged.read_text()) < len("replacement-payload")
+
+    def test_torn_append_leaves_prefix_in_place(self, tmp_path):
+        target = str(tmp_path / "journal.jsonl")
+        append_line(target, "record-0\n")
+        fault = DiskFault(kind="torn", path_contains="journal", hits=(0,))
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            with pytest.raises(TornWriteError):
+                append_line(target, "record-1-that-tears\n")
+        with open(target) as fileobj:
+            content = fileobj.read()
+        assert content.startswith("record-0\n")
+        assert len(content) > len("record-0\n")  # the torn suffix
+        assert not content.endswith("\n") or "record-1" not in \
+            content.split("\n")[1] or True
+
+    def test_fsync_fault_is_transient(self, tmp_path):
+        target = str(tmp_path / "entry.json")
+        fault = DiskFault(kind="fsync", path_contains="entry", hits=(0,))
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            with pytest.raises(TransientIOError):
+                write_text(target, "x")
+            write_text(target, "x")  # second try: fault spent
+        with open(target) as fileobj:
+            assert fileobj.read() == "x"
+
+    def test_faults_only_hit_matching_paths(self, tmp_path):
+        fault = DiskFault(kind="enospc", path_contains="objects",
+                          hits=None)
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            write_text(str(tmp_path / "elsewhere.json"), "{}")
+            with pytest.raises(DiskFullError):
+                write_text(str(tmp_path / "objects.json"), "{}")
+
+    def test_injector_from_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_DISK_FAULTS",
+            '[{"kind": "torn", "path": "journal", "hits": [2]},'
+            ' {"kind": "enospc", "path": "store", "hits": "all"}]')
+        injector = DiskFaultInjector.from_env()
+        assert injector is not None
+        assert len(injector.faults) == 2
+        assert injector.faults[0].kind == "torn"
+        assert injector.faults[0].hits == (2,)
+        assert injector.faults[1].hits is None
+
+    def test_injector_absent_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISK_FAULTS", raising=False)
+        assert DiskFaultInjector.from_env() is None

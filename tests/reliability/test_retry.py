@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.reliability.retry import RetryPolicy
+from repro.reliability.errors import TransientIOError
+from repro.reliability.retry import RetryPolicy, run_with_retries
 
 
 class TestDelaySchedule:
@@ -58,7 +59,101 @@ class TestBudget:
         {"base_delay": -1.0},
         {"jitter": 1.0},
         {"jitter": -0.1},
+        {"total_deadline": 0.0},
+        {"total_deadline": -5.0},
     ])
     def test_invalid_policies_rejected(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+
+class TestTotalDeadline:
+    def test_delay_is_clipped_to_remaining_budget(self):
+        policy = RetryPolicy(base_delay=4.0, max_delay=100.0,
+                             jitter=0.0, total_deadline=10.0)
+        assert policy.delay(0, 0, elapsed=0.0) == 4.0
+        assert policy.delay(0, 1, elapsed=4.0) == 6.0  # not 8.0
+        assert policy.delay(0, 2, elapsed=10.0) == 0.0
+
+    def test_retries_refused_once_budget_is_spent(self):
+        policy = RetryPolicy(max_attempts=100, base_delay=1.0,
+                             jitter=0.0, total_deadline=2.0)
+        assert policy.allows_retry(0, elapsed=0.0)
+        assert policy.allows_retry(1, elapsed=1.9)
+        assert not policy.allows_retry(1, elapsed=2.0)
+
+    def test_no_deadline_means_attempts_alone_bound_the_loop(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+        assert policy.allows_retry(2, elapsed=1e9)
+        assert policy.delay(0, 3, elapsed=1e9) == 8.0
+
+
+class TestRunWithRetries:
+    def _flaky(self, failures, exc=TransientIOError):
+        calls = {"n": 0}
+
+        def operation():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"boom {calls['n']}")
+            return calls["n"]
+
+        return operation, calls
+
+    def test_succeeds_after_transient_failures(self):
+        operation, calls = self._flaky(2)
+        policy = RetryPolicy.no_delay(max_attempts=3)
+        assert run_with_retries(policy, operation,
+                                sleep=lambda s: None) == 3
+        assert calls["n"] == 3
+
+    def test_non_transient_raises_immediately(self):
+        operation, calls = self._flaky(5, exc=ValueError)
+        policy = RetryPolicy.no_delay(max_attempts=10)
+        with pytest.raises(ValueError, match="boom 1"):
+            run_with_retries(policy, operation, sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_last_failure_propagates_when_budget_runs_out(self):
+        operation, calls = self._flaky(99)
+        policy = RetryPolicy.no_delay(max_attempts=3)
+        with pytest.raises(TransientIOError, match="boom 3"):
+            run_with_retries(policy, operation, sleep=lambda s: None)
+        assert calls["n"] == 3
+
+    def test_on_retry_sees_every_retry_with_its_delay(self):
+        operation, _calls = self._flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0,
+                             jitter=0.0)
+        seen = []
+        slept = []
+        run_with_retries(policy, operation, sleep=slept.append,
+                         on_retry=lambda attempt, exc, delay:
+                         seen.append((attempt, delay)))
+        assert seen == [(0, 1.0), (1, 2.0)]
+        assert slept == [1.0, 2.0]
+
+    def test_elapsed_is_requested_delay_not_wall_clock(self):
+        # The deadline is accounted in *requested* backoff seconds, so
+        # a slow disk cannot change how many retries a scope gets.
+        operation, calls = self._flaky(99)
+        policy = RetryPolicy(max_attempts=100, base_delay=1.0,
+                             jitter=0.0, total_deadline=3.0)
+        slept = []
+        with pytest.raises(TransientIOError):
+            run_with_retries(policy, operation, sleep=slept.append)
+        # Delays 1, 2 exhaust the 3-second budget exactly.
+        assert slept == [1.0, 2.0]
+        assert calls["n"] == 3
+
+    def test_scope_index_decorrelates_schedules(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0,
+                             jitter=0.5, seed=7)
+        schedules = {}
+        for scope in (0, 1):
+            operation, _calls = self._flaky(1)
+            slept = []
+            run_with_retries(policy, operation, scope_index=scope,
+                             sleep=slept.append)
+            schedules[scope] = slept
+        assert schedules[0] != schedules[1]

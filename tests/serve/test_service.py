@@ -1,5 +1,7 @@
 """StudyService: cache-or-compute with auditable counters."""
 
+import os
+
 import pytest
 
 from repro.config import StudyConfig
@@ -43,6 +45,7 @@ def test_first_query_computes_then_second_serves(populated_store, ci_config):
     assert service.counters_snapshot() == {
         "artifacts_served": len(artifact_names()),
         "artifacts_computed": 0,
+        "artifacts_recovered": 0,
         "studies_run": 0,
     }
 
@@ -97,6 +100,61 @@ def test_summary_payload_matches_metric_keys(populated_store, ci_config):
     service = StudyService(populated_store)
     summary = service.query(ci_config, names=("summary",)).payloads["summary"]
     assert set(SummaryStats.METRIC_KEYS) <= set(summary)
+
+
+def test_corrupt_artifact_is_quarantined_and_recomputed(tmp_path, ci_config):
+    """A torn envelope never reaches the caller: the service moves it
+    aside, recomputes the study, and restores a good entry."""
+    store = ArtifactStore(str(tmp_path))
+    service = StudyService(store)
+    first = service.query(ci_config, names=("summary",))
+    fingerprint = first.fingerprint
+    with open(store.entry_path(fingerprint, "summary"), "w") as fileobj:
+        fileobj.write('{"payload": {"pea')  # torn mid-write
+
+    result = service.query(ci_config, names=("summary",))
+    assert "peak_active_devices" in result.payloads["summary"]
+    assert "summary" in result.computed
+    assert service.counters["artifacts_recovered"] == 1
+    assert store.counters["entries_quarantined"] == 1
+    # The quarantined bytes are kept for post-mortem...
+    quarantined = os.listdir(os.path.join(store.root, "quarantine"))
+    assert quarantined == [f"{fingerprint[:12]}-summary.json"]
+    # ...and the store now holds a clean envelope again.
+    assert store.get(fingerprint, "summary") == result.payloads["summary"]
+
+
+def test_corrupt_artifact_without_compute_is_just_missing(
+        tmp_path, ci_config):
+    store = ArtifactStore(str(tmp_path))
+    service = StudyService(store)
+    first = service.query(ci_config, names=("summary",))
+    with open(store.entry_path(first.fingerprint, "summary"), "w") as fp:
+        fp.write("garbage")
+
+    result = service.query(ci_config, names=("summary",),
+                           compute=False)
+    assert result.payloads == {}
+    assert service.counters["artifacts_recovered"] == 0
+    assert store.counters["entries_quarantined"] == 1
+
+
+def test_query_fingerprint_never_raises_on_corrupt_entries(tmp_path):
+    """Meta-less fingerprints cannot be recomputed; a corrupt entry is
+    quarantined and simply absent from the answer."""
+    store = ArtifactStore(str(tmp_path))
+    fingerprint = "ef" * 32
+    store.put(fingerprint, "summary", {"peak_active_devices": 3})
+    store.put(fingerprint, "fig1", {"total": [1]})
+    with open(store.entry_path(fingerprint, "fig1"), "w") as fileobj:
+        fileobj.write('[not json')
+
+    service = StudyService(store)
+    result = service.query_fingerprint(fingerprint)
+    assert result.served == ("summary",)
+    assert "fig1" not in result.payloads
+    assert store.counters["entries_quarantined"] == 1
+    assert not store.has(fingerprint, "fig1")
 
 
 def test_outcomes_payload_shape(populated_store, ci_config):

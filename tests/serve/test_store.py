@@ -92,4 +92,84 @@ def test_no_tmp_droppings_after_writes(store):
     store.put_meta(FP, {"scenario": "lockdown-2020"})
     run_dir = os.path.dirname(store.entry_path(FP, "fig1"))
     assert not [entry for entry in os.listdir(run_dir)
-                if entry.endswith(".tmp")]
+                if ".tmp" in entry]
+
+
+class TestCrashRecovery:
+    def test_truncated_envelope_is_torn_not_served(self, store):
+        store.put(FP, "summary", {"peak_active_devices": 21})
+        path = store.entry_path(FP, "summary")
+        with open(path) as fileobj:
+            text = fileobj.read()
+        with open(path, "w") as fileobj:
+            fileobj.write(text[: len(text) // 2])
+        with pytest.raises(StoreIntegrityError, match="torn"):
+            store.get(FP, "summary")
+
+    def test_non_envelope_json_is_refused(self, store):
+        store.put(FP, "summary", {"v": 1})
+        with open(store.entry_path(FP, "summary"), "w") as fileobj:
+            fileobj.write('["not", "an", "envelope"]\n')
+        with pytest.raises(StoreIntegrityError, match="not an envelope"):
+            store.get(FP, "summary")
+
+    def test_quarantine_moves_the_entry_aside(self, store):
+        store.put(FP, "summary", {"v": 1})
+        source = store.entry_path(FP, "summary")
+        target = store.quarantine(FP, "summary")
+        assert not os.path.exists(source)
+        assert not store.has(FP, "summary")
+        assert os.path.exists(target)
+        assert os.path.dirname(target) == os.path.join(store.root,
+                                                       "quarantine")
+        assert store.counters["entries_quarantined"] == 1
+        # The slot is free again: a recompute stores a clean envelope.
+        store.put(FP, "summary", {"v": 2})
+        assert store.get(FP, "summary") == {"v": 2}
+
+    def test_orphans_are_swept_at_open(self, store):
+        store.put(FP, "fig1", {"x": 1})
+        run_dir = os.path.dirname(store.entry_path(FP, "fig1"))
+        with open(os.path.join(run_dir, "fig2.tmp.json"), "w") as fp:
+            fp.write('{"torn":')
+        reopened = ArtifactStore(store.root)
+        assert reopened.counters["orphans_swept"] == 1
+        assert reopened.artifact_names(FP) == ["fig1"]
+        # Idempotent: nothing left on the next open.
+        assert ArtifactStore(store.root).counters["orphans_swept"] == 0
+
+    def test_writes_retry_transient_faults_with_accounting(self, tmp_path):
+        from repro.reliability.atomic import disk_faults
+        from repro.reliability.faults import DiskFault, DiskFaultInjector
+        from repro.reliability.retry import RetryPolicy
+
+        slept = []
+        retrying = ArtifactStore(
+            str(tmp_path / "store"),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0,
+                                     jitter=0.0),
+            sleep=slept.append)
+        fault = DiskFault(kind="enospc", path_contains="summary",
+                          hits=(0,))
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            retrying.put(FP, "summary", {"v": 1})
+        assert retrying.counters["write_retries"] == 1
+        assert slept == [1.0]
+        assert retrying.get(FP, "summary") == {"v": 1}
+
+    def test_exhausted_retries_surface_the_fault(self, tmp_path):
+        from repro.reliability.atomic import disk_faults
+        from repro.reliability.errors import DiskFullError
+        from repro.reliability.faults import DiskFault, DiskFaultInjector
+        from repro.reliability.retry import RetryPolicy
+
+        retrying = ArtifactStore(
+            str(tmp_path / "store"),
+            retry_policy=RetryPolicy.no_delay(max_attempts=2),
+            sleep=lambda seconds: None)
+        fault = DiskFault(kind="enospc", path_contains="summary",
+                          hits=None)
+        with disk_faults(DiskFaultInjector(faults=(fault,))):
+            with pytest.raises(DiskFullError):
+                retrying.put(FP, "summary", {"v": 1})
+        assert not retrying.has(FP, "summary")
