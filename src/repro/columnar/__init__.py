@@ -1,0 +1,35 @@
+"""Columnar (record-batch) ingest core.
+
+The batch-vectorized twin of the row-at-a-time ingest path: wire
+bursts are extracted once into parallel numpy columns
+(:class:`~repro.columnar.batch.BurstBatch`), assembled into flows by a
+vectorized engine (:class:`~repro.columnar.engine.ColumnarFlowEngine`),
+attributed through sorted lease / DNS-epoch interval joins
+(:class:`~repro.columnar.leases.ColumnarLeaseIndex`,
+:class:`~repro.columnar.dnsindex.ColumnarDnsIndex`) and materialized
+batch-at-a-time into the :class:`~repro.pipeline.dataset.FlowDataset`
+(:class:`~repro.columnar.ingest.BatchRegistrar`).
+
+Every component is a *bit-identical* drop-in for its pure-Python
+reference twin (``repro.zeek.engine``, ``repro.dhcp.normalize``,
+``repro.dns.mapping`` and the scalar ``MonitoringPipeline._register``
+loop): same flow boundaries, same emission order, same degraded-mode
+counters, same device/domain first-seen index assignment. The golden
+gates in ``tests/pipeline/test_columnar.py`` and
+``tests/property/test_columnar_props.py`` hold the twins together.
+"""
+
+from repro.columnar.batch import BurstBatch, FlowBatch
+from repro.columnar.dnsindex import ColumnarDnsIndex
+from repro.columnar.engine import ColumnarFlowEngine
+from repro.columnar.ingest import BatchRegistrar
+from repro.columnar.leases import ColumnarLeaseIndex
+
+__all__ = [
+    "BurstBatch",
+    "FlowBatch",
+    "BatchRegistrar",
+    "ColumnarDnsIndex",
+    "ColumnarFlowEngine",
+    "ColumnarLeaseIndex",
+]

@@ -56,6 +56,15 @@ from repro.util.timeutil import format_day, utc_ts
 
 ProgressFn = Callable[[str], None]
 
+#: Below this many flows, the threaded ``compute_all`` fan-out costs
+#: more than it saves: with the shared context warmed, each figure is
+#: a handful of milliseconds of (GIL-holding) numpy glue, so the pool
+#: spends its time on scheduling and contention. Measured crossover on
+#: the benchmark dataset (~800k flows): workers=4 was ~15% *slower*
+#: than serial. ``compute_all`` degrades to the serial path under this
+#: threshold rather than making callers guess.
+THREADING_MIN_FLOWS = 2_000_000
+
 
 @dataclass
 class StudyArtifacts:
@@ -171,10 +180,17 @@ class StudyArtifacts:
         built exactly once up front; figure-local work then proceeds
         in parallel, with the per-key cache locks keeping dependent
         analyses (the summary waits on Figure 1) computed once.
+
+        Small datasets auto-degrade to the serial path even when
+        ``workers > 1``: below :data:`THREADING_MIN_FLOWS` the
+        post-warm figure work is too cheap to amortize pool overhead
+        (see the constant's note for the measured crossover).
         """
         self.context.warm(
             signatures=(self.signatures.get("zoom"),),
             n_days=study_day_count(self.dataset))
+        if len(self.dataset) < THREADING_MIN_FLOWS:
+            workers = 1
         if workers <= 1:
             return {name: getattr(self, name)() for name in self.ANALYSES}
         with ThreadPoolExecutor(max_workers=workers) as pool:

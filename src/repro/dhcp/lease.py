@@ -30,8 +30,14 @@ class Lease:
 
         When the DHCP log has a gap, a renewal may have happened without
         being logged; a lease is then conservatively held over for up to
-        ``staleness_seconds`` past its logged expiry (see
-        ``IpMacResolver.mac_at_stale``).
+        ``staleness_seconds`` past its logged expiry. Both attribution
+        paths mirror this idea per binding:
+        ``IpMacResolver.mac_at_stale`` applies it per flow, and the
+        columnar interval join
+        (``repro.columnar.leases.ColumnarLeaseIndex.mac_ids_at_stale``)
+        applies it as mask algebra over whole batches -- the property
+        suite (``tests/property/test_columnar_props.py``) holds those
+        two in exact agreement.
         """
         return self.start <= ts < self.end + staleness_seconds
 

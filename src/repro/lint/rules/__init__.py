@@ -17,6 +17,7 @@ from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.exceptions import ExceptionDisciplineRule
 from repro.lint.rules.kernel_twins import KernelTwinsRule
 from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.rowloops import RowLoopRule
 from repro.lint.rules.typed_core import TypedCoreRule
 
 #: Every registered rule, in rule-id order.
@@ -27,6 +28,7 @@ ALL_RULES: Sequence[Rule] = (
     ExceptionDisciplineRule(),
     LockDisciplineRule(),
     TypedCoreRule(),
+    RowLoopRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

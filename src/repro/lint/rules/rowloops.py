@@ -1,0 +1,107 @@
+"""RL007: no per-row Python loops in ``repro.columnar`` hot paths.
+
+The columnar ingest core (PR 8) exists to replace the per-flow object
+loop with batch vector operations; a ``for`` loop that walks flow
+records row by row inside those modules quietly re-introduces the exact
+cost the subsystem removed.  This rule flags row-scale iteration --
+loops over burst/record/flow collections, over ``range(...n)`` /
+``range(len(...))``, or over ``np.flatnonzero(...)`` index sets -- in
+any ``repro.columnar`` module.
+
+Deliberate row-at-a-time surfaces stay legal through the package's own
+documentation convention: a function whose docstring declares itself
+``compat``, ``inspection``, ``testing`` or ``reference`` (e.g.
+``FlowBatch.to_conn_records`` -- "compat/testing surface only") is a
+materialization boundary, not a hot path.  Loops over *distinct-value*
+tables (protocol names, interned domains) iterate other shapes and are
+not matched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.engine import Finding, ModuleInfo
+from repro.lint.rules.base import Rule
+
+#: Package whose modules are held loop-free on the hot path.
+COLUMNAR_PACKAGE = "repro.columnar"
+
+#: Bare names that conventionally bind row-object collections.
+ROW_COLLECTION_NAMES = frozenset(
+    {"bursts", "records", "rows", "flows", "conn_records"})
+
+#: A docstring containing any of these marks the function as a
+#: deliberate row-at-a-time surface (materialization/compat/debug).
+EXEMPT_DOCSTRING_MARKERS = ("compat", "inspection", "testing", "reference")
+
+
+def _is_row_scale(node: ast.AST) -> bool:
+    """Whether an iterable expression walks batch rows one by one."""
+    if isinstance(node, ast.Name):
+        return node.id in ROW_COLLECTION_NAMES
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "range":
+            # range(n) / range(self.n) / range(len(rows)): the classic
+            # index-walk over a batch-sized column.
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Attribute) and sub.attr == "n":
+                        return True
+                    if (isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Name)
+                            and sub.func.id == "len"):
+                        return True
+            return False
+        if func.id in ("enumerate", "reversed", "sorted", "zip", "map"):
+            return any(_is_row_scale(arg) for arg in node.args)
+    if isinstance(func, ast.Attribute) and func.attr == "flatnonzero":
+        # Iterating np.flatnonzero(mask) is a per-selected-row loop.
+        return True
+    return False
+
+
+class RowLoopRule(Rule):
+    rule_id = "RL007"
+    title = ("no per-row for loops over flow records in repro.columnar "
+             "hot paths (docstring-marked compat surfaces exempt)")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith(COLUMNAR_PACKAGE):
+            return
+        yield from self._scan(module, module.tree.body, exempt=False)
+
+    def _scan(self, module: ModuleInfo, body: List[ast.stmt],
+              exempt: bool) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                docstring = ast.get_docstring(node) or ""
+                lowered = docstring.lower()
+                inner_exempt = exempt or any(
+                    marker in lowered
+                    for marker in EXEMPT_DOCSTRING_MARKERS)
+                yield from self._scan(module, node.body, inner_exempt)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._scan(module, node.body, exempt)
+            else:
+                if exempt:
+                    continue
+                for sub in ast.walk(node):
+                    iterables: List[ast.AST] = []
+                    if isinstance(sub, (ast.For, ast.AsyncFor)):
+                        iterables.append(sub.iter)
+                    elif isinstance(sub, (ast.ListComp, ast.SetComp,
+                                          ast.DictComp, ast.GeneratorExp)):
+                        iterables.extend(g.iter for g in sub.generators)
+                    for iterable in iterables:
+                        if _is_row_scale(iterable):
+                            yield self.finding(
+                                module, sub,
+                                "per-row loop over flow records in a "
+                                "columnar hot path; vectorize it, or "
+                                "mark the enclosing function's docstring "
+                                "as a compat/inspection surface")

@@ -347,7 +347,15 @@ class FlowDataset:
 
 
 class FlowDatasetBuilder:
-    """Accumulates flows into compact typed arrays."""
+    """Accumulates flows into compact typed arrays.
+
+    Two ingestion surfaces share one store: :meth:`add_flow` appends a
+    row to compact ``array`` tails (the scalar reference path), while
+    :meth:`add_flow_batch` lands a whole column set as a finished numpy
+    chunk (the columnar path). The tail is flushed into the chunk list
+    whenever a chunk arrives, so rows keep arrival order however the
+    two surfaces interleave, and :meth:`finalize` is one concatenation.
+    """
 
     def __init__(self, day0: float):
         self.day0 = day0
@@ -361,6 +369,10 @@ class FlowDatasetBuilder:
         self._resp_bytes = array("q")
         self._domain = array("l")
         self._day = array("l")
+        #: Finished column chunks in arrival order (batch appends and
+        #: flushed scalar tails), already in final dtypes.
+        self._chunks: List[Dict[str, np.ndarray]] = []
+        self._chunk_rows = 0
 
         self._domains: List[str] = []
         self._domain_index: Dict[str, int] = {}
@@ -424,8 +436,123 @@ class FlowDatasetBuilder:
         if user_agent is not None:
             profile.user_agents.add(user_agent)
 
+    def add_flow_batch(self, *, ts: np.ndarray, duration: np.ndarray,
+                       device: np.ndarray, resp_h: np.ndarray,
+                       resp_p: np.ndarray, proto: np.ndarray,
+                       orig_bytes: np.ndarray, resp_bytes: np.ndarray,
+                       domain: np.ndarray, user_agent: np.ndarray,
+                       ua_table: Sequence[str]) -> None:
+        """Append a column set of annotated flows (the batch twin).
+
+        ``proto`` carries dataset protocol codes, ``device``/``domain``
+        builder indices (devices must already exist via
+        :meth:`device_index`), ``user_agent`` int ids into ``ua_table``
+        with ``-1`` for None. Per-device profile aggregates are folded
+        in with the same results the scalar loop accumulates row by
+        row.
+        """
+        n = len(ts)
+        if n == 0:
+            return
+        ts = np.asarray(ts, dtype=np.float64)
+        duration = np.asarray(duration, dtype=np.float64)
+        device = np.asarray(device, dtype=np.int32)
+        orig_bytes = np.asarray(orig_bytes, dtype=np.int64)
+        resp_bytes = np.asarray(resp_bytes, dtype=np.int64)
+        day = ((ts - self.day0) // DAY).astype(np.int64)
+        self._flush_tail()
+        self._chunks.append({
+            "ts": ts,
+            "duration": duration,
+            "device": device,
+            "resp_h": np.asarray(resp_h, dtype=np.int64),
+            "resp_p": np.asarray(resp_p, dtype=np.int32),
+            "proto": np.asarray(proto, dtype=np.int8),
+            "orig_bytes": orig_bytes,
+            "resp_bytes": resp_bytes,
+            "domain": np.asarray(domain, dtype=np.int32),
+            "day": day.astype(np.int32),
+        })
+        self._chunk_rows += n
+
+        # Per-device aggregates via sort + reduceat: one pass touches
+        # each distinct device once instead of once per flow.
+        dev = device.astype(np.int64)
+        order = np.argsort(dev, kind="stable")
+        dev_sorted = dev[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], dev_sorted[1:] != dev_sorted[:-1])))
+        uniq_devices = dev_sorted[starts]
+        counts = np.diff(np.append(starts, n))
+        byte_sums = np.add.reduceat(
+            (orig_bytes + resp_bytes)[order], starts)
+        first_min = np.minimum.reduceat(ts[order], starts)
+        end_ts = ts + duration
+        last_max = np.maximum.reduceat(end_ts[order], starts)
+        for k in range(uniq_devices.size):
+            profile = self._devices[int(uniq_devices[k])]
+            profile.flow_count += int(counts[k])
+            profile.total_bytes += int(byte_sums[k])
+            profile.first_ts = min(profile.first_ts, float(first_min[k]))
+            profile.last_ts = max(profile.last_ts, float(last_max[k]))
+
+        end_day = ((end_ts - self.day0) // DAY).astype(np.int64)
+        spans = end_day != day
+        pair_dev = np.concatenate((dev, dev[spans]))
+        pair_day = np.concatenate((day, end_day[spans]))
+        for key in np.unique((pair_dev << np.int64(32))
+                             | (pair_day & np.int64(0xFFFFFFFF))):
+            self._devices[int(key >> np.int64(32))].days_seen.add(
+                int(np.int32(key & np.int64(0xFFFFFFFF))))
+
+        ua = np.asarray(user_agent, dtype=np.int64)
+        present = np.flatnonzero(ua >= 0)
+        if present.size:
+            width = np.int64(max(len(ua_table), 1))
+            for key in np.unique(dev[present] * width + ua[present]):
+                self._devices[int(key // width)].user_agents.add(
+                    ua_table[int(key % width)])
+
+    def _flush_tail(self) -> None:
+        """Move scalar-tail rows into a finished chunk."""
+        n = len(self._ts)
+        if n == 0:
+            return
+        self._chunks.append(self._tail_arrays())
+        self._chunk_rows += n
+        self._ts = array("d")
+        self._duration = array("d")
+        self._device = array("l")
+        self._resp_h = array("q")
+        self._resp_p = array("l")
+        self._proto = array("b")
+        self._orig_bytes = array("q")
+        self._resp_bytes = array("q")
+        self._domain = array("l")
+        self._day = array("l")
+
+    def _tail_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "ts": np.array(self._ts, dtype=np.float64),
+            "duration": np.array(self._duration, dtype=np.float64),
+            "device": np.array(self._device, dtype=np.int32),
+            "resp_h": np.array(self._resp_h, dtype=np.int64),
+            "resp_p": np.array(self._resp_p, dtype=np.int32),
+            "proto": np.array(self._proto, dtype=np.int8),
+            "orig_bytes": np.array(self._orig_bytes, dtype=np.int64),
+            "resp_bytes": np.array(self._resp_bytes, dtype=np.int64),
+            "domain": np.array(self._domain, dtype=np.int32),
+            "day": np.array(self._day, dtype=np.int32),
+        }
+
+    def _snapshot(self) -> Dict[str, np.ndarray]:
+        """All accumulated columns, concatenated; non-mutating."""
+        parts = self._chunks + [self._tail_arrays()]
+        return {name: np.concatenate([part[name] for part in parts])
+                for name in ARRAY_FIELDS}
+
     def __len__(self) -> int:
-        return len(self._ts)
+        return len(self._ts) + self._chunk_rows
 
     # -- merging ------------------------------------------------------------
 
@@ -458,33 +585,36 @@ class FlowDatasetBuilder:
             device_remap.append(index)
         domain_remap = [self.domain_index(name) for name in other._domains]
 
-        self._ts.extend(other._ts)
-        self._duration.extend(other._duration)
-        self._device.extend(device_remap[idx] for idx in other._device)
-        self._resp_h.extend(other._resp_h)
-        self._resp_p.extend(other._resp_p)
-        self._proto.extend(other._proto)
-        self._orig_bytes.extend(other._orig_bytes)
-        self._resp_bytes.extend(other._resp_bytes)
-        self._domain.extend(
-            NO_DOMAIN if idx == NO_DOMAIN else domain_remap[idx]
-            for idx in other._domain)
-        self._day.extend(other._day)
+        if len(other):
+            chunk = other._snapshot()
+            if other._devices:
+                chunk["device"] = np.array(
+                    device_remap, dtype=np.int32)[chunk["device"]]
+            if other._domains:
+                domain = chunk["domain"]
+                remap = np.array(domain_remap, dtype=np.int32)
+                chunk["domain"] = np.where(
+                    domain == NO_DOMAIN, np.int32(NO_DOMAIN),
+                    remap[np.where(domain == NO_DOMAIN, 0, domain)])
+            self._flush_tail()
+            self._chunks.append(chunk)
+            self._chunk_rows += len(other)
         return self
 
     def finalize(self) -> FlowDataset:
         """Freeze into numpy arrays."""
+        columns = self._snapshot()
         return FlowDataset(
-            ts=np.frombuffer(self._ts, dtype=np.float64).copy(),
-            duration=np.frombuffer(self._duration, dtype=np.float64).copy(),
-            device=np.array(self._device, dtype=np.int32),
-            resp_h=np.array(self._resp_h, dtype=np.int64),
-            resp_p=np.array(self._resp_p, dtype=np.int32),
-            proto=np.array(self._proto, dtype=np.int8),
-            orig_bytes=np.array(self._orig_bytes, dtype=np.int64),
-            resp_bytes=np.array(self._resp_bytes, dtype=np.int64),
-            domain=np.array(self._domain, dtype=np.int32),
-            day=np.array(self._day, dtype=np.int32),
+            ts=columns["ts"],
+            duration=columns["duration"],
+            device=columns["device"],
+            resp_h=columns["resp_h"],
+            resp_p=columns["resp_p"],
+            proto=columns["proto"],
+            orig_bytes=columns["orig_bytes"],
+            resp_bytes=columns["resp_bytes"],
+            domain=columns["domain"],
+            day=columns["day"],
             domains=list(self._domains),
             devices=list(self._devices),
             day0=self.day0,

@@ -26,6 +26,13 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.columnar import (
+    BatchRegistrar,
+    BurstBatch,
+    ColumnarDnsIndex,
+    ColumnarFlowEngine,
+    ColumnarLeaseIndex,
+)
 from repro.config import StudyConfig
 from repro.dhcp.normalize import IpMacResolver
 from repro.dns.mapping import IpDomainResolver
@@ -144,9 +151,7 @@ class MonitoringPipeline:
                                               Optional[float]]] = None):
         self.config = config
         self.tap = Tap(excluded_prefixes)
-        self.flow_engine = FlowEngine(config.flow_idle_timeout)
-        self.ip_mac = IpMacResolver()
-        self.ip_domain = IpDomainResolver()
+        self.use_columnar = bool(getattr(config, "use_columnar", True))
         self.anonymizer = Anonymizer(config.anonymization_salt)
         self.builder = FlowDatasetBuilder(
             config.start_ts if day0 is None else day0)
@@ -160,6 +165,18 @@ class MonitoringPipeline:
         self.coverage = CoverageTracker()
         self._gap_spans: Dict[str, List[Tuple[float, float]]] = {
             "dhcp": [], "dns": []}
+        if self.use_columnar:
+            self.flow_engine = ColumnarFlowEngine(config.flow_idle_timeout)
+            self.ip_mac = ColumnarLeaseIndex()
+            self.ip_domain = ColumnarDnsIndex()
+            self._registrar: Optional[BatchRegistrar] = BatchRegistrar(
+                config, self.builder, self._anon_cache, self.ip_mac,
+                self.ip_domain, self.stats, self._gap_spans, owned_window)
+        else:
+            self.flow_engine = FlowEngine(config.flow_idle_timeout)
+            self.ip_mac = IpMacResolver()
+            self.ip_domain = IpDomainResolver()
+            self._registrar = None
 
     @property
     def anon_cache_size(self) -> int:
@@ -187,17 +204,28 @@ class MonitoringPipeline:
             self.coverage.add_day(trace.day_start, gaps)
         for record in trace.dhcp_records:
             self.ip_mac.ingest(record)
-        for record in trace.dns_records:
-            self.ip_domain.ingest(record)
+        if self._registrar is not None:
+            self.ip_domain.ingest_batch(trace.dns_records)
+        else:
+            for record in trace.dns_records:
+                self.ip_domain.ingest(record)
 
-        kept = self.tap.filter(trace.bursts)
-        for conn in self.flow_engine.process(kept):
-            self._register(conn)
-        # Close flows that have gone idle by end of day; still-active
-        # flows remain open into the next day's processing.
-        for conn in self.flow_engine.flush(trace.day_start + DAY):
-            self._register(conn)
-        http_drained = len(self.flow_engine.drain_http())
+        if self._registrar is not None:
+            batch = self.tap.filter_batch(
+                BurstBatch.from_bursts(trace.bursts))
+            self._registrar.register(self.flow_engine.process_batch(batch))
+            # Close flows that have gone idle by end of day; still-active
+            # flows remain open into the next day's processing.
+            self._registrar.register(
+                self.flow_engine.flush_batch(trace.day_start + DAY))
+            http_drained = self.flow_engine.drain_http_count()
+        else:
+            kept = self.tap.filter(trace.bursts)
+            for conn in self.flow_engine.process(kept):
+                self._register(conn)
+            for conn in self.flow_engine.flush(trace.day_start + DAY):
+                self._register(conn)
+            http_drained = len(self.flow_engine.drain_http())
         if owned_day:
             self.stats.dhcp_records += len(trace.dhcp_records)
             self.stats.dns_records += len(trace.dns_records)
@@ -225,12 +253,17 @@ class MonitoringPipeline:
 
     def finalize(self) -> FlowDataset:
         """Close remaining flows and freeze the dataset."""
-        for conn in self.flow_engine.flush(None):
-            self._register(conn)
-        # Late flows can carry plaintext headers whose http.log records
-        # were never drained by an end-of-day pass; count them here so a
-        # finalize-only flush does not silently drop them.
-        self.stats.http_records += len(self.flow_engine.drain_http())
+        if self._registrar is not None:
+            self._registrar.register(self.flow_engine.flush_batch(None))
+            # Late flows can carry plaintext headers whose http.log
+            # records were never drained by an end-of-day pass; count
+            # them here so a finalize-only flush does not silently drop
+            # them.
+            self.stats.http_records += self.flow_engine.drain_http_count()
+        else:
+            for conn in self.flow_engine.flush(None):
+                self._register(conn)
+            self.stats.http_records += len(self.flow_engine.drain_http())
         return self.builder.finalize()
 
     def coverage_report(self) -> CoverageReport:

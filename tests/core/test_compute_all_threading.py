@@ -1,0 +1,62 @@
+"""Pin the threaded ``compute_all`` auto-degrade policy.
+
+Below :data:`repro.core.study.THREADING_MIN_FLOWS` the post-warm
+figure work is milliseconds of GIL-holding numpy glue, and the thread
+pool measurably *slows the run down* (the benchmark's ~800k-flow
+dataset ran ~15% slower at workers=4). ``compute_all`` must therefore
+run serially on small datasets no matter what ``workers`` the caller
+passed -- and must still fan out once the dataset clears the
+threshold.
+"""
+
+import pytest
+
+from repro.core import study as study_mod
+
+
+class _ForbiddenPool:
+    """Stand-in executor that fails the test if ever constructed."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError(
+            "ThreadPoolExecutor constructed for a small dataset: the "
+            "auto-degrade to workers=1 did not engage")
+
+
+class _RecordingPool(study_mod.ThreadPoolExecutor):
+    constructed = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).constructed += 1
+        super().__init__(*args, **kwargs)
+
+
+def test_small_dataset_degrades_to_serial(mini_artifacts, monkeypatch):
+    assert len(mini_artifacts.dataset) < study_mod.THREADING_MIN_FLOWS
+    monkeypatch.setattr(study_mod, "ThreadPoolExecutor", _ForbiddenPool)
+    results = mini_artifacts.compute_all(workers=4)
+    assert tuple(results) == study_mod.StudyArtifacts.ANALYSES
+
+
+def test_large_dataset_still_fans_out(mini_artifacts, monkeypatch):
+    # Drop the threshold under the mini dataset so the same artifacts
+    # count as "large": the pool must then actually be used.
+    monkeypatch.setattr(study_mod, "THREADING_MIN_FLOWS", 0)
+    monkeypatch.setattr(study_mod, "ThreadPoolExecutor", _RecordingPool)
+    _RecordingPool.constructed = 0
+    results = mini_artifacts.compute_all(workers=2)
+    assert _RecordingPool.constructed == 1
+    assert tuple(results) == study_mod.StudyArtifacts.ANALYSES
+
+
+def test_explicit_serial_never_builds_a_pool(mini_artifacts, monkeypatch):
+    monkeypatch.setattr(study_mod, "THREADING_MIN_FLOWS", 0)
+    monkeypatch.setattr(study_mod, "ThreadPoolExecutor", _ForbiddenPool)
+    results = mini_artifacts.compute_all(workers=1)
+    assert tuple(results) == study_mod.StudyArtifacts.ANALYSES
+
+
+def test_threshold_is_sane():
+    # The regression dataset (798k flows) must sit below the line, or
+    # the fix does not cover the case that motivated it.
+    assert study_mod.THREADING_MIN_FLOWS > 800_000

@@ -408,6 +408,82 @@ def test_rl006_self_is_exempt_outside_core_is_ignored(mini_repo):
     assert mini_repo.run_rule("RL006") == []
 
 
+# --- RL007: columnar hot paths stay loop-free ------------------------------
+
+def test_rl007_flags_per_row_loop_over_bursts(mini_repo):
+    mini_repo.write("columnar/hotpath", """\
+        def extract(bursts):
+            out = []
+            for burst in bursts:
+                out.append(burst.ts)
+            return out
+        """)
+    findings = mini_repo.run_rule("RL007")
+    assert len(findings) == 1
+    assert "per-row loop" in findings[0].message
+
+
+def test_rl007_flags_index_walk_over_batch(mini_repo):
+    mini_repo.write("columnar/hotpath", """\
+        def widths(batch):
+            return [batch.ts[i] for i in range(batch.n)]
+
+        def lengths(rows):
+            return [len(r) for r in range(len(rows))]
+        """)
+    findings = mini_repo.run_rule("RL007")
+    assert len(findings) == 2
+
+
+def test_rl007_flags_flatnonzero_iteration(mini_repo):
+    mini_repo.write("columnar/hotpath", """\
+        import numpy as np
+
+        def gather(mask, col):
+            return [col[i] for i in np.flatnonzero(mask)]
+        """)
+    findings = mini_repo.run_rule("RL007")
+    assert len(findings) == 1
+
+
+def test_rl007_docstring_marked_compat_surface_is_exempt(mini_repo):
+    mini_repo.write("columnar/hotpath", """\
+        def to_rows(records):
+            \"\"\"Materialize row objects (compat/testing surface only).\"\"\"
+            return [r for r in records]
+
+        def dump(bursts):
+            \"\"\"Binding history of one batch (inspection).\"\"\"
+            for b in bursts:
+                print(b)
+        """)
+    assert mini_repo.run_rule("RL007") == []
+
+
+def test_rl007_distinct_value_loops_are_out_of_scope(mini_repo):
+    mini_repo.write("columnar/hotpath", """\
+        import numpy as np
+
+        def intern(protos):
+            table = []
+            for name in np.unique(protos):
+                table.append(str(name))
+            for local, name in enumerate(table):
+                table[local] = name
+            return table
+        """)
+    assert mini_repo.run_rule("RL007") == []
+
+
+def test_rl007_ignores_modules_outside_columnar(mini_repo):
+    mini_repo.write("pipeline/rowpath", """\
+        def reference(bursts):
+            for burst in bursts:
+                yield burst.ts
+        """)
+    assert mini_repo.run_rule("RL007") == []
+
+
 # --- engine plumbing shared by all rules -----------------------------------
 
 def test_pragma_is_rule_specific(mini_repo):

@@ -1,0 +1,234 @@
+"""Property-based equivalence: columnar indexes vs reference loops.
+
+Each columnar structure (interval-join lease index, per-IP DNS epoch
+tables, batch flow engine) must answer every query exactly as its
+row-at-a-time reference twin on *randomly generated* inputs covering
+the awkward regions: overlapping leases, expired leases queried inside
+staleness holdover, DNS epochs split by stale gaps, flows interleaved
+across batch boundaries and idle timeouts.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar.dnsindex import ColumnarDnsIndex
+from repro.columnar.engine import ColumnarFlowEngine
+from repro.columnar.leases import ColumnarLeaseIndex
+from repro.dhcp.log import DhcpLogRecord
+from repro.dhcp.normalize import IpMacResolver
+from repro.dns.mapping import IpDomainResolver
+from repro.dns.records import DnsLogRecord
+from repro.net.mac import MacAddress
+from repro.net.wire import SegmentBurst
+from repro.zeek.engine import FlowEngine
+
+# -- DHCP lease interval join ---------------------------------------------
+
+#: (ip index, time delta, lease duration, mac index) -- deltas keep the
+#: stream globally time-ordered; short durations make expiry and
+#: holdover regions common rather than rare.
+_lease_event = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=0.0, max_value=4000.0),
+    st.floats(min_value=1.0, max_value=3000.0),
+    st.integers(min_value=0, max_value=4),
+)
+
+_query_point = st.tuples(
+    st.integers(min_value=0, max_value=4),       # ip index (incl. unseen)
+    st.floats(min_value=-500.0, max_value=30_000.0),
+)
+
+
+def _lease_records(events):
+    clock = 0.0
+    records = []
+    for ip_idx, delta, duration, mac_idx in events:
+        clock += delta
+        records.append(DhcpLogRecord(
+            ts=clock, mac=MacAddress(0x9C1A0000_0000 + mac_idx),
+            ip=0x0A00_0000 + ip_idx, lease_end=clock + duration))
+    return records
+
+
+class TestLeaseIndexProperties:
+    @given(st.lists(_lease_event, max_size=40),
+           st.lists(_query_point, min_size=1, max_size=25),
+           st.floats(min_value=0.0, max_value=5000.0))
+    @settings(max_examples=200)
+    def test_interval_join_equals_reference(self, events, queries,
+                                            staleness):
+        reference = IpMacResolver()
+        columnar = ColumnarLeaseIndex()
+        for record in _lease_records(events):
+            reference.ingest(record)
+            columnar.ingest(record)
+
+        ips = np.array([0x0A00_0000 + q[0] for q in queries],
+                       dtype=np.int64)
+        tss = np.array([q[1] for q in queries], dtype=np.float64)
+        fresh_ids = columnar.mac_ids_at(ips, tss)
+        stale_ids = columnar.mac_ids_at_stale(ips, tss, staleness)
+        for i, (ip, ts) in enumerate(zip(ips.tolist(), tss.tolist())):
+            assert columnar.mac_at(ip, ts) == reference.mac_at(ip, ts)
+            expected = reference.mac_at(ip, ts)
+            got = (None if fresh_ids[i] < 0
+                   else columnar.mac_table[int(fresh_ids[i])])
+            assert got == expected
+            expected_stale = reference.mac_at_stale(ip, ts, staleness)
+            got_stale = (None if stale_ids[i] < 0
+                         else columnar.mac_table[int(stale_ids[i])])
+            assert got_stale == expected_stale
+
+
+# -- DNS epoch tables ------------------------------------------------------
+
+_dns_event = st.tuples(
+    st.floats(min_value=0.0, max_value=40_000.0),      # time delta
+    st.integers(min_value=0, max_value=3),             # qname index
+    st.lists(st.integers(min_value=0, max_value=3),    # answer ip indexes
+             min_size=0, max_size=3, unique=True),
+)
+
+_gap_span = st.tuples(st.floats(min_value=0.0, max_value=200_000.0),
+                      st.floats(min_value=1.0, max_value=100_000.0))
+
+
+def _dns_records(events):
+    clock = 0.0
+    records = []
+    for delta, name_idx, answers in events:
+        clock += delta
+        records.append(DnsLogRecord(
+            ts=clock, client_ip=0x0A000001, qname=f"site{name_idx}.edu",
+            answers=tuple(0x08080800 + a for a in answers), ttl=300.0))
+    return records
+
+
+class TestDnsIndexProperties:
+    # A small freshness window makes stale-gap splits common.
+    FRESHNESS = 9000.0
+
+    def _build(self, events, batch):
+        reference = IpDomainResolver(freshness_seconds=self.FRESHNESS)
+        columnar = ColumnarDnsIndex(freshness_seconds=self.FRESHNESS)
+        records = _dns_records(events)
+        for record in records:
+            reference.ingest(record)
+        if batch:
+            columnar.ingest_batch(records)
+        else:
+            for record in records:
+                columnar.ingest(record)
+        return reference, columnar
+
+    @given(st.lists(_dns_event, max_size=40),
+           st.lists(_query_point, min_size=1, max_size=25),
+           st.booleans())
+    @settings(max_examples=200)
+    def test_lookback_equals_reference(self, events, queries, batch):
+        reference, columnar = self._build(events, batch)
+        ips = np.array([0x08080800 + q[0] for q in queries],
+                       dtype=np.int64)
+        tss = np.array([q[1] for q in queries], dtype=np.float64)
+        ids = columnar.domain_ids_at(ips, tss)
+        for i, (ip, ts) in enumerate(zip(ips.tolist(), tss.tolist())):
+            expected = reference.domain_at(ip, ts)
+            assert columnar.domain_at(ip, ts) == expected
+            got = (None if ids[i] < 0
+                   else columnar.name_table[int(ids[i])])
+            assert got == expected
+
+    @given(st.lists(_dns_event, max_size=40),
+           st.lists(_query_point, min_size=1, max_size=15),
+           st.lists(_gap_span, max_size=4),
+           st.booleans())
+    @settings(max_examples=150)
+    def test_degraded_lookback_equals_reference(self, events, queries,
+                                                spans, batch):
+        reference, columnar = self._build(events, batch)
+        gaps = [(start, start + length) for start, length in spans]
+        ips = np.array([0x08080800 + q[0] for q in queries],
+                       dtype=np.int64)
+        tss = np.array([q[1] for q in queries], dtype=np.float64)
+        ids = columnar.domain_ids_at_degraded(ips, tss, gaps)
+        for i, (ip, ts) in enumerate(zip(ips.tolist(), tss.tolist())):
+            expected = reference.domain_at_degraded(ip, ts, gaps)
+            assert columnar.domain_at_degraded(ip, ts, gaps) == expected
+            got = (None if ids[i] < 0
+                   else columnar.name_table[int(ids[i])])
+            assert got == expected
+
+    @given(st.lists(_dns_event, max_size=40))
+    @settings(max_examples=100)
+    def test_batch_ingest_equals_scalar_ingest(self, events):
+        _, scalar = self._build(events, batch=False)
+        _, batched = self._build(events, batch=True)
+        assert scalar.record_count == batched.record_count
+        assert len(scalar) == len(batched)
+        assert sorted(scalar.observed_ips()) == sorted(batched.observed_ips())
+
+
+# -- Flow engine -----------------------------------------------------------
+
+#: (key index, time delta, is_final, has user agent, has host) over a
+#: tiny key space so flows collide, interleave, continue across batch
+#: boundaries and get idle-killed.
+_burst_event = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=0.0, max_value=500.0),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+
+_KEYS = [
+    (0x0A000001, 40001, 0x08080808, 443, "tcp"),
+    (0x0A000001, 40002, 0x08080808, 80, "tcp"),
+    (0x0A000002, 50001, 0x08080404, 443, "udp"),
+    (0x0A000002, 40001, 0x08080808, 443, "tcp"),
+]
+
+
+def _bursts(events):
+    clock = 0.0
+    bursts = []
+    for key_idx, delta, final, has_ua, has_host in events:
+        clock += delta
+        cip, cport, sip, sport, proto = _KEYS[key_idx]
+        bursts.append(SegmentBurst(
+            ts=clock, client_ip=cip, client_port=cport, server_ip=sip,
+            server_port=sport, proto=proto, orig_bytes=10, resp_bytes=20,
+            user_agent=f"ua-{key_idx}" if has_ua else None,
+            http_host=f"host{key_idx}.edu" if has_host else None,
+            is_final=final))
+    return bursts
+
+
+class TestFlowEngineProperties:
+    @given(st.lists(_burst_event, max_size=60),
+           st.lists(st.integers(min_value=1, max_value=59), max_size=3,
+                    unique=True))
+    @settings(max_examples=200)
+    def test_batched_assembly_equals_scalar(self, events, cuts):
+        """Any chunking of the stream yields the scalar engine's exact
+        ConnRecords (uids included) and flush behaviour."""
+        bursts = _bursts(events)
+        reference = FlowEngine(idle_timeout=600.0)
+        columnar = ColumnarFlowEngine(idle_timeout=600.0)
+        edges = sorted({cut for cut in cuts if cut < len(bursts)})
+        chunks, prev = [], 0
+        for edge in edges + [len(bursts)]:
+            chunks.append(bursts[prev:edge])
+            prev = edge
+        clock = 0.0
+        for chunk in chunks:
+            assert columnar.process(chunk) == reference.process(chunk)
+            if chunk:
+                clock = max(clock, chunk[-1].ts)
+            # Mid-stream idle flush, then the terminal flush-all.
+            assert (columnar.flush(clock + 50.0)
+                    == reference.flush(clock + 50.0))
+            assert columnar.open_flow_count == reference.open_flow_count
+        assert columnar.flush(None) == reference.flush(None)
+        assert columnar.open_flow_count == reference.open_flow_count == 0

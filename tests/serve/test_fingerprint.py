@@ -139,4 +139,5 @@ def test_non_semantic_fields_are_not_semantic_config_fields():
             assert spec.name not in payload
         else:
             assert spec.name in payload
-    assert _NON_SEMANTIC_CONFIG_FIELDS == ["max_shard_retries"]
+    assert sorted(_NON_SEMANTIC_CONFIG_FIELDS) == [
+        "max_shard_retries", "use_columnar"]
