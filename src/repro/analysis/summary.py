@@ -207,6 +207,7 @@ def _mean_distinct_sites_reference(dataset: FlowDataset,
             site = site_of_domain[domain_idx]
             if site is not None:
                 pairs.add((int(device), site))
+        # reprolint: allow[RL009] -- order-free reduction: set-to-set comprehension feeding only len()
         active_devices = {device for device, _ in pairs}
         if active_devices:
             monthly_means.append(len(pairs) / len(active_devices))

@@ -34,6 +34,7 @@ from repro.analysis.expectations import (
 )
 from repro.core.report import render_full_report
 from repro.pipeline.store import load_dataset, save_dataset
+from repro.reliability.atomic import write_text
 
 _CONFIG_FILE = "config.json"
 _DATASET_FILE = "flows.npz"
@@ -51,8 +52,9 @@ def _full_report(artifacts) -> str:
 def _save_config(config: StudyConfig, directory: str) -> None:
     # Full-fidelity round trip (every field, tuples as lists); the
     # same payload the serve fingerprint and eval baselines embed.
-    with open(os.path.join(directory, _CONFIG_FILE), "w") as fileobj:
-        json.dump(config.to_payload(), fileobj, indent=2, sort_keys=True)
+    write_text(os.path.join(directory, _CONFIG_FILE),
+               json.dumps(config.to_payload(), indent=2, sort_keys=True)
+               + "\n")
 
 
 def _load_config(directory: str) -> StudyConfig:
@@ -166,8 +168,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _save_config(config, args.out)
         save_dataset(artifacts.dataset,
                      os.path.join(args.out, _DATASET_FILE))
-        with open(os.path.join(args.out, _REPORT_FILE), "w") as fileobj:
-            fileobj.write(report + "\n")
+        write_text(os.path.join(args.out, _REPORT_FILE), report + "\n")
         _progress(f"dataset and report written to {args.out}/")
     return 0
 
@@ -378,9 +379,8 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         os.makedirs("eval_reports", exist_ok=True)
         stamp = time.strftime("%Y%m%d_%H%M%S", time.gmtime())
         report_path = os.path.join("eval_reports", f"eval_{stamp}.json")
-    with open(report_path, "w") as fileobj:
-        json.dump(report.to_payload(), fileobj, indent=2)
-        fileobj.write("\n")
+    write_text(report_path,
+               json.dumps(report.to_payload(), indent=2) + "\n")
     _progress(f"machine-readable report written to {report_path}")
     return report.exit_code
 

@@ -19,14 +19,21 @@ string table, with ``-1`` standing for None.
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
 from repro.zeek.conn import ConnRecord
 
+if TYPE_CHECKING:
+    from numpy.typing import DTypeLike
 
-def _encode_strings(values: Union[np.ndarray, Sequence[Optional[str]]]):
+    from repro.net.wire import SegmentBurst
+
+
+def _encode_strings(values: Union[np.ndarray, Sequence[Optional[str]]]
+                    ) -> Tuple[np.ndarray, List[str]]:
     """Dictionary-encode a nullable string column.
 
     Returns ``(ids, table)``: ``ids[i] == -1`` where ``values[i]`` is
@@ -44,7 +51,7 @@ def _encode_strings(values: Union[np.ndarray, Sequence[Optional[str]]]):
     return ids, []
 
 
-def _encode_protocols(protos: np.ndarray):
+def _encode_protocols(protos: np.ndarray) -> Tuple[np.ndarray, List[str]]:
     """Dictionary-encode the (tiny-cardinality) protocol column.
 
     One vectorized equality sweep per distinct protocol beats a full
@@ -64,7 +71,7 @@ def _encode_protocols(protos: np.ndarray):
     return ids, table
 
 
-def _column(rows: list, name: str, dtype) -> np.ndarray:
+def _column(rows: list, name: str, dtype: "DTypeLike") -> np.ndarray:
     """One field of every row as a typed array, in a single C-level
     pass (fromiter over an attrgetter map -- no intermediate list)."""
     return np.fromiter(map(attrgetter(name), rows), dtype, count=len(rows))
@@ -95,10 +102,13 @@ class BurstBatch:
                  "resp_bytes", "ua_id", "ua_table", "host_id",
                  "host_table", "is_final")
 
-    def __init__(self, *, ts, client_ip, client_port, server_ip,
-                 server_port, proto_id, proto_table, orig_bytes,
-                 resp_bytes, ua_id, ua_table, host_id, host_table,
-                 is_final):
+    def __init__(self, *, ts: np.ndarray, client_ip: np.ndarray,
+                 client_port: np.ndarray, server_ip: np.ndarray,
+                 server_port: np.ndarray, proto_id: np.ndarray,
+                 proto_table: List[str], orig_bytes: np.ndarray,
+                 resp_bytes: np.ndarray, ua_id: np.ndarray,
+                 ua_table: List[str], host_id: np.ndarray,
+                 host_table: List[str], is_final: np.ndarray) -> None:
         self.n = len(ts)
         self.ts = ts
         self.client_ip = client_ip
@@ -116,7 +126,7 @@ class BurstBatch:
         self.is_final = is_final
 
     @classmethod
-    def from_bursts(cls, bursts) -> "BurstBatch":
+    def from_bursts(cls, bursts: "Iterable[SegmentBurst]") -> "BurstBatch":
         """Extract columns from SegmentBurst-like row objects.
 
         The per-field comprehensions below are the extraction boundary:
@@ -186,9 +196,14 @@ class FlowBatch:
                  "orig_bytes", "resp_bytes", "ua", "ua_table",
                  "host", "host_table")
 
-    def __init__(self, *, uid, ts, duration, orig_h, orig_p, resp_h,
-                 resp_p, proto, proto_table, orig_bytes, resp_bytes,
-                 ua, ua_table, host, host_table):
+    def __init__(self, *, uid: np.ndarray, ts: np.ndarray,
+                 duration: np.ndarray, orig_h: np.ndarray,
+                 orig_p: np.ndarray, resp_h: np.ndarray,
+                 resp_p: np.ndarray, proto: np.ndarray,
+                 proto_table: List[str], orig_bytes: np.ndarray,
+                 resp_bytes: np.ndarray, ua: np.ndarray,
+                 ua_table: List[str], host: np.ndarray,
+                 host_table: List[str]) -> None:
         self.n = len(ts)
         self.uid = uid
         self.ts = ts

@@ -52,7 +52,9 @@ def merge_spans(spans: Sequence[Tuple[float, float]],
 class ColumnarDnsIndex:
     """Point-in-time IP -> domain lookup with batch (vectorized) queries."""
 
-    def __init__(self, freshness_seconds: float = DEFAULT_FRESHNESS_SECONDS):
+    def __init__(self,
+                 freshness_seconds: float = DEFAULT_FRESHNESS_SECONDS
+                 ) -> None:
         if freshness_seconds <= 0:
             raise ValueError("freshness_seconds must be positive")
         self.freshness_seconds = float(freshness_seconds)

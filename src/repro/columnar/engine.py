@@ -31,7 +31,7 @@ uid assignment.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.columnar.batch import BurstBatch, FlowBatch
 from repro.perf.kernels import segmented_running_max
 from repro.zeek.conn import ConnRecord
 from repro.zeek.http import HttpRecord
+
+if TYPE_CHECKING:
+    from repro.net.wire import SegmentBurst
 
 #: Five-tuple key packed into two int64 words: (client_ip << 32 |
 #: server_ip, client_port << 32 | server_port << 16 | proto_code).
@@ -54,8 +57,10 @@ class _OpenTable:
     __slots__ = ("key", "first_ts", "last_ts", "orig_bytes", "resp_bytes",
                  "ua", "host", "seq")
 
-    def __init__(self, key, first_ts, last_ts, orig_bytes, resp_bytes,
-                 ua, host, seq):
+    def __init__(self, key: np.ndarray, first_ts: np.ndarray,
+                 last_ts: np.ndarray, orig_bytes: np.ndarray,
+                 resp_bytes: np.ndarray, ua: np.ndarray,
+                 host: np.ndarray, seq: np.ndarray) -> None:
         self.key = key
         self.first_ts = first_ts
         self.last_ts = last_ts
@@ -97,7 +102,7 @@ class _OpenTable:
 class ColumnarFlowEngine:
     """Stateful burst-to-flow assembly over record batches."""
 
-    def __init__(self, idle_timeout: float = 600.0):
+    def __init__(self, idle_timeout: float = 600.0) -> None:
         if idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive")
         self.idle_timeout = float(idle_timeout)
@@ -359,9 +364,12 @@ class ColumnarFlowEngine:
         return key
 
     def _emit(self, open_table: "_OpenTable", kill_rows: np.ndarray,
-              kill_trigger: np.ndarray, fl_hi, fl_lo, fl_first, fl_last,
-              fl_orig, fl_resp, fl_ua, fl_host, closed, trigger,
-              sub) -> FlowBatch:
+              kill_trigger: np.ndarray, fl_hi: np.ndarray,
+              fl_lo: np.ndarray, fl_first: np.ndarray,
+              fl_last: np.ndarray, fl_orig: np.ndarray,
+              fl_resp: np.ndarray, fl_ua: np.ndarray,
+              fl_host: np.ndarray, closed: np.ndarray,
+              trigger: np.ndarray, sub: np.ndarray) -> FlowBatch:
         """Assemble all of a batch's closures in scalar emission order."""
         ci = np.flatnonzero(closed)
         nk = len(kill_rows)
@@ -400,8 +408,10 @@ class ColumnarFlowEngine:
             merge(open_table.host, fl_host),
             uid)
 
-    def _flow_batch(self, hi, lo, first, last, orig, resp, ua, host,
-                    uid) -> FlowBatch:
+    def _flow_batch(self, hi: np.ndarray, lo: np.ndarray,
+                    first: np.ndarray, last: np.ndarray,
+                    orig: np.ndarray, resp: np.ndarray, ua: np.ndarray,
+                    host: np.ndarray, uid: np.ndarray) -> FlowBatch:
         return FlowBatch(
             uid=uid,
             ts=first,
@@ -488,7 +498,7 @@ class ColumnarFlowEngine:
 
     # -- scalar compat surface (reference API) -----------------------------
 
-    def process(self, bursts) -> List[ConnRecord]:
+    def process(self, bursts: "Iterable[SegmentBurst]") -> List[ConnRecord]:
         """Row-object twin of :meth:`process_batch` (compat/testing)."""
         return self.process_batch(
             BurstBatch.from_bursts(bursts)).to_conn_records()

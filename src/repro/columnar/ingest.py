@@ -45,7 +45,8 @@ class BatchRegistrar:
                  dns: ColumnarDnsIndex, stats: "PipelineStats",
                  gap_spans: Dict[str, List[Tuple[float, float]]],
                  owned_window: Optional[Tuple[Optional[float],
-                                              Optional[float]]] = None):
+                                              Optional[float]]] = None
+                 ) -> None:
         self.config = config
         self.builder = builder
         self.anon_cache = anon_cache

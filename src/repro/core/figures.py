@@ -15,6 +15,7 @@ from typing import Dict, List
 from repro import constants
 from repro.core.study import StudyArtifacts
 from repro.devices.types import DeviceClass
+from repro.reliability.atomic import replacing
 from repro.stats.descriptive import BoxStats
 from repro.util.timeutil import format_day
 
@@ -49,8 +50,9 @@ def export_figure_csvs(artifacts: StudyArtifacts, directory: str) -> List[str]:
     paths = []
     for name, writer in writers:
         path = os.path.join(directory, name)
-        with open(path, "w", newline="") as fileobj:
-            writer(artifacts, csv.writer(fileobj))
+        with replacing(path) as staged:
+            with open(staged, "w", newline="") as fileobj:
+                writer(artifacts, csv.writer(fileobj))
         paths.append(path)
     return paths
 

@@ -25,6 +25,7 @@ from repro.dhcp.log import DhcpLogRecord
 from repro.dns.records import DnsLogRecord
 from repro.net.ip import int_to_ip, ip_to_int
 from repro.net.wire import SegmentBurst
+from repro.reliability.atomic import replacing, write_text
 from repro.reliability.errors import (
     CATEGORY_FIELD,
     CATEGORY_VALUE,
@@ -104,11 +105,12 @@ def burst_from_json(line: str, line_no: Optional[int] = None) -> SegmentBurst:
 
 def _write_gz_lines(path: str, lines: Iterable[str]) -> int:
     count = 0
-    with gzip.open(path, "wt") as fileobj:
-        for line in lines:
-            fileobj.write(line)
-            fileobj.write("\n")
-            count += 1
+    with replacing(path) as staged:
+        with gzip.open(staged, "wt") as fileobj:
+            for line in lines:
+                fileobj.write(line)
+                fileobj.write("\n")
+                count += 1
     return count
 
 
@@ -150,8 +152,8 @@ def export_traces(traces, root: str,
         "days": days,
         **(extra_manifest or {}),
     }
-    with open(os.path.join(root, MANIFEST_NAME), "w") as fileobj:
-        json.dump(manifest, fileobj, indent=2)
+    write_text(os.path.join(root, MANIFEST_NAME),
+               json.dumps(manifest, indent=2) + "\n")
     return len(days)
 
 

@@ -18,6 +18,7 @@ from repro.lint.baseline import (
     match_baseline,
     save_baseline,
 )
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.lint.engine import LintEngine
 from repro.lint.report import render_human, render_json, render_rule_list
 from repro.lint.rules import ALL_RULES, select_rules
@@ -47,7 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository root (default: nearest pyproject.toml upward)")
     parser.add_argument(
         "--rule", action="append", default=None, metavar="RLNNN",
-        help="run only this rule (repeatable)")
+        help="run only these rules (repeatable and/or comma-separated, "
+             "e.g. --rule RL001,RL009)")
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
         help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})")
@@ -60,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit")
+    parser.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="also write the JSON findings report to this file")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help=f"parse/summary cache directory "
+             f"(default: <root>/{DEFAULT_CACHE_DIR})")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache for this run")
     return parser
 
 
@@ -77,11 +89,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     root = find_root(args.root)
     baseline_path = (Path(args.baseline) if args.baseline is not None
                      else root / DEFAULT_BASELINE_NAME)
+    cache = None
+    if not args.no_cache:
+        cache_dir = (Path(args.cache_dir) if args.cache_dir is not None
+                     else root / DEFAULT_CACHE_DIR)
+        cache = LintCache(cache_dir)
 
     # reprolint: allow[RL001] -- wall-clock runtime reporting only
     started = time.perf_counter()
     try:
-        findings = LintEngine(rules).run(root)
+        findings = LintEngine(rules, cache=cache).run(root)
     except (FileNotFoundError, SyntaxError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -95,6 +112,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     match = match_baseline(findings, load_baseline(baseline_path))
+    if args.report_out is not None:
+        report_path = Path(args.report_out)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(  # reprolint: allow[RL012] -- CI report artifact, consumed immediately after the run
+            render_json(match, elapsed) + "\n", encoding="utf-8")
     renderer = render_json if args.format == "json" else render_human
     print(renderer(match, elapsed))
     return 1 if match.new else 0

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # import-time cycle: rules.base imports this module
+    from repro.lint.cache import LintCache
     from repro.lint.rules.base import Rule
 
 #: Pragma waving one or more rules for a single line, e.g.
@@ -69,6 +70,8 @@ class ModuleInfo:
     #: Local name -> fully dotted origin for every import binding, e.g.
     #: ``{"np": "numpy", "default_rng": "numpy.random.default_rng"}``.
     imports: Dict[str, str] = field(default_factory=dict)
+    #: Content hash of the source text; the cache key component.
+    sha256: str = ""
 
     def line_text(self, line: int) -> str:
         """The 1-based physical line, or '' when out of range."""
@@ -172,6 +175,7 @@ def load_module(path: Path, root: Path, src_root: Path) -> ModuleInfo:
         lines=tuple(source.splitlines()),
         tree=tree,
         imports=_import_bindings(tree),
+        sha256=hashlib.sha256(source.encode("utf-8")).hexdigest(),
     )
 
 
@@ -253,19 +257,65 @@ def fingerprint_findings(findings: Sequence[Finding],
 
 
 class LintEngine:
-    """Runs a set of rules over the repository and collects findings."""
+    """Runs a set of rules over the repository and collects findings.
 
-    def __init__(self, rules: Sequence["Rule"]) -> None:
+    With a :class:`~repro.lint.cache.LintCache` attached, per-module
+    rule output is cached by file content hash and whole-program
+    output (``check_project``/``check_semantics``) by a project-wide
+    digest, so an unchanged tree re-lints from JSON without re-running
+    a single rule.  Cached findings are raw (pre-waiver,
+    pre-fingerprint): pragma filtering and fingerprinting always run
+    against the current sources, so moving a waiver never serves a
+    stale suppression.
+    """
+
+    def __init__(self, rules: Sequence["Rule"],
+                 cache: Optional["LintCache"] = None) -> None:
         self.rules = list(rules)
+        self.cache = cache
+
+    def _module_findings(self, rule: "Rule",
+                         info: ModuleInfo) -> List[Finding]:
+        if self.cache is not None:
+            cached = self.cache.load_module_findings(
+                info, rule.rule_id, rule.cache_version)
+            if cached is not None:
+                return cached
+        findings = list(rule.check_module(info))
+        if self.cache is not None:
+            self.cache.store_module_findings(
+                info, rule.rule_id, rule.cache_version, findings)
+        return findings
 
     def run(self, root: Path) -> List[Finding]:
         index = build_index(root)
         modules_by_relpath = {info.relpath: info for info in index.modules}
+        project_key = (self.cache.project_key(index)
+                       if self.cache is not None else "")
         raw: List[Finding] = []
+        model = None
         for rule in self.rules:
             for info in index.modules:
-                raw.extend(rule.check_module(info))
-            raw.extend(rule.check_project(index))
+                raw.extend(self._module_findings(rule, info))
+            if self.cache is not None:
+                cached = self.cache.load_project_findings(
+                    project_key, rule.rule_id, rule.cache_version)
+                if cached is not None:
+                    raw.extend(cached)
+                    continue
+            findings = list(rule.check_project(index))
+            if rule.needs_semantics:
+                if model is None:
+                    from repro.lint.semantics.model import model_for
+                    loader = (self.cache.load_facts
+                              if self.cache is not None else None)
+                    model = model_for(index, loader)
+                findings.extend(rule.check_semantics(model))
+            if self.cache is not None:
+                self.cache.store_project_findings(
+                    project_key, rule.rule_id, rule.cache_version,
+                    findings)
+            raw.extend(findings)
         kept = [
             finding for finding in raw
             if not (finding.path in modules_by_relpath

@@ -1,0 +1,158 @@
+"""RL012: persistence writes must route through repro.reliability.atomic.
+
+The crash-chaos suite proves one property: a reader never observes a
+torn artifact, because every durable write stages to a temp file,
+fsyncs, and ``os.replace``s into place -- the discipline implemented
+once in :mod:`repro.reliability.atomic`.  A raw ``open(path, "w")``,
+``Path.write_text``, bare ``os.replace``, or direct ``np.savez``
+anywhere else re-opens the torn-write window that suite exists to
+close.
+
+The rule scans every module (only ``repro.reliability.atomic`` itself
+is exempt) for raw-write surfaces.  Writes are sanctioned when their
+path/handle argument derives from an atomic-staging call: local names
+bound from ``repro.reliability.atomic.*`` results are tracked by a
+small forward pass, so the blessed pattern
+
+    with replacing(path) as staged:
+        np.savez_compressed(staged, **arrays)
+
+passes without annotation while ``np.savez_compressed(path, ...)``
+is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import Rule
+from repro.lint.semantics.facts import CallFact, FunctionFacts
+from repro.lint.semantics.model import SemanticModel
+
+#: The one module allowed to perform raw writes: the chokepoint.
+EXEMPT_MODULES = frozenset({"repro.reliability.atomic"})
+
+#: The sanctioned staging surface.
+ATOMIC_PREFIX = "repro.reliability.atomic."
+
+#: open()-like callables whose mode argument may request writing.
+OPEN_CALLS = frozenset({"open", "gzip.open", "bz2.open", "lzma.open"})
+
+#: Calls that replace/move/copy files in place.
+MOVE_CALLS = frozenset({
+    "os.replace", "os.rename", "os.link", "os.symlink",
+    "shutil.move", "shutil.copy", "shutil.copyfile", "shutil.copy2",
+})
+
+#: Calls that write a file from a path argument.
+SAVE_CALLS = frozenset({
+    "numpy.save", "numpy.savez", "numpy.savez_compressed",
+    "numpy.savetxt",
+})
+
+#: Path-object methods that write through the receiver.
+WRITE_METHODS = frozenset({"write_text", "write_bytes", "touch"})
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _write_mode(call: CallFact) -> Optional[str]:
+    """The write-requesting mode string of an open() call, if any."""
+    mode: Optional[str] = None
+    positional = [arg for arg in call.args if not arg.keyword]
+    if len(positional) >= 2:
+        mode = positional[1].const
+    for arg in call.args:
+        if arg.keyword == "mode":
+            mode = arg.const
+    if mode is not None and _WRITE_MODE_CHARS.intersection(mode):
+        return mode
+    return None
+
+
+def _blessed_names(fn: FunctionFacts) -> Set[str]:
+    """Locals derived from atomic-staging results, plus blessed call
+    ids (as ``#<id>``), by forward propagation through assignments."""
+    blessed: Set[str] = set()
+    for instr in fn.instrs:
+        if instr.op == "call" and instr.call is not None \
+                and instr.call.callee.startswith(ATOMIC_PREFIX):
+            blessed.add(f"#{instr.call.call_id}")
+    changed = True
+    while changed:
+        changed = False
+        for instr in fn.instrs:
+            if instr.op != "assign":
+                continue
+            if not any(
+                    (atom.kind == "call" and f"#{atom.root}" in blessed)
+                    or (atom.kind == "var" and atom.root in blessed)
+                    for atom in instr.atoms):
+                continue
+            for target in instr.targets:
+                head = target.split(".", 1)[0]
+                if head not in blessed:
+                    blessed.add(head)
+                    changed = True
+    return blessed
+
+
+def _uses_blessed(call: CallFact, blessed: Set[str]) -> bool:
+    atoms = [atom for arg in call.args for atom in arg.atoms]
+    atoms.extend(call.extra)
+    for atom in atoms:
+        if atom.kind == "var" and atom.root in blessed:
+            return True
+        if atom.kind == "attr" \
+                and atom.root.split(".", 1)[0] in blessed:
+            return True
+        if atom.kind == "call" and f"#{atom.root}" in blessed:
+            return True
+    if call.receiver and call.receiver.split(".", 1)[0] in blessed:
+        return True
+    return False
+
+
+class AtomicChokepointRule(Rule):
+    rule_id = "RL012"
+    title = ("durable writes must go through repro.reliability.atomic, "
+             "not raw open/replace/save calls")
+    needs_semantics = True
+
+    def check_semantics(self,
+                        model: SemanticModel) -> Iterator[Finding]:
+        for module_name in sorted(model.modules):
+            if module_name in EXEMPT_MODULES:
+                continue
+            facts = model.modules[module_name]
+            for fn in facts.functions:
+                blessed = _blessed_names(fn)
+                for instr in fn.instrs:
+                    if instr.op != "call" or instr.call is None:
+                        continue
+                    message = self._violation(instr.call, blessed)
+                    if message is not None:
+                        yield self.finding_at(
+                            facts.relpath, instr.call.line,
+                            instr.call.col,
+                            f"{fn.qualname} {message}; route durable "
+                            f"writes through repro.reliability.atomic")
+
+    def _violation(self, call: CallFact,
+                   blessed: Set[str]) -> Optional[str]:
+        callee = call.callee
+        if callee in OPEN_CALLS:
+            mode = _write_mode(call)
+            if mode is not None and not _uses_blessed(call, blessed):
+                return f"opens a file for writing ({callee}, " \
+                       f"mode {mode!r})"
+            return None
+        if callee in MOVE_CALLS and not _uses_blessed(call, blessed):
+            return f"calls {callee}() directly"
+        if callee in SAVE_CALLS and not _uses_blessed(call, blessed):
+            return f"writes via {callee}() to an unstaged path"
+        if not callee and call.method in WRITE_METHODS \
+                and not _uses_blessed(call, blessed):
+            return f"writes via <path>.{call.method}()"
+        return None

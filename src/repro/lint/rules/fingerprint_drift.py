@@ -1,0 +1,101 @@
+"""RL008: non-semantic config fields must not steer fingerprinted compute.
+
+The results-store addresses every artifact by a fingerprint of the
+*semantic* study inputs; ``repro/serve/fingerprint.py`` excludes the
+operational knobs in ``NON_SEMANTIC_FIELDS`` (worker count, retry
+budget, output paths, ...) precisely because two runs differing only in
+those knobs must produce byte-identical artifacts under the same key.
+A compute-path read of an excluded field is therefore a latent cache
+poisoner: the knob changes the bytes but not the key.
+
+This rule walks the call graph from every function in the compute
+packages, and flags any reachable function -- wherever it lives -- that
+reads an excluded field off a config-shaped value (a name containing a
+``config``/``cfg`` token, or a parameter annotated ``StudyConfig``).
+The field list is read from the *scanned* project's AST (the module
+facts of ``repro.serve.fingerprint``), never from the running package,
+so the rule follows the tree it is checking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import Rule
+from repro.lint.semantics.callgraph import CallGraph
+from repro.lint.semantics.facts import FunctionFacts, iter_atoms
+from repro.lint.semantics.model import SemanticModel
+
+#: Packages whose functions root the fingerprinted compute paths: the
+#: code that produces artifact bytes stored under a fingerprint key.
+COMPUTE_PREFIXES = (
+    "repro.pipeline", "repro.columnar", "repro.sessions",
+    "repro.analysis", "repro.apps", "repro.core", "repro.stats",
+    "repro.synth",
+)
+
+#: Modules that legitimately read operational knobs even when reached
+#: from compute code: the config schema itself, the fingerprint
+#: builder (it must name the fields to exclude them), and the
+#: orchestration layers that consume the knobs by design.
+EXEMPT_PREFIXES = (
+    "repro.config", "repro.serve", "repro.cli", "repro.reliability",
+)
+
+#: Where the exclusion list lives in the scanned project.
+FINGERPRINT_MODULE = "repro.serve.fingerprint"
+FIELDS_CONSTANT = "NON_SEMANTIC_FIELDS"
+
+
+def _config_shaped(root: str, fn: FunctionFacts) -> bool:
+    """Whether a dotted base path denotes a study-config value."""
+    for segment in root.lower().split("."):
+        tokens = [part for part in segment.strip("_").split("_") if part]
+        if "config" in tokens or "cfg" in tokens:
+            return True
+    head = root.split(".", 1)[0]
+    index = fn.param_index(head)
+    if index is not None \
+            and fn.param_annotations[index].endswith("StudyConfig"):
+        return True
+    return False
+
+
+class FingerprintDriftRule(Rule):
+    rule_id = "RL008"
+    title = ("fingerprinted compute paths must not read config fields "
+             "excluded from the study fingerprint")
+    needs_semantics = True
+
+    def check_semantics(self,
+                        model: SemanticModel) -> Iterator[Finding]:
+        facts = model.modules.get(FINGERPRINT_MODULE)
+        if facts is None:
+            return
+        fields = set(facts.string_sets.get(FIELDS_CONSTANT, ()))
+        if not fields:
+            return
+        graph = CallGraph(model)
+        roots = graph.functions_in_modules(COMPUTE_PREFIXES)
+        reachable = set(roots) | set(graph.reachable_from(roots))
+        for qualname in sorted(reachable):
+            fn = model.functions.get(qualname)
+            if fn is None or fn.module.startswith(EXEMPT_PREFIXES):
+                continue
+            relpath = model.modules[fn.module].relpath
+            seen: set = set()
+            for atom in iter_atoms(fn):
+                if atom.kind != "attr" or atom.attr not in fields:
+                    continue
+                if not _config_shaped(atom.root, fn):
+                    continue
+                key = (atom.line, atom.col, atom.attr)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding_at(
+                    relpath, atom.line, atom.col,
+                    f"compute path {qualname} reads non-semantic config "
+                    f"field '{atom.attr}'; it is excluded from the study "
+                    f"fingerprint, so results must not depend on it")

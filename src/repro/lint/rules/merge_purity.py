@@ -1,0 +1,68 @@
+"""RL011: merge/canonicalize implementations must be pure of their inputs.
+
+The parallel runner's correctness argument leans on algebra: shard
+results are merged pairwise in canonical order, and serial-vs-parallel
+golden tests assert the fold is associative with identity.  That
+argument collapses if a merge mutates its *other* operand (a shard
+still referenced by the scheduler, or by a later fold step) or touches
+the filesystem mid-fold (making the fold order observable).
+
+Using the dataflow engine's always-on mutation and I/O dimensions,
+this rule audits every project function named ``merge``, ``merged``,
+or ``canonicalize``: mutation of any non-``self`` parameter is flagged
+at the mutating site (including mutations performed by callees, via
+summaries), and so is any I/O reached from the body.  Folding into
+``self`` is the documented in-place contract and stays legal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import Finding
+from repro.lint.rules.base import Rule
+from repro.lint.semantics.dataflow import DataflowEngine
+from repro.lint.semantics.model import SemanticModel
+
+#: Exact function names under the purity contract.
+MERGE_NAMES = frozenset({"merge", "merged", "canonicalize"})
+
+
+class MergePurityRule(Rule):
+    rule_id = "RL011"
+    title = ("merge/merged/canonicalize must not mutate non-self "
+             "inputs or perform I/O")
+    needs_semantics = True
+
+    def check_semantics(self,
+                        model: SemanticModel) -> Iterator[Finding]:
+        engine = DataflowEngine(model)
+        for qualname in sorted(model.functions):
+            fn = model.functions[qualname]
+            if fn.name not in MERGE_NAMES:
+                continue
+            relpath = model.modules[fn.module].relpath
+            summary = engine.summary(qualname)
+            for index in sorted(summary.mutated_params):
+                if index == 0 and fn.params[:1] == ("self",):
+                    continue
+                param = (fn.params[index]
+                         if index < len(fn.params) else f"arg{index}")
+                sites = summary.mutations_for(index) or (None,)
+                for site in sites[:3]:
+                    line = site.line if site else fn.line
+                    col = site.col if site else fn.col
+                    via = (f" (through {site.via})"
+                           if site and site.via else "")
+                    yield self.finding_at(
+                        relpath, line, col,
+                        f"{qualname} mutates its input '{param}'"
+                        f"{via}; merge operands must stay untouched so "
+                        f"the fold is order-independent")
+            for site in summary.io_sites[:3]:
+                via = f" (through {site.via})" if site.via else ""
+                yield self.finding_at(
+                    relpath, site.line, site.col,
+                    f"{qualname} performs I/O via {site.sink}{via}; "
+                    f"merge steps must be pure so fold order is not "
+                    f"observable")

@@ -1,0 +1,119 @@
+"""RL010: interprocedural raw-identifier taint, anonymizer-bounded.
+
+RL002 patrols the downstream modules by *name*: a value called ``mac``
+must not appear syntactically inside a sink call.  That heuristic goes
+blind the moment the value changes name or crosses a function boundary
+-- ``label = normalize(record.mac); emit(label)`` leaks a raw MAC
+through two hops that RL002 cannot see.  This rule runs the project
+dataflow engine (:mod:`repro.lint.semantics.dataflow`) with the same
+source vocabulary: reads of MAC/client-IP-named attributes and
+parameters introduce taint, labels propagate through assignments,
+helper calls, and returns via call summaries, and the sinks are RL002's
+(logging, serialization, file writes, f-strings, ``str.format``).
+
+The anonymization boundary is the sanctioning surface: a call through
+``repro.pipeline.anonymize`` (or an ``anonymizer.device(...)`` /
+token-cache ``lookup(...)`` shaped call, or a hash) launders the value.
+Modules that legitimately hold raw identifiers -- the anonymizer
+itself, the synthetic substrate, the raw-trace readers -- are exempt
+from *reporting*, but their summaries still propagate, so a downstream
+caller handing a raw value to an upstream emitter is still caught at
+the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding
+from repro.lint.rules.anonymization import (
+    LOG_METHODS,
+    LOG_RECEIVERS,
+    SINK_CALLS,
+    SINK_METHODS,
+    tainted_name,
+)
+from repro.lint.rules.base import Rule
+from repro.lint.semantics.dataflow import DataflowEngine, TaintSpec
+from repro.lint.semantics.facts import CallFact, FunctionFacts
+from repro.lint.semantics.model import SemanticModel
+
+#: Modules whose own bodies may emit raw identifiers: the anonymizer
+#: (it *is* the boundary), the synthetic world and raw-trace layers
+#: (they fabricate/parse raw inputs before the boundary), and the lint
+#: tooling (it names the taint vocabulary).
+EXEMPT_PREFIXES = (
+    "repro.pipeline.anonymize", "repro.synth", "repro.io",
+    "repro.zeek", "repro.devices", "repro.lint",
+    # Raw wire-format definitions: these serializers ARE the synthetic
+    # trace substrate (the stand-in for the captured pcap), upstream of
+    # the anonymization boundary by construction.
+    "repro.dhcp", "repro.dns",
+)
+
+#: The sanctioned boundary module.
+ANONYMIZE_MODULE = "repro.pipeline.anonymize"
+
+#: Anonymizer method names on anonymizer/token-cache shaped receivers.
+_SANITIZE_METHODS = frozenset({"device", "ip_token", "lookup"})
+_SANITIZE_RECEIVER_TOKENS = ("anon", "token")
+
+
+def _sink_of(call: CallFact, resolved: str) -> Optional[str]:
+    if resolved.startswith("repro."):
+        return None     # project callees are judged by their summaries
+    if resolved in SINK_CALLS or resolved.startswith("logging."):
+        return resolved
+    if call.method in SINK_METHODS:
+        return f"<receiver>.{call.method}"
+    if call.method == "format":
+        return "str.format"
+    if call.method in LOG_METHODS and call.receiver:
+        head = call.receiver.split(".", 1)[0].lower()
+        if head in LOG_RECEIVERS:
+            return f"{call.receiver}.{call.method}"
+    return None
+
+
+def _sanitizes(call: CallFact, resolved: str) -> bool:
+    if resolved.startswith(ANONYMIZE_MODULE):
+        return True
+    if resolved == "hash" or resolved.startswith("hashlib."):
+        return True
+    if call.method in _SANITIZE_METHODS:
+        base = (call.receiver or call.callee).lower()
+        return any(token in base for token in _SANITIZE_RECEIVER_TOKENS)
+    return False
+
+
+def _source_param(fn: FunctionFacts, param: str) -> bool:
+    return tainted_name(param)
+
+
+class InterproceduralTaintRule(Rule):
+    rule_id = "RL010"
+    title = ("raw mac/client_ip values must not flow to logging, "
+             "rendering, or serialization -- tracked through calls")
+    needs_semantics = True
+
+    def check_semantics(self,
+                        model: SemanticModel) -> Iterator[Finding]:
+        spec = TaintSpec(
+            name="anonymization",
+            source_attr=tainted_name,
+            source_param=_source_param,
+            sink_call=_sink_of,
+            sanitizer=_sanitizes,
+            render_is_sink=True,
+        )
+        engine = DataflowEngine(model, spec)
+        for hit in engine.taint_hits():
+            if hit.module.startswith(EXEMPT_PREFIXES):
+                continue
+            relpath = model.modules[hit.module].relpath
+            route = f" via {hit.via}" if hit.via else ""
+            yield self.finding_at(
+                relpath, hit.line, hit.col,
+                f"value derived from a raw identifier reaches sink "
+                f"{hit.sink}(){route} in {hit.qualname} without passing "
+                f"through the anonymization boundary")

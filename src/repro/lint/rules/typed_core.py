@@ -22,7 +22,7 @@ from repro.lint.rules.base import Rule
 #: Packages held to full annotation coverage.
 CORE_PREFIXES = (
     "repro.perf", "repro.sessions", "repro.reliability", "repro.lint",
-    "repro.serve",
+    "repro.serve", "repro.columnar",
 )
 
 #: Leading parameters that conventionally go unannotated.

@@ -1,0 +1,55 @@
+"""Project call graph and reachability over the facts IR.
+
+Edges come from the model's call resolution: a resolved project call
+contributes one precise edge; a dynamic attribute call (unknown
+receiver) conservatively fans out to *every* project method with that
+name, so reachability over-approximates rather than misses.  External
+calls contribute no edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.lint.semantics.model import SemanticModel
+
+
+class CallGraph:
+    """Qualname -> callee-qualname edges for one semantic model."""
+
+    def __init__(self, model: SemanticModel,
+                 dynamic_dispatch: bool = True) -> None:
+        self.model = model
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        for fn in model.functions.values():
+            callees: List[str] = []
+            for instr in fn.instrs:
+                if instr.op != "call" or instr.call is None:
+                    continue
+                kind, target = model.resolve_callee(fn, instr.call)
+                if kind == "project":
+                    callees.append(target)
+                elif kind == "dynamic" and dynamic_dispatch:
+                    callees.extend(model.methods_named(target))
+            self.edges[fn.qualname] = tuple(dict.fromkeys(callees))
+
+    def reachable_from(self,
+                       roots: Iterable[str]) -> FrozenSet[str]:
+        """Transitive closure of the edges from the given qualnames."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.edges]
+        while stack:
+            qualname = stack.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            stack.extend(callee for callee in self.edges.get(qualname, ())
+                         if callee not in seen)
+        return frozenset(seen)
+
+    def functions_in_modules(self,
+                             prefixes: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Qualnames of every function in modules matching a prefix."""
+        return tuple(
+            fn.qualname for fn in self.model.functions.values()
+            if fn.module.startswith(prefixes))

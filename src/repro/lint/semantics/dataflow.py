@@ -1,0 +1,546 @@
+"""Forward dataflow over the facts IR, with call-summary propagation.
+
+The engine runs a *may* label-propagation analysis per function: every
+parameter starts with its own derivation label (``P0``, ``P1``, ...),
+taint sources introduce ``SRC``, and labels flow forward through
+assignment, attribute, call-argument, and return edges.  A fixpoint
+over the whole project turns per-function results into
+:class:`Summary` records -- which parameters flow to the return value,
+which reach a sink inside the callee, which get mutated, whether the
+function does I/O -- and call sites apply their callee's summary, so
+effects propagate interprocedurally without inlining.
+
+Clients configure the taint dimension through a :class:`TaintSpec`
+(sources, sinks, sanitizers); the mutation and I/O dimensions are
+always computed, so purity rules reuse the same fixpoint.  Everything
+is conservative at dynamic dispatch: an attribute call on an unknown
+receiver propagates every argument's labels to its result and is
+assumed to mutate its receiver only for known in-place method names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.semantics.facts import Atom, CallFact, FunctionFacts, Instr
+from repro.lint.semantics.model import SemanticModel
+
+#: The taint label; parameter derivation labels are ``P<index>``.
+SRC = "SRC"
+
+#: Method names assumed to mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "appendleft", "extendleft", "write", "writelines", "__setitem__",
+})
+
+#: External call targets that perform I/O (exact names or prefixes).
+IO_CALLS = frozenset({"open", "print", "input"})
+IO_PREFIXES = ("os.", "shutil.", "subprocess.", "socket.", "tempfile.")
+IO_EXEMPT_PREFIXES = ("os.path.", "os.fspath", "os.environ")
+IO_METHODS = frozenset({
+    "write", "writelines", "write_text", "write_bytes", "mkdir",
+    "makedirs", "unlink", "rename", "replace", "touch", "rmdir",
+    "flush", "fsync",
+})
+
+_MAX_LOCAL_ROUNDS = 12
+_MAX_GLOBAL_ROUNDS = 24
+
+Labels = FrozenSet[str]
+_EMPTY: Labels = frozenset()
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Sources, sinks, and sanitizers of one taint dimension."""
+
+    name: str
+    #: Attribute names whose *read* yields tainted data.
+    source_attr: Callable[[str], bool] = lambda attr: False
+    #: Parameters that arrive tainted (checked per function).
+    source_param: Callable[[FunctionFacts, str], bool] = \
+        lambda fn, param: False
+    #: Resolved call targets returning tainted data.
+    source_call: Callable[[str], bool] = lambda callee: False
+    #: Resolved-call / method sink: returns a sink label or None.
+    sink_call: Callable[[CallFact, str], Optional[str]] = \
+        lambda call, resolved: None
+    #: Calls that launder taint (the sanctioned boundary).
+    sanitizer: Callable[[CallFact, str], bool] = \
+        lambda call, resolved: False
+    #: Whether f-string interpolation counts as a sink.
+    render_is_sink: bool = False
+
+
+@dataclass(frozen=True)
+class SinkReach:
+    """A sink reachable inside a function from one of its parameters."""
+
+    sink: str
+    line: int
+    col: int
+    via: str        # callee chain description, "" for a direct sink
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Interprocedural effect summary of one function."""
+
+    return_labels: Labels = _EMPTY
+    #: Parameters the return value may *be* (alias), not merely derive
+    #: from -- ``return self`` yields ``P0`` here, a fresh dict built
+    #: from ``self`` does not.
+    return_ident: Labels = _EMPTY
+    #: param index -> sinks its value reaches inside the function.
+    param_sinks: Tuple[Tuple[int, SinkReach], ...] = ()
+    mutated_params: FrozenSet[int] = frozenset()
+    #: param index -> the sites where its value is mutated.
+    mutation_sites: Tuple[Tuple[int, SinkReach], ...] = ()
+    io_sites: Tuple[SinkReach, ...] = ()
+
+    def sinks_for(self, index: int) -> Tuple[SinkReach, ...]:
+        return tuple(reach for i, reach in self.param_sinks
+                     if i == index)
+
+    def mutations_for(self, index: int) -> Tuple[SinkReach, ...]:
+        return tuple(reach for i, reach in self.mutation_sites
+                     if i == index)
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """A source-labeled value reaching a sink, reported at a site."""
+
+    qualname: str
+    module: str
+    line: int
+    col: int
+    sink: str
+    via: str
+
+
+@dataclass
+class _FnState:
+    """Mutable per-function analysis state.
+
+    Two label spaces run in parallel: ``labels`` tracks *value
+    derivation* (what data flowed into a name -- the taint/return
+    dimension), ``ident`` tracks *object identity* (which parameter a
+    name may alias -- the mutation dimension).  The split keeps
+    ``chunk = other.snapshot(); chunk[k] = v`` from reporting a
+    mutation of ``other``: the snapshot's value derives from ``other``
+    but the returned container is a fresh object.
+    """
+
+    labels: Dict[str, Labels] = field(default_factory=dict)
+    ident: Dict[str, Labels] = field(default_factory=dict)
+    call_results: Dict[int, Labels] = field(default_factory=dict)
+    return_labels: Labels = _EMPTY
+    call_ident: Dict[int, Labels] = field(default_factory=dict)
+    return_ident: Labels = _EMPTY
+    hits: List[TaintHit] = field(default_factory=list)
+    param_sinks: List[Tuple[int, SinkReach]] = field(default_factory=list)
+    mutated: Labels = _EMPTY
+    mutation_sites: List[Tuple[int, SinkReach]] = field(
+        default_factory=list)
+    io_sites: List[SinkReach] = field(default_factory=list)
+
+    def lookup(self, path: str) -> Labels:
+        found = self.labels.get(path, _EMPTY)
+        head = path.split(".", 1)[0]
+        if head != path:
+            found = found | self.labels.get(head, _EMPTY)
+        return found
+
+    def identity(self, path: str) -> Labels:
+        """Labels naming the object *identity* behind a path.
+
+        Mutating ``self._index`` is a mutation of ``self``, not of the
+        values previously stored into ``self._index`` -- so identity
+        uses only the head binding in the identity space, never the
+        value labels accumulated on the dotted path.
+        """
+        return self.ident.get(path.split(".", 1)[0], _EMPTY)
+
+    def bind_ident(self, path: str, labels: Labels) -> bool:
+        if "." in path:
+            return False
+        current = self.ident.get(path, _EMPTY)
+        merged = current | labels
+        if merged != current:
+            self.ident[path] = merged
+            return True
+        return False
+
+    def bind(self, path: str, labels: Labels) -> bool:
+        current = self.labels.get(path, _EMPTY)
+        merged = current | labels
+        if merged != current:
+            self.labels[path] = merged
+            return True
+        return False
+
+
+def _null_spec() -> TaintSpec:
+    return TaintSpec(name="null")
+
+
+class DataflowEngine:
+    """Project-wide fixpoint analysis over one semantic model."""
+
+    def __init__(self, model: SemanticModel,
+                 spec: Optional[TaintSpec] = None) -> None:
+        self.model = model
+        self.spec = spec if spec is not None else _null_spec()
+        self._summaries: Dict[str, Summary] = {}
+        self._computed = False
+
+    # -- public API ----------------------------------------------------------
+
+    def summaries(self) -> Dict[str, Summary]:
+        """Effect summaries for every project function (fixpoint)."""
+        self._compute()
+        return self._summaries
+
+    def summary(self, qualname: str) -> Summary:
+        self._compute()
+        return self._summaries.get(qualname, Summary())
+
+    def taint_hits(self) -> Iterator[TaintHit]:
+        """Source-to-sink flows, reported where the flow enters a sink
+        path (the sink itself, or the call handing a source-labeled
+        value to a sink-reaching callee parameter)."""
+        self._compute()
+        for fn in self.model.functions.values():
+            state = self._analyze(fn, self._entry_labels(fn))
+            seen: set = set()
+            for hit in state.hits:
+                key = (hit.line, hit.col, hit.sink, hit.via)
+                if key not in seen:
+                    seen.add(key)
+                    yield hit
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _compute(self) -> None:
+        if self._computed:
+            return
+        self._computed = True
+        functions = list(self.model.functions.values())
+        for _ in range(_MAX_GLOBAL_ROUNDS):
+            changed = False
+            for fn in functions:
+                state = self._analyze(fn, self._entry_labels(fn))
+                summary = self._to_summary(fn, state)
+                if summary != self._summaries.get(fn.qualname):
+                    self._summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+
+    def _entry_labels(self, fn: FunctionFacts) -> Dict[str, Labels]:
+        entry: Dict[str, Labels] = {}
+        for index, param in enumerate(fn.params):
+            labels = {f"P{index}"}
+            if self.spec.source_param(fn, param):
+                labels.add(SRC)
+            entry[param] = frozenset(labels)
+        return entry
+
+    def _to_summary(self, fn: FunctionFacts, state: _FnState) -> Summary:
+        params = {f"P{i}" for i in range(len(fn.params))}
+        return Summary(
+            return_labels=frozenset(
+                label for label in state.return_labels
+                if label in params or label == SRC),
+            return_ident=frozenset(
+                label for label in state.return_ident
+                if label in params),
+            param_sinks=tuple(sorted(
+                set(state.param_sinks),
+                key=lambda entry: (entry[0], entry[1].line,
+                                   entry[1].col, entry[1].sink))),
+            mutated_params=frozenset(
+                int(label[1:]) for label in state.mutated
+                if label in params),
+            mutation_sites=tuple(sorted(
+                set(state.mutation_sites),
+                key=lambda entry: (entry[0], entry[1].line,
+                                   entry[1].col, entry[1].sink))),
+            io_sites=tuple(state.io_sites[:4]),
+        )
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _analyze(self, fn: FunctionFacts,
+                 entry: Dict[str, Labels]) -> _FnState:
+        state = _FnState(labels=dict(entry))
+        for index, param in enumerate(fn.params):
+            state.ident[param] = frozenset((f"P{index}",))
+        for _ in range(_MAX_LOCAL_ROUNDS):
+            # Events are re-collected per sweep; once labels stop
+            # changing, the stable sweep's events are the complete set.
+            state.hits.clear()
+            state.param_sinks.clear()
+            state.mutation_sites.clear()
+            state.io_sites.clear()
+            changed = False
+            for instr in fn.instrs:
+                changed |= self._step(fn, instr, state)
+            if not changed:
+                break
+        return state
+
+    def _atom_labels(self, atoms: Tuple[Atom, ...],
+                     state: _FnState) -> Labels:
+        out: Labels = _EMPTY
+        for atom in atoms:
+            if atom.kind == "var":
+                out = out | state.lookup(atom.root)
+            elif atom.kind == "attr":
+                if self.spec.source_attr(atom.attr):
+                    out = out | frozenset((SRC,))
+                path = (f"{atom.root}.{atom.attr}"
+                        if atom.root else atom.attr)
+                out = out | state.lookup(path)
+            elif atom.kind == "call":
+                out = out | state.call_results.get(int(atom.root), _EMPTY)
+        return out
+
+    def _atom_identity(self, atoms: Tuple[Atom, ...],
+                       state: _FnState) -> Labels:
+        """Which parameters the value of these atoms may *be*.
+
+        Attribute reads inherit the base object's identity (an object
+        reached through ``other.x`` is part of ``other``); call results
+        carry only the identity a project callee's summary says flows
+        to its return value; constructors/literals are fresh.
+        """
+        out: Labels = _EMPTY
+        for atom in atoms:
+            if atom.kind == "var":
+                out = out | state.ident.get(atom.root, _EMPTY)
+            elif atom.kind == "attr" and atom.root:
+                out = out | state.ident.get(
+                    atom.root.split(".", 1)[0], _EMPTY)
+            elif atom.kind == "call":
+                out = out | state.call_ident.get(int(atom.root), _EMPTY)
+        return out
+
+    def _alias_identity(self, atoms: Tuple[Atom, ...],
+                        state: _FnState) -> Labels:
+        """Identity of an expression *as assigned* -- compound
+        expressions (more than one value-bearing atom) build fresh
+        objects and carry no identity."""
+        bearing = [atom for atom in atoms
+                   if atom.kind in ("var", "attr", "call")]
+        if len(bearing) != 1:
+            return _EMPTY
+        return self._atom_identity(atoms, state)
+
+    def _step(self, fn: FunctionFacts, instr: Instr,
+              state: _FnState) -> bool:
+        if instr.op == "assign":
+            labels = self._atom_labels(instr.atoms, state)
+            ident = self._alias_identity(instr.atoms, state)
+            changed = False
+            for target in instr.targets:
+                changed |= state.bind(target, labels)
+                changed |= state.bind_ident(target, ident)
+            return changed
+        if instr.op == "return":
+            labels = self._atom_labels(instr.atoms, state)
+            ident = self._alias_identity(instr.atoms, state)
+            changed = False
+            merged = state.return_labels | labels
+            if merged != state.return_labels:
+                state.return_labels = merged
+                changed = True
+            merged_ident = state.return_ident | ident
+            if merged_ident != state.return_ident:
+                state.return_ident = merged_ident
+                changed = True
+            return changed
+        if instr.op == "render":
+            if self.spec.render_is_sink:
+                labels = self._atom_labels(instr.atoms, state)
+                self._record_sinks(fn, "f-string", instr.line,
+                                   instr.col, "", labels, state)
+            return False
+        if instr.op == "mutate":
+            root = instr.targets[0]
+            labels = state.identity(root)
+            self._record_mutations(labels, instr.line, instr.col,
+                                   instr.how or "mutate", "", state)
+            merged = state.mutated | labels
+            if merged != state.mutated:
+                state.mutated = merged
+                return True
+            return False
+        if instr.op == "call":
+            assert instr.call is not None
+            return self._apply_call(fn, instr.call, state)
+        return False
+
+    def _record_sinks(self, fn: FunctionFacts, sink: str, line: int,
+                      col: int, via: str, labels: Labels,
+                      state: _FnState) -> None:
+        if SRC in labels:
+            state.hits.append(TaintHit(
+                qualname=fn.qualname, module=fn.module,
+                line=line, col=col, sink=sink, via=via))
+        for label in labels:
+            if label.startswith("P") and label[1:].isdigit():
+                state.param_sinks.append((
+                    int(label[1:]),
+                    SinkReach(sink=sink, line=line, col=col, via=via)))
+
+    def _record_mutations(self, labels: Labels, line: int, col: int,
+                          sink: str, via: str,
+                          state: _FnState) -> None:
+        for label in labels:
+            if label.startswith("P") and label[1:].isdigit():
+                state.mutation_sites.append((
+                    int(label[1:]),
+                    SinkReach(sink=sink, line=line, col=col, via=via)))
+
+    def _map_args(self, call: CallFact, target: FunctionFacts,
+                  per_arg: List[Labels],
+                  receiver_labels: Labels) -> Dict[int, Labels]:
+        """Caller labels per callee parameter index."""
+        bound = 0
+        if target.class_name and "staticmethod" not in target.decorators:
+            if "classmethod" in target.decorators \
+                    or target.name == "__init__" or call.receiver:
+                bound = 1
+        mapped: Dict[int, Labels] = {}
+        if bound and call.receiver:
+            mapped[0] = receiver_labels
+        position = bound
+        for arg, labels in zip(call.args, per_arg):
+            if arg.keyword and arg.keyword != "**":
+                index = target.param_index(arg.keyword)
+                if index is not None:
+                    mapped[index] = mapped.get(index, _EMPTY) | labels
+                continue
+            mapped[position] = mapped.get(position, _EMPTY) | labels
+            position += 1
+        return mapped
+
+    def _apply_call(self, fn: FunctionFacts, call: CallFact,
+                    state: _FnState) -> bool:
+        spec = self.spec
+        kind, target = self.model.resolve_callee(fn, call)
+        resolved = target if kind in ("project", "external") else ""
+        receiver_labels = (state.lookup(call.receiver)
+                          if call.receiver else _EMPTY)
+        receiver_ident = (state.identity(call.receiver)
+                          if call.receiver else _EMPTY)
+        arg_labels = [self._atom_labels(arg.atoms, state)
+                      for arg in call.args]
+        arg_ident = [self._atom_identity(arg.atoms, state)
+                     for arg in call.args]
+        all_labels: Labels = receiver_labels \
+            | self._atom_labels(call.extra, state)
+        for labels in arg_labels:
+            all_labels = all_labels | labels
+
+        if spec.sanitizer(call, resolved):
+            return self._bind_result(call, _EMPTY, state)
+        if spec.source_call(resolved) and resolved:
+            return self._bind_result(call, frozenset((SRC,)), state)
+
+        sink = spec.sink_call(call, resolved)
+        if sink is not None:
+            self._record_sinks(fn, sink, call.line, call.col, "",
+                               all_labels, state)
+
+        if kind == "project":
+            callee = self.model.functions[target]
+            summary = self._summaries.get(target, Summary())
+            mapped = self._map_args(call, callee, arg_labels,
+                                    receiver_labels)
+            mapped_ident = self._map_args(call, callee, arg_ident,
+                                          receiver_ident)
+            result: Labels = _EMPTY
+            result_ident: Labels = _EMPTY
+            if callee.name == "__init__":
+                result = all_labels
+            for label in summary.return_labels:
+                if label == SRC:
+                    result = result | frozenset((SRC,))
+                elif label[1:].isdigit():
+                    result = result | mapped.get(int(label[1:]), _EMPTY)
+            for label in summary.return_ident:
+                if label[1:].isdigit():
+                    result_ident = result_ident \
+                        | mapped_ident.get(int(label[1:]), _EMPTY)
+            changed = False
+            for index in summary.mutated_params:
+                labels = mapped_ident.get(index, _EMPTY)
+                self._record_mutations(labels, call.line, call.col,
+                                       "call", callee.qualname, state)
+                merged = state.mutated | labels
+                if merged != state.mutated:
+                    state.mutated = merged
+                    changed = True
+            changed |= self._bind_result_ident(call, result_ident, state)
+            for index, labels in mapped.items():
+                for reach in summary.sinks_for(index):
+                    via = (f"{callee.qualname}"
+                           if not reach.via
+                           else f"{callee.qualname} -> {reach.via}")
+                    self._record_sinks(
+                        fn, reach.sink, call.line, call.col, via,
+                        labels, state)
+            if summary.io_sites:
+                state.io_sites.append(SinkReach(
+                    sink="call", line=call.line, col=call.col,
+                    via=callee.qualname))
+            return self._bind_result(call, result, state) or changed
+        # External / dynamic / unknown: propagate everything through.
+        changed = False
+        if kind == "dynamic" and call.method in MUTATING_METHODS \
+                and call.receiver:
+            identity = state.identity(call.receiver)
+            self._record_mutations(identity, call.line,
+                                   call.col, call.method, "", state)
+            merged = state.mutated | identity
+            if merged != state.mutated:
+                state.mutated = merged
+                changed = True
+        if self._is_io(call, resolved):
+            state.io_sites.append(SinkReach(
+                sink=resolved or call.method, line=call.line,
+                col=call.col, via=""))
+        return self._bind_result(call, all_labels, state) or changed
+
+    def _is_io(self, call: CallFact, resolved: str) -> bool:
+        if call.method in IO_METHODS and not resolved:
+            return True
+        if not resolved:
+            return False
+        if resolved.startswith(IO_EXEMPT_PREFIXES):
+            return False
+        return resolved in IO_CALLS or resolved.startswith(IO_PREFIXES)
+
+    def _bind_result(self, call: CallFact, labels: Labels,
+                     state: _FnState) -> bool:
+        current = state.call_results.get(call.call_id, _EMPTY)
+        merged = current | labels
+        if merged != current:
+            state.call_results[call.call_id] = merged
+            return True
+        return False
+
+    def _bind_result_ident(self, call: CallFact, labels: Labels,
+                           state: _FnState) -> bool:
+        current = state.call_ident.get(call.call_id, _EMPTY)
+        merged = current | labels
+        if merged != current:
+            state.call_ident[call.call_id] = merged
+            return True
+        return False

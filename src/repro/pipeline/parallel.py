@@ -343,6 +343,7 @@ class ParallelPipeline:
                                   tail_seconds=tail_seconds,
                                   window=window)
         self.retry_policy = retry_policy or RetryPolicy(
+            # reprolint: allow[RL008] -- retry budget is operational; crash matrix proves byte-identical outputs across retry counts
             max_attempts=config.max_shard_retries + 1, seed=config.seed)
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume

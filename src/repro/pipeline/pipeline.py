@@ -151,6 +151,7 @@ class MonitoringPipeline:
                                               Optional[float]]] = None):
         self.config = config
         self.tap = Tap(excluded_prefixes)
+        # reprolint: allow[RL008] -- engine selection only; columnar/row parity is golden-tested to identical attribution
         self.use_columnar = bool(getattr(config, "use_columnar", True))
         self.anonymizer = Anonymizer(config.anonymization_salt)
         self.builder = FlowDatasetBuilder(

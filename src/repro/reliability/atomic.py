@@ -186,13 +186,14 @@ def sweep_orphans(directory: str, *, recursive: bool = False) -> int:
         return 0
     removed = 0
     if recursive:
+        # reprolint: allow[RL009] -- orphan sweep: each removal is independent, visit order cannot affect outputs
         for root, _dirs, files in os.walk(directory):
             for name in files:
                 if is_orphan(name):
                     _remove_quietly(os.path.join(root, name))
                     removed += 1
     else:
-        for name in os.listdir(directory):
+        for name in sorted(os.listdir(directory)):
             if is_orphan(name):
                 _remove_quietly(os.path.join(directory, name))
                 removed += 1

@@ -182,7 +182,7 @@ class CheckpointStore:
     def completed_indices(self) -> List[int]:
         """Shard indices with a finished checkpoint, sorted."""
         indices = []
-        for name in os.listdir(self.directory):
+        for name in sorted(os.listdir(self.directory)):
             if name.startswith("shard-") and name.endswith(".ok"):
                 indices.append(int(name[len("shard-"):-len(".ok")]))
         return sorted(indices)

@@ -37,6 +37,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
+from repro.reliability.atomic import write_text
 from repro.reliability.faults import CRASH_ENV
 from repro.serve.fingerprint import DEFAULT_SCENARIO, study_fingerprint
 
@@ -113,6 +114,7 @@ def output_digests(run_dir: str) -> Dict[str, str]:
             digests[name] = _sha256_file(path)
     for sub in _OUTPUT_DIRS:
         base = os.path.join(run_dir, sub)
+        # reprolint: allow[RL009] -- digest map is keyed by relpath; comparison and serialization are key-sorted
         for dirpath, _dirnames, filenames in os.walk(base):
             for filename in sorted(filenames):
                 path = os.path.join(dirpath, filename)
@@ -160,8 +162,9 @@ def _run_cli(extra_args: Sequence[str], *, log_path: str,
     if crash_at is not None:
         env[CRASH_ENV] = crash_at
     command = [sys.executable, "-m", "repro", "run", *extra_args]
+    # reprolint: allow[RL012] -- live subprocess log capture; staging would lose crash-time output
     with open(log_path + ".out", "wb") as out, \
-            open(log_path + ".err", "wb") as err:
+            open(log_path + ".err", "wb") as err:  # reprolint: allow[RL012] -- live subprocess log capture; staging would lose crash-time output
         proc = subprocess.Popen(command, env=env, stdout=out,
                                 stderr=err, start_new_session=True)
         try:
@@ -290,9 +293,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         progress=lambda m: print(f"  [{m}]",
                                                  file=sys.stderr))
     if args.out:
-        with open(args.out, "w") as fileobj:
-            json.dump(result, fileobj, indent=2, sort_keys=True)
-            fileobj.write("\n")
+        write_text(args.out,
+                   json.dumps(result, indent=2, sort_keys=True) + "\n")
     verdict = "PASS" if result["passed"] else "FAIL"
     print(f"crash matrix: {verdict} "
           f"({len(points)} point(s), preset={args.preset})")

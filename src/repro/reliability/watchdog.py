@@ -143,6 +143,7 @@ def write_heartbeat(path: Union[str, Path], attempt: int,
     The content only has to *change* when progress happens -- the parent
     fingerprints bytes, it never parses or compares timestamps.
     """
+    # reprolint: allow[RL012] -- heartbeat is a change detector; readers tolerate torn bytes by design
     Path(path).write_text(f"{attempt}:{progress}\n", encoding="utf-8")
 
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.config import StudyConfig
+from repro.reliability.atomic import write_text
 from repro.serve.fingerprint import DEFAULT_SCENARIO, study_fingerprint
 
 #: Outcome labels shared with the expectation checklist, plus the one
@@ -197,9 +198,8 @@ def make_baseline(config: StudyConfig,
 
 
 def save_baseline(path: str, baseline: Mapping[str, Any]) -> None:
-    with open(path, "w") as fileobj:
-        json.dump(baseline, fileobj, indent=2, sort_keys=True)
-        fileobj.write("\n")
+    write_text(path,
+               json.dumps(baseline, indent=2, sort_keys=True) + "\n")
 
 
 def load_baseline(path: str) -> Dict[str, Any]:

@@ -192,6 +192,7 @@ class ArtifactStore:
         directory = os.path.join(self.root, _QUARANTINE_DIR)
         os.makedirs(directory, exist_ok=True)
         target = os.path.join(directory, f"{fingerprint[:12]}-{name}.json")
+        # reprolint: allow[RL012] -- quarantine move of an existing sealed entry; os.replace is itself atomic
         os.replace(source, target)
         self.counters["entries_quarantined"] += 1
         return target
@@ -205,7 +206,7 @@ class ArtifactStore:
         if not os.path.isdir(run_dir):
             return []
         names = []
-        for entry in os.listdir(run_dir):
+        for entry in sorted(os.listdir(run_dir)):
             if not entry.endswith(".json") or entry == _META_FILE:
                 continue
             names.append(entry[:-len(".json")])

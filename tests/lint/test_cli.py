@@ -48,7 +48,11 @@ def test_seeded_violation_exits_nonzero(mini_repo, capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "RL001" in out
-    assert "1 new finding(s)" in out
+    # The same wall-clock read also trips the bit-identity rule: the
+    # module sits under a gated prefix, and RL009 is the semantic
+    # (reachability-aware) complement of RL001's lexical ban.
+    assert "RL009" in out
+    assert "2 new finding(s)" in out
 
 
 def test_rule_filter_limits_to_selected_rule(mini_repo, capsys):
@@ -89,7 +93,7 @@ def test_update_baseline_then_clean_run(mini_repo, capsys):
     assert main(["--root", str(mini_repo.root), "--update-baseline"]) == 0
     assert main(["--root", str(mini_repo.root)]) == 0
     out = capsys.readouterr().out
-    assert "1 baselined" in out
+    assert "2 baselined" in out
 
 
 def test_baseline_survives_line_drift(mini_repo, capsys):
@@ -106,7 +110,7 @@ def test_baseline_survives_line_drift(mini_repo, capsys):
         "import time", "import time\n\nPADDING = 1\nMORE_PADDING = 2")
     path.write_text(drifted)
     assert main(["--root", str(mini_repo.root)]) == 0
-    assert "1 baselined" in capsys.readouterr().out
+    assert "2 baselined" in capsys.readouterr().out
 
 
 def test_fixed_finding_is_reported_stale(mini_repo, capsys):
@@ -136,8 +140,29 @@ def test_json_format_is_machine_readable(mini_repo, capsys):
     assert payload["new"][0]["fingerprint"]
 
 
-def test_list_rules_names_all_six(capsys):
+def test_list_rules_names_all_twelve(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
-        assert rule_id in out
+    for number in range(1, 13):
+        assert f"RL{number:03d}" in out
+
+
+def test_comma_separated_rule_filter(mini_repo, capsys):
+    mini_repo.write("analysis/bad", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    code = main(["--root", str(mini_repo.root), "--rule", "RL001,RL009"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "2 new finding(s)" in out
+
+
+def test_unknown_rules_all_reported_at_once(mini_repo, capsys):
+    code = main(["--root", str(mini_repo.root),
+                 "--rule", "RL998,RL001", "--rule", "RL999"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "RL998" in err and "RL999" in err

@@ -1,0 +1,116 @@
+"""Property-based tests for reprolint's suppression machinery.
+
+Two contracts hold for *all* sources, not just fixtures, so Hypothesis
+drives them:
+
+* **fingerprints are line-shift invariant** -- inserting any unrelated
+  lines above a finding never changes its fingerprint, so committed
+  baselines survive refactors that move code around a file;
+* **pragma waivers are exact** -- an ``allow[RLNNN]`` pragma on the
+  offending line or the line directly above always suppresses that
+  rule's finding there, never any other rule's, and never from any
+  other distance.
+"""
+
+import ast
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint.engine import (
+    Finding,
+    ModuleInfo,
+    _import_bindings,
+    fingerprint_findings,
+    is_waived,
+)
+from repro.lint.rules import RULES_BY_ID
+
+VIOLATION = "T = time.time()"
+
+#: Filler that cannot introduce findings of its own.
+_PAD_LINES = st.lists(
+    st.sampled_from(["", "# padding", "PAD = 0", "OTHER_PAD = 'x'"]),
+    max_size=12)
+
+
+def _module(source: str) -> ModuleInfo:
+    tree = ast.parse(source)
+    return ModuleInfo(
+        path=Path("src/repro/analysis/mod.py"),
+        relpath="src/repro/analysis/mod.py",
+        module="repro.analysis.mod",
+        source=source,
+        lines=tuple(source.splitlines()),
+        tree=tree,
+        imports=_import_bindings(tree),
+    )
+
+
+def _rl001_findings(source: str):
+    info = _module(source)
+    rule = RULES_BY_ID["RL001"]
+    findings = list(rule.check_module(info))
+    return fingerprint_findings(findings, {info.relpath: info}), info
+
+
+@given(padding=_PAD_LINES)
+@settings(max_examples=60, deadline=None)
+def test_fingerprint_is_invariant_under_line_shifts(padding):
+    base = f"import time\n{VIOLATION}\n"
+    shifted = "import time\n" + "".join(
+        line + "\n" for line in padding) + VIOLATION + "\n"
+    (original,), _ = _rl001_findings(base)
+    (moved,), _ = _rl001_findings(shifted)
+    assert moved.line == original.line + len(padding)
+    assert moved.fingerprint == original.fingerprint
+
+
+@given(padding=_PAD_LINES, reason=st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N")),
+    min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_pragma_waives_on_line_and_line_above_only(padding, reason):
+    pad = "".join(line + "\n" for line in padding)
+    on_line = (f"import time\n{pad}"
+               f"{VIOLATION}  # reprolint: allow[RL001] -- {reason}\n")
+    above = (f"import time\n{pad}"
+             f"# reprolint: allow[RL001] -- {reason}\n{VIOLATION}\n")
+    too_far = (f"import time\n"
+               f"# reprolint: allow[RL001] -- {reason}\n"
+               f"# an intervening line\n{pad}{VIOLATION}\n")
+    for source, waived in ((on_line, True), (above, True),
+                           (too_far, False)):
+        findings, info = _rl001_findings(source)
+        assert len(findings) == 1
+        assert is_waived(findings[0], info) is waived
+
+
+@given(other=st.sampled_from(sorted(set(RULES_BY_ID) - {"RL001"})))
+@settings(max_examples=20, deadline=None)
+def test_pragma_is_rule_exact(other):
+    source = (f"import time\n"
+              f"{VIOLATION}  # reprolint: allow[{other}] -- wrong rule\n")
+    findings, info = _rl001_findings(source)
+    assert len(findings) == 1
+    assert not is_waived(findings[0], info)
+
+
+@given(padding=_PAD_LINES)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_lines_keep_distinct_fingerprints(padding):
+    # Two findings with identical source text disambiguate by ordinal,
+    # and stay distinct however far apart the file drifts them.
+    pad = "".join(line + "\n" for line in padding)
+    source = f"import time\n{VIOLATION}\n{pad}{VIOLATION}\n"
+    findings, _ = _rl001_findings(source)
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+def test_fingerprint_of_unknown_path_is_still_stable():
+    finding = Finding(rule="RL001", path="gone.py", line=3, col=0,
+                      message="m")
+    (a,) = fingerprint_findings([finding], {})
+    (b,) = fingerprint_findings([finding], {})
+    assert a.fingerprint and a.fingerprint == b.fingerprint
