@@ -245,23 +245,56 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 # -- results serving --------------------------------------------------------
 
+def _serve_policy(args: argparse.Namespace):
+    from repro.serve.resilience import ResiliencePolicy
+
+    return ResiliencePolicy(
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.queue_depth,
+        default_deadline_seconds=(args.deadline if args.deadline > 0
+                                  else None),
+        header_timeout_seconds=args.header_timeout,
+        drain_deadline_seconds=args.drain_timeout,
+        breaker_failure_limit=args.breaker_limit,
+        breaker_reset_seconds=args.breaker_reset)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import errno
+
     from repro.serve.server import ArtifactServer
     from repro.serve.service import StudyService
     from repro.serve.store import ArtifactStore
 
+    policy = _serve_policy(args)
     store = ArtifactStore(args.store)
     service = StudyService(store, workers=args.workers,
-                           progress=_progress)
-    server = ArtifactServer(store, service=service, host=args.host,
-                            port=args.port, progress=_progress)
+                           progress=_progress, policy=policy)
+    try:
+        server = ArtifactServer(store, service=service, host=args.host,
+                                port=args.port, progress=_progress,
+                                policy=policy)
+    except OSError as error:
+        if error.errno == errno.EADDRINUSE:
+            print(f"error: {args.host}:{args.port} is already in use; "
+                  f"stop the other server, pick another --port, or use "
+                  f"--port 0 to bind a free one", file=sys.stderr)
+            return 2
+        raise
     host, port = server.address
+    # The bound address goes to *stdout* (one parseable line) so
+    # scripts can `--port 0` and discover the real port; the chatty
+    # status stays on stderr.
+    print(f"listening on http://{host}:{port}", flush=True)
     _progress(f"serving {len(store.fingerprints())} stored studies "
-              f"on http://{host}:{port} (Ctrl-C to stop)")
+              f"on http://{host}:{port} (SIGTERM drains, Ctrl-C stops)")
+    server.install_signal_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        _progress("shutting down")
+        _progress("interrupt: draining")
+        server.drain()
+    _progress("server stopped")
     return 0
 
 
@@ -286,7 +319,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         "known_artifacts": list(artifact_names()),
         "served_from_store": list(result.served),
         "computed": list(result.computed),
-        "counters": service.counters_snapshot(),
+        "degraded": result.degraded,
+        "counters": service.resilience_snapshot(),
         "artifacts": result.payloads,
     }
     print(json.dumps(envelope, indent=2))
@@ -342,6 +376,13 @@ def _cmd_eval(args: argparse.Namespace) -> int:
                                scenario=args.scenario)
         _progress(f"store: served {list(result.served)}, "
                   f"computed {list(result.computed)}")
+        # Resilience counters ride along so a shed/coalesce/degrade
+        # regression is visible in the eval log, not just /health.
+        _progress("serve counters: "
+                  + json.dumps(service.resilience_snapshot(),
+                               sort_keys=True))
+        if result.degraded:
+            _progress("WARNING: served degraded (compute breaker open)")
         outcomes = result.payloads["outcomes"]["outcomes"]
         from repro.analysis.summary import SummaryStats
 
@@ -496,9 +537,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", type=str, default=".repro-store",
                        help="artifact store root directory")
     serve.add_argument("--host", type=str, default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8742)
+    serve.add_argument("--port", type=int, default=8742,
+                       help="TCP port (0 = bind any free port; the "
+                            "bound address is printed on stdout)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker threads for on-demand computation")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="requests served concurrently; beyond this "
+                            "they wait in the bounded queue")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to queue for a slot; "
+                            "beyond this they are shed with 429")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline in seconds "
+                            "(504 on expiry; 0 disables; requests may "
+                            "override via ?deadline_ms=)")
+    serve.add_argument("--header-timeout", type=float, default=10.0,
+                       help="socket timeout for reading a request; "
+                            "slow-trickle (slowloris) clients are "
+                            "disconnected after this long")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds a SIGTERM drain waits for "
+                            "in-flight requests before closing")
+    serve.add_argument("--breaker-limit", type=int, default=3,
+                       help="consecutive compute failures that open "
+                            "the circuit breaker (degraded serving)")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       help="breaker cool-down seconds before a "
+                            "half-open probe compute is allowed")
     serve.set_defaults(handler=_cmd_serve)
 
     query = commands.add_parser(

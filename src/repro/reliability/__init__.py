@@ -50,8 +50,10 @@ from repro.reliability.errors import (
     CATEGORY_VALUE,
     CheckpointError,
     CoverageError,
+    DeadlineExpired,
     DiskFullError,
     JournalError,
+    OverloadShedError,
     RecordError,
     ReliabilityError,
     ShardError,
@@ -79,6 +81,10 @@ from repro.reliability.journal import (
 from repro.reliability.quarantine import QuarantinedRecord, QuarantineSink
 from repro.reliability.retry import RetryPolicy, run_with_retries
 from repro.reliability.watchdog import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
     ShardWatchdog,
     WatchdogPolicy,
     WatchdogTimeout,
@@ -95,6 +101,9 @@ def __getattr__(name: str) -> object:
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "CATEGORY_BLANK",
     "CATEGORY_FIELD",
     "CATEGORY_JSON",
@@ -102,9 +111,11 @@ __all__ = [
     "CATEGORY_VALUE",
     "CheckpointError",
     "CheckpointStore",
+    "CircuitBreaker",
     "CoverageError",
     "CoverageReport",
     "CoverageTracker",
+    "DeadlineExpired",
     "DiskFault",
     "DiskFaultInjector",
     "DiskFullError",
@@ -114,6 +125,7 @@ __all__ = [
     "JournalError",
     "JournalRecord",
     "LogGap",
+    "OverloadShedError",
     "QuarantineSink",
     "QuarantinedRecord",
     "RecordError",

@@ -31,6 +31,7 @@ T = TypeVar("T")
 SleepFn = Callable[[float], None]
 ClassifyFn = Callable[[BaseException], bool]
 OnRetryFn = Callable[[int, BaseException, float], None]
+StopFn = Callable[[], bool]
 
 
 @dataclass(frozen=True)
@@ -109,7 +110,8 @@ def run_with_retries(policy: RetryPolicy,
                      scope_index: int = 0,
                      classify: ClassifyFn = is_transient,
                      sleep: SleepFn = time.sleep,
-                     on_retry: Optional[OnRetryFn] = None) -> T:
+                     on_retry: Optional[OnRetryFn] = None,
+                     stop: Optional[StopFn] = None) -> T:
     """Run ``operation`` under ``policy``, retrying transient failures.
 
     The single retry loop shared by non-shard call sites (journal
@@ -118,6 +120,11 @@ def run_with_retries(policy: RetryPolicy,
     until the attempt budget or the total deadline runs out, then the
     last failure propagates unchanged. ``on_retry(attempt, exc, delay)``
     fires before each sleep so callers can count retries exactly.
+
+    ``stop`` is an external veto polled after each failure: when it
+    returns ``True`` (e.g. a serving request's deadline has expired, or
+    the server is draining) the loop gives up immediately and the last
+    failure propagates, regardless of remaining attempt budget.
     """
     attempt = 0
     elapsed = 0.0
@@ -130,6 +137,8 @@ def run_with_retries(policy: RetryPolicy,
         except Exception as exc:
             if not classify(exc) or not policy.allows_retry(attempt,
                                                             elapsed):
+                raise
+            if stop is not None and stop():
                 raise
             delay = policy.delay(scope_index, attempt, elapsed)
             if on_retry is not None:

@@ -27,12 +27,18 @@ The watchdog closes that hole with three cooperating pieces:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
 from repro.reliability.errors import TransientIOError
+
+#: Circuit-breaker states (:class:`CircuitBreaker`).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
 
 
 class WatchdogTimeout(TransientIOError):
@@ -134,6 +140,100 @@ class ShardWatchdog:
         """True when the shard's circuit breaker is open."""
         return (self._consecutive_timeouts.get(index, 0)
                 >= self.policy.circuit_limit)
+
+
+class CircuitBreaker:
+    """A stateful closed/open/half-open breaker over one failure domain.
+
+    Generalizes the per-shard consecutive-timeout breaker above (PR 5's
+    "``circuit_limit`` consecutive stalls means deterministically
+    wedged, stop burning retries") into a reusable guard for any
+    repeatedly-failing dependency -- the serving layer wraps study
+    computes in one so a storm of failing computes degrades to
+    store-only serving instead of erroring every request.
+
+    Semantics:
+
+    * **closed** -- operations are allowed; ``failure_limit``
+      *consecutive* failures open the breaker (any success resets the
+      streak, exactly like :meth:`ShardWatchdog.record_success`).
+    * **open** -- operations are refused for ``reset_seconds``.
+    * **half-open** -- after the cool-down, exactly one probe operation
+      is allowed through; its success closes the breaker, its failure
+      re-opens it for another full cool-down.
+
+    Thread-safe; time comes from an injectable monotonic clock so tests
+    drive state transitions without sleeping.
+    """
+
+    def __init__(self, failure_limit: int = 3,
+                 reset_seconds: float = 30.0, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_limit < 1:
+            raise ValueError("failure_limit must be >= 1")
+        if reset_seconds < 0:
+            raise ValueError("reset_seconds must be non-negative")
+        self.failure_limit = failure_limit
+        self.reset_seconds = reset_seconds
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: Times the breaker transitioned closed/half-open -> open.
+        self.opens = 0
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return BREAKER_CLOSED
+        if self.clock() - self._opened_at >= self.reset_seconds:
+            return BREAKER_HALF_OPEN
+        return BREAKER_OPEN
+
+    @property
+    def state(self) -> str:
+        """One of ``closed`` / ``open`` / ``half-open``."""
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """Whether an operation may proceed right now.
+
+        In the half-open window only the *first* caller gets ``True``
+        (the probe); everyone else keeps being refused until the probe
+        reports success or failure.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The guarded operation succeeded: close and reset."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """The guarded operation failed: count, maybe (re-)open."""
+        with self._lock:
+            state = self._state_locked()
+            if state == BREAKER_HALF_OPEN:
+                # The probe failed: re-open for a fresh cool-down.
+                self._opened_at = self.clock()
+                self._probing = False
+                self.opens += 1
+                return
+            self._consecutive_failures += 1
+            if (state == BREAKER_CLOSED
+                    and self._consecutive_failures >= self.failure_limit):
+                self._opened_at = self.clock()
+                self.opens += 1
 
 
 def write_heartbeat(path: Union[str, Path], attempt: int,

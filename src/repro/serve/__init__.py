@@ -14,6 +14,11 @@ figures" into a queryable serving system:
   both so tests can assert "second query never recomputes".
 * :mod:`repro.serve.server` -- a small stdlib HTTP front end over the
   store/service (``repro serve``).
+* :mod:`repro.serve.resilience` -- the overload machinery behind it:
+  per-request :class:`Deadline`, bounded :class:`AdmissionGate`
+  (429/503 shedding), :class:`Singleflight` compute coalescing, and
+  the :class:`ResiliencePolicy` knob bundle (the compute circuit
+  breaker reuses :class:`repro.reliability.watchdog.CircuitBreaker`).
 * :mod:`repro.serve.evaluate` -- the ``repro eval`` regression
   harness: compare expectation outcomes and summary aggregates
   against a committed golden baseline with per-metric tolerances.
@@ -40,20 +45,30 @@ from repro.serve.fingerprint import (
     fingerprint_payload,
     study_fingerprint,
 )
+from repro.serve.resilience import (
+    AdmissionGate,
+    Deadline,
+    ResiliencePolicy,
+    Singleflight,
+)
 from repro.serve.serialize import artifact_payload
 from repro.serve.server import ArtifactServer
 from repro.serve.service import QueryResult, StudyService
 from repro.serve.store import ArtifactStore, StoreIntegrityError
 
 __all__ = [
+    "AdmissionGate",
     "ArtifactServer",
     "ArtifactStore",
     "DEFAULT_SCENARIO",
+    "Deadline",
     "EvalRecord",
     "EvalReport",
     "NON_SEMANTIC_FIELDS",
     "QueryResult",
     "REGRESSED",
+    "ResiliencePolicy",
+    "Singleflight",
     "StoreIntegrityError",
     "StudyService",
     "Tolerance",

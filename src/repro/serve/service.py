@@ -5,27 +5,53 @@
 fingerprint already in the store) and a set of artifact names; the
 service serves every artifact the store already has and computes the
 rest by running the study once and fanning the analyses out through
-``StudyArtifacts.compute_all`` -- the same double-checked per-key
-locking that keeps concurrent figure requests computed exactly once.
+``StudyArtifacts.compute_all``.
 
-Every serve and every compute increments a counter, so the
-"second query is served from the store without recomputation"
-guarantee is *testable*, not aspirational (see
-``tests/serve/test_service.py`` and the acceptance criteria in
-ISSUE 6).
+Since ISSUE 10 the compute path is *resilient*:
+
+* **Singleflight.** Concurrent cache-misses on one fingerprint share a
+  single study run: one leader materializes, every follower waits for
+  (and shares) the result. A thundering herd of N requests costs
+  exactly one compute -- ``studies_run == 1`` and
+  ``requests_coalesced == N - 1`` are asserted by the chaos suite.
+* **Deadlines.** A :class:`~repro.serve.resilience.Deadline` passed
+  into :meth:`StudyService.query` is checked at every boundary (entry,
+  compute admission, each progress report inside the study, each
+  backfilled artifact, follower waits) and raises
+  :class:`~repro.reliability.errors.DeadlineExpired` -- the HTTP
+  layer's ``504``.
+* **Circuit breaker + degraded serving.** Consecutive compute failures
+  open a :class:`~repro.reliability.watchdog.CircuitBreaker`; while it
+  is open the service answers from whatever the store already has and
+  flags the result ``degraded=True`` instead of erroring. After the
+  cool-down a single half-open probe compute decides whether to close.
+
+Every serve, compute, coalesce, expiry and degradation increments a
+counter, so the resilience guarantees are *testable*, not aspirational
+(see ``tests/serve/test_service_concurrency.py`` and
+``tests/serve/test_overload_chaos.py``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import StudyConfig
+from repro.reliability.errors import DeadlineExpired
+from repro.reliability.watchdog import CircuitBreaker
 from repro.serve.fingerprint import (
     DEFAULT_SCENARIO,
     fingerprint_payload,
     study_fingerprint,
+)
+from repro.serve.resilience import (
+    Deadline,
+    MonotonicFn,
+    ResiliencePolicy,
+    Singleflight,
 )
 from repro.serve.serialize import artifact_payload
 from repro.serve.store import ArtifactStore, StoreIntegrityError
@@ -60,57 +86,85 @@ class QueryResult:
     fingerprint: str
     scenario: str
     payloads: Dict[str, Any]
-    #: Artifact names served straight from the store.
+    #: Artifact names served without a compute of our own -- from the
+    #: store, or shared from a coalesced in-flight compute.
     served: Tuple[str, ...]
     #: Artifact names computed (and stored) by this query.
     computed: Tuple[str, ...]
+    #: True when the compute breaker was open and the result is
+    #: whatever the store could offer (possibly stale or partial).
+    degraded: bool = False
+    #: True when this query joined another request's in-flight compute
+    #: instead of running its own.
+    coalesced: bool = False
 
 
 class StudyService:
     """Store-backed study serving with explicit compute accounting."""
 
     def __init__(self, store: ArtifactStore, *, workers: int = 1,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 policy: Optional[ResiliencePolicy] = None,
+                 clock: MonotonicFn = time.monotonic) -> None:
         self.store = store
         self.workers = workers
         self.progress = progress or (lambda message: None)
-        #: Monotonic counters: how many artifacts were served from the
-        #: store, how many had to be computed, and how many full study
-        #: runs that took. The acceptance gate for the cache layer.
+        self.policy = policy or ResiliencePolicy()
+        self.clock = clock
+        #: Compute-path breaker: consecutive study failures open it;
+        #: while open the service serves degraded instead of erroring.
+        self.breaker = CircuitBreaker(
+            self.policy.breaker_failure_limit,
+            self.policy.breaker_reset_seconds, clock=clock)
+        self._singleflight = Singleflight()
+        #: Monotonic counters. The first four are the PR 6 cache
+        #: accounting; the rest are the ISSUE 10 resilience accounting
+        #: surfaced by ``/health`` and ``repro eval``.
         self.counters: Dict[str, int] = {
             "artifacts_served": 0,
             "artifacts_computed": 0,
             "artifacts_recovered": 0,
             "studies_run": 0,
+            "requests_coalesced": 0,
+            "deadline_expired": 0,
+            "requests_degraded": 0,
+            "computes_failed": 0,
         }
         self._lock = threading.Lock()
         self._studies: Dict[str, Any] = {}
 
     # -- study execution ------------------------------------------------
 
-    def _run_study(self, config: StudyConfig, scenario: str) -> Any:
+    def _run_study(self, config: StudyConfig, scenario: str,
+                   progress: ProgressFn) -> Any:
         from repro.core.study import LockdownStudy
 
         study = LockdownStudy(config)
         if scenario == DEFAULT_SCENARIO:
-            return study.run(progress=self.progress, workers=self.workers)
+            return study.run(progress=progress, workers=self.workers)
         if scenario == "counterfactual":
-            return study.run_counterfactual(progress=self.progress,
+            return study.run_counterfactual(progress=progress,
                                             workers=self.workers)
         raise ValueError(f"unknown scenario {scenario!r}; "
                          f"known: {SCENARIOS}")
 
-    def _study_for(self, fingerprint: str, config: StudyConfig,
-                   scenario: str) -> Any:
-        with self._lock:
-            cached = self._studies.get(fingerprint)
-        if cached is not None:
-            return cached
-        artifacts = self._run_study(config, scenario)
-        with self._lock:
-            self._studies[fingerprint] = artifacts
-            self.counters["studies_run"] += 1
-        return artifacts
+    def _deadline_progress(self,
+                           deadline: Optional[Deadline]) -> ProgressFn:
+        """Progress hook that doubles as the in-compute deadline check.
+
+        The study reports progress at every stage boundary (per shard,
+        per analysis), so raising from the hook aborts a compute whose
+        request has already timed out instead of finishing work nobody
+        is waiting for.
+        """
+        if deadline is None:
+            return self.progress
+
+        def report(message: str) -> None:
+            deadline.check("study compute")
+            self.progress(message)
+
+        return report
 
     def _compute_payload(self, artifacts: Any, name: str) -> Any:
         if name == "outcomes":
@@ -122,21 +176,117 @@ class StudyService:
             return outcomes_payload(evaluate_all(artifacts))
         return artifact_payload(getattr(artifacts, name)())
 
+    def _materialize(self, fingerprint: str, config: StudyConfig,
+                     scenario: str, deadline: Optional[Deadline],
+                     ) -> Tuple[Dict[str, Any], Tuple[str, ...]]:
+        """Leader path: run the study once and backfill every artifact.
+
+        Returns ``(payloads stored by this call, their names)``. Only
+        ever executed by a singleflight leader, so the whole
+        run-compute-backfill sequence happens at most once per
+        fingerprint no matter how many requests miss concurrently.
+        """
+        if deadline is not None:
+            deadline.check("compute admission")
+        with self._lock:
+            artifacts = self._studies.get(fingerprint)
+        if artifacts is None:
+            artifacts = self._run_study(
+                config, scenario, self._deadline_progress(deadline))
+            with self._lock:
+                self._studies[fingerprint] = artifacts
+                self.counters["studies_run"] += 1
+        # Warm every analysis through the shared double-checked
+        # fan-out once; per-name serialization below then never
+        # triggers a figure computation of its own.
+        artifacts.compute_all(workers=self.workers)
+        self.store.put_meta(fingerprint, {
+            "fingerprint": fingerprint,
+            "scenario": scenario,
+            "config": config.to_payload(),
+            "fingerprinted": fingerprint_payload(config, scenario),
+        })
+        # The study ran; backfill *every* known artifact (not just the
+        # requested ones) so any later query -- even from a fresh
+        # process -- is a pure store hit.
+        payloads: Dict[str, Any] = {}
+        stored: List[str] = []
+        for name in artifact_names():
+            if deadline is not None:
+                deadline.check("artifact backfill")
+            if self.store.has(fingerprint, name):
+                continue
+            payload = self._compute_payload(artifacts, name)
+            self.store.put(fingerprint, name, payload)
+            payloads[name] = payload
+            stored.append(name)
+        return payloads, tuple(stored)
+
+    def _materialize_coalesced(
+            self, fingerprint: str, config: StudyConfig, scenario: str,
+            deadline: Optional[Deadline],
+    ) -> Tuple[Dict[str, Any], Tuple[str, ...], bool]:
+        """Materialize under singleflight + the compute breaker.
+
+        Returns ``(payloads, stored names, led)``. Breaker accounting
+        belongs to the leader: its success closes the breaker, its
+        failure (other than a deadline expiry, which says nothing about
+        the dependency's health) counts toward opening it. Followers
+        share the leader's outcome, exception included.
+        """
+        def lead() -> Tuple[Dict[str, Any], Tuple[str, ...]]:
+            try:
+                result = self._materialize(fingerprint, config,
+                                           scenario, deadline)
+            except DeadlineExpired:
+                raise
+            # Broad on purpose (RL004-compliant): any compute failure
+            # is recorded against the breaker and re-raised unchanged.
+            except Exception:
+                self.breaker.record_failure()
+                with self._lock:
+                    self.counters["computes_failed"] += 1
+                raise
+            self.breaker.record_success()
+            return result
+
+        outcome, led = self._singleflight.run(fingerprint, lead,
+                                              deadline=deadline)
+        payloads, stored = outcome
+        if not led:
+            with self._lock:
+                self.counters["requests_coalesced"] += 1
+        return payloads, stored, led
+
     # -- queries --------------------------------------------------------
 
     def query(self, config: StudyConfig,
               names: Optional[Sequence[str]] = None,
               scenario: str = DEFAULT_SCENARIO,
-              compute: bool = True) -> QueryResult:
+              compute: bool = True,
+              deadline: Optional[Deadline] = None) -> QueryResult:
         """Serve the named artifacts (all known ones by default).
 
         Cached entries come from the store; with ``compute=True`` the
-        missing ones are computed by running the study at most once and
-        fanning the analyses out via ``StudyArtifacts.compute_all``.
-        With ``compute=False`` missing artifacts are simply absent from
-        the result (read-only mode, used by the HTTP server's default
-        path).
+        missing ones are computed by running the study at most once
+        globally (singleflight) and fanning the analyses out via
+        ``StudyArtifacts.compute_all``. With ``compute=False`` missing
+        artifacts are simply absent from the result (read-only mode,
+        used by the HTTP server's default path). ``deadline`` bounds
+        the whole query; expiry raises :class:`DeadlineExpired`.
         """
+        try:
+            return self._query(config, names=names, scenario=scenario,
+                               compute=compute, deadline=deadline)
+        except DeadlineExpired:
+            with self._lock:
+                self.counters["deadline_expired"] += 1
+            raise
+
+    def _query(self, config: StudyConfig,
+               names: Optional[Sequence[str]],
+               scenario: str, compute: bool,
+               deadline: Optional[Deadline]) -> QueryResult:
         fingerprint = study_fingerprint(config, scenario)
         known = artifact_names()
         requested = tuple(names) if names else known
@@ -144,6 +294,8 @@ class StudyService:
             if name not in known:
                 raise ValueError(f"unknown artifact {name!r}; "
                                  f"known: {known}")
+        if deadline is not None:
+            deadline.check("query admission")
 
         payloads: Dict[str, Any] = {}
         served, missing, corrupt = [], [], []
@@ -165,32 +317,42 @@ class StudyService:
                 corrupt.append(name)
 
         computed: Tuple[str, ...] = ()
+        degraded = False
+        coalesced = False
         if missing and compute:
-            artifacts = self._study_for(fingerprint, config, scenario)
-            # Warm every analysis through the shared double-checked
-            # fan-out once; per-name serialization below then never
-            # triggers a figure computation of its own.
-            artifacts.compute_all(workers=self.workers)
-            self.store.put_meta(fingerprint, {
-                "fingerprint": fingerprint,
-                "scenario": scenario,
-                "config": config.to_payload(),
-                "fingerprinted": fingerprint_payload(config, scenario),
-            })
-            # The study ran; backfill *every* known artifact (not just
-            # the requested ones) so any later query -- even from a
-            # fresh process -- is a pure store hit. ``computed`` lists
-            # everything stored by this query.
-            stored = []
-            for name in known:
-                if self.store.has(fingerprint, name):
-                    continue
-                payload = self._compute_payload(artifacts, name)
-                self.store.put(fingerprint, name, payload)
-                stored.append(name)
-                if name in requested:
-                    payloads[name] = payload
-            computed = tuple(stored)
+            if not self.breaker.allow():
+                # Breaker open: serve what the store had, say so, and
+                # never touch the failing compute path.
+                degraded = True
+                with self._lock:
+                    self.counters["requests_degraded"] += 1
+                self.progress(f"[serve] compute breaker open; serving "
+                              f"{fingerprint[:12]} degraded "
+                              f"({len(served)}/{len(requested)} "
+                              f"artifacts)")
+            else:
+                flight_payloads, stored, led = \
+                    self._materialize_coalesced(fingerprint, config,
+                                                scenario, deadline)
+                if led:
+                    computed = stored
+                else:
+                    coalesced = True
+                for name in missing:
+                    if name in flight_payloads:
+                        payloads[name] = flight_payloads[name]
+                        if not led:
+                            served.append(name)
+                    elif self.store.has(fingerprint, name):
+                        # The flight found it already stored (e.g. a
+                        # racing backfill); read it like a cache hit.
+                        payloads[name] = self.store.get(fingerprint,
+                                                        name)
+                        served.append(name)
+                if led:
+                    for name in computed:
+                        if name in requested and name in flight_payloads:
+                            payloads[name] = flight_payloads[name]
 
         recovered = [name for name in corrupt if name in computed]
         with self._lock:
@@ -199,11 +361,14 @@ class StudyService:
             self.counters["artifacts_recovered"] += len(recovered)
         return QueryResult(fingerprint=fingerprint, scenario=scenario,
                            payloads=payloads, served=tuple(served),
-                           computed=computed)
+                           computed=computed, degraded=degraded,
+                           coalesced=coalesced)
 
     def query_fingerprint(self, fingerprint: str,
                           names: Optional[Sequence[str]] = None,
-                          compute: bool = False) -> QueryResult:
+                          compute: bool = False,
+                          deadline: Optional[Deadline] = None,
+                          ) -> QueryResult:
         """Serve artifacts for a fingerprint already known to the store.
 
         The stored meta carries the full config payload, so with
@@ -238,8 +403,19 @@ class StudyService:
         scenario = str(meta.get("scenario", DEFAULT_SCENARIO))
         config = StudyConfig.from_payload(meta.get("config", {}))
         return self.query(config, names=names, scenario=scenario,
-                          compute=compute)
+                          compute=compute, deadline=deadline)
+
+    # -- introspection --------------------------------------------------
 
     def counters_snapshot(self) -> Dict[str, int]:
         with self._lock:
             return dict(self.counters)
+
+    def resilience_snapshot(self) -> Dict[str, Any]:
+        """Counters + breaker/flight state for ``/health`` and eval."""
+        snapshot: Dict[str, Any] = dict(self.counters_snapshot())
+        flights = self._singleflight.counters_snapshot()
+        snapshot["flights_led"] = flights["flights_led"]
+        snapshot["breaker_state"] = self.breaker.state
+        snapshot["flights_in_progress"] = self._singleflight.in_flight()
+        return snapshot

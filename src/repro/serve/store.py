@@ -200,6 +200,19 @@ class ArtifactStore:
     def has(self, fingerprint: str, name: str) -> bool:
         return os.path.exists(self.entry_path(fingerprint, name))
 
+    def reachable(self) -> bool:
+        """Whether the store's root is usable (the readiness probe).
+
+        A fresh root that does not exist yet counts as reachable when
+        it can be created (``put`` creates directories lazily); an
+        unwritable or uncreatable root does not.
+        """
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError:
+            return False
+        return os.access(self.root, os.W_OK | os.X_OK)
+
     def artifact_names(self, fingerprint: str) -> List[str]:
         """Artifacts present for one fingerprint, sorted by name."""
         run_dir = self._run_dir(fingerprint)

@@ -1,0 +1,79 @@
+"""End-to-end ``repro serve`` process tests: bind errors and drains.
+
+These run the real CLI in a subprocess (real sockets, real signals)
+to pin the two ISSUE 10 operational fixes:
+
+* a port collision is a friendly one-line error and exit code 2,
+  never a traceback;
+* ``--port 0`` prints the bound address on stdout (parseable by
+  scripts) and SIGTERM drains gracefully to exit code 0.
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_ENV = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+
+
+def _serve_command(store, *extra):
+    return [sys.executable, "-m", "repro", "serve",
+            "--store", str(store), *extra]
+
+
+def test_port_in_use_is_a_friendly_error_not_a_traceback(tmp_path):
+    squatter = socket.socket()
+    try:
+        squatter.bind(("127.0.0.1", 0))
+        squatter.listen(1)
+        port = squatter.getsockname()[1]
+        result = subprocess.run(
+            _serve_command(tmp_path / "store", "--port", str(port)),
+            capture_output=True, text=True, env=_ENV, timeout=60)
+    finally:
+        squatter.close()
+    assert result.returncode == 2
+    assert f"127.0.0.1:{port} is already in use" in result.stderr
+    assert "--port 0" in result.stderr  # the suggested way out
+    assert "Traceback" not in result.stderr
+    assert "Traceback" not in result.stdout
+
+
+def test_port_zero_prints_bound_address_and_sigterm_drains(tmp_path):
+    process = subprocess.Popen(
+        _serve_command(tmp_path / "store", "--port", "0"),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_ENV)
+    try:
+        # The contract for scripts: the first stdout line carries the
+        # real bound address, even (especially) with --port 0.
+        line = process.stdout.readline().strip()
+        assert line.startswith("listening on http://127.0.0.1:")
+        url = line.split("listening on ", 1)[1]
+        port = int(url.rsplit(":", 1)[1])
+        assert port > 0
+
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+            assert resp.status == 200
+            assert json.loads(resp.read()) == {"status": "alive"}
+
+        # SIGTERM triggers the graceful drain and a clean exit.
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30)
+        assert returncode == 0
+        stderr = process.stderr.read()
+        assert "graceful drain" in stderr
+        assert "drain complete" in stderr
+        assert "final counters" in stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10)
+        process.stdout.close()
+        process.stderr.close()

@@ -1,0 +1,330 @@
+"""Overload chaos: the serving layer under herds, floods and failures.
+
+Each scenario drives a real ArtifactServer (real sockets, real
+ThreadingHTTPServer, real admission gate) with the study stubbed for
+speed, and pins the ISSUE 10 overload contract:
+
+* a thundering herd of cold misses costs exactly one compute;
+* saturation sheds with structured 429 + Retry-After -- every request
+  gets *some* structured status, none hang or drop;
+* slowloris clients lose their connection at the header timeout;
+* a compute-failure storm turns into structured 500s, then breaker-open
+  degraded 503s -- never a crash;
+* SIGTERM-style drain finishes in-flight work (200) while refusing new
+  work (503), losing zero requests;
+* a clean low-load run is explicitly non-degraded with zero shed.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+from repro.config import StudyConfig
+from repro.serve.fingerprint import DEFAULT_SCENARIO, study_fingerprint
+from repro.serve.resilience import ResiliencePolicy
+from repro.serve.server import ArtifactServer
+from repro.serve.store import ArtifactStore
+from tests.serve._stub import StubService
+
+#: Client-side verdicts: every request must end in ``status``; a
+#: ``dropped`` outcome (connection died without an HTTP status) is the
+#: contract violation the suite exists to catch.
+STRUCTURED = "status"
+DROPPED = "dropped"
+
+
+def _fetch(url, timeout=30.0):
+    """GET returning ('status', code, payload) or ('dropped', err)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return (STRUCTURED, resp.status,
+                    json.loads(resp.read()), dict(resp.headers))
+    except urllib.error.HTTPError as error:
+        return (STRUCTURED, error.code, json.loads(error.read()),
+                dict(error.headers))
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        return (DROPPED, repr(error), None, None)
+
+
+def _spawn_server(tmp_path, policy, **service_kwargs):
+    """A background server over a stub service with stored meta.
+
+    The store starts with *meta only* (no artifacts), so
+    ``?compute=1`` requests are genuine cold misses that the service
+    must materialize -- the herd scenarios hinge on that.
+    """
+    store = ArtifactStore(str(tmp_path / "store"))
+    config = StudyConfig.ci_scale()
+    fingerprint = study_fingerprint(config)
+    store.put_meta(fingerprint, {
+        "fingerprint": fingerprint,
+        "scenario": DEFAULT_SCENARIO,
+        "config": config.to_payload(),
+    })
+    service = StubService(store, policy=policy, **service_kwargs)
+    server = ArtifactServer(store, service=service,
+                            policy=policy).start_background()
+    return server, service, fingerprint
+
+
+def _client_storm(url, count):
+    """``count`` concurrent GETs, barrier-aligned; returns verdicts."""
+    barrier = threading.Barrier(count)
+    verdicts = [None] * count
+
+    def client(index):
+        barrier.wait(timeout=30.0)
+        verdicts[index] = _fetch(url)
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(count)]
+    for thread in threads:
+        thread.start()
+    return threads, verdicts
+
+
+def test_thundering_herd_coalesces_to_one_compute(tmp_path):
+    """32 concurrent cold misses on one artifact: one study run."""
+    herd = 32
+    policy = ResiliencePolicy(max_concurrent=herd, queue_depth=herd,
+                              default_deadline_seconds=60.0)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    service.run_gate = threading.Event()
+    try:
+        url = f"{server.url}/artifacts/{fingerprint}/summary?compute=1"
+        threads, verdicts = _client_storm(url, herd)
+        service.run_started.wait(timeout=30.0)
+        # Give followers time to pile onto the in-flight compute, then
+        # let the (single) leader finish.
+        for _ in range(5000):
+            if service._singleflight.counters["requests_coalesced"] >= 1:
+                break
+            threading.Event().wait(0.001)
+        service.run_gate.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        assert all(v is not None for v in verdicts)
+        assert [v[0] for v in verdicts] == [STRUCTURED] * herd
+        assert [v[1] for v in verdicts] == [200] * herd
+        for _, _, payload, _ in verdicts:
+            assert payload["payload"] == {"artifact": "summary",
+                                          "seed": 7}
+            assert payload["degraded"] is False
+        # The acceptance criterion: the herd cost exactly one compute.
+        assert service.run_calls == 1
+        assert service.counters["studies_run"] == 1
+        sources = {v[2]["source"] for v in verdicts}
+        assert "computed" in sources  # the leader
+        assert sources <= {"computed", "coalesced", "store"}
+    finally:
+        server.shutdown()
+
+
+def test_saturation_sheds_structured_429_never_drops(tmp_path):
+    """Beyond slots+queue every request still gets a status code."""
+    storm = 8
+    policy = ResiliencePolicy(max_concurrent=1, queue_depth=1,
+                              queue_wait_seconds=0.2,
+                              retry_after_seconds=2.0)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    service.run_gate = threading.Event()
+    try:
+        url = f"{server.url}/artifacts/{fingerprint}/summary?compute=1"
+        threads, verdicts = _client_storm(url, storm)
+        service.run_started.wait(timeout=30.0)
+        # The single slot is pinned mid-compute; the queue (depth 1)
+        # fills; everyone else must be shed *now*. Wait for the gate to
+        # have turned the excess away before releasing the compute.
+        for _ in range(10000):
+            if server.gate.counters["requests_shed"] >= storm - 2:
+                break
+            threading.Event().wait(0.001)
+        service.run_gate.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+        # The overload contract: zero dropped-without-response.
+        assert [v[0] for v in verdicts] == [STRUCTURED] * storm
+        statuses = sorted(v[1] for v in verdicts)
+        assert set(statuses) <= {200, 429}
+        assert statuses.count(200) >= 1      # admitted work finished
+        assert statuses.count(429) >= storm - 2  # the shed majority
+        for kind, status, payload, headers in verdicts:
+            if status == 429:
+                assert payload["error"] == ("server saturated; "
+                                            "request shed")
+                assert headers["Retry-After"] == "2"
+        shed = server.gate.counters_snapshot()["requests_shed"]
+        assert shed == statuses.count(429)
+    finally:
+        server.shutdown()
+
+
+def test_slowloris_client_is_evicted_at_header_timeout(tmp_path):
+    """A trickling client loses its socket; the server keeps serving."""
+    policy = ResiliencePolicy(header_timeout_seconds=0.3)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    try:
+        host, port = server.address
+        attacker = socket.create_connection((host, port), timeout=10.0)
+        attacker.settimeout(10.0)
+        try:
+            # A request line with no terminating blank line: the
+            # handler blocks reading headers until its socket timeout.
+            attacker.sendall(b"GET /health HTTP/1.1\r\n")
+            received = attacker.recv(4096)
+            # The server hung up (empty read) rather than waiting
+            # forever for the rest of the headers.
+            assert received == b""
+        finally:
+            attacker.close()
+        # And the eviction cost nothing: a well-formed request on a
+        # fresh connection is served immediately.
+        kind, status, payload, _ = _fetch(server.url + "/healthz")
+        assert (kind, status) == (STRUCTURED, 200)
+        assert payload == {"status": "alive"}
+    finally:
+        server.shutdown()
+
+
+def test_compute_failure_storm_degrades_behind_the_breaker(tmp_path):
+    """Failing computes: structured 500s, then breaker-open 503s."""
+    policy = ResiliencePolicy(breaker_failure_limit=2,
+                              breaker_reset_seconds=300.0)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    service.fail_with = RuntimeError("dataset offline")
+    try:
+        url = f"{server.url}/artifacts/{fingerprint}/summary?compute=1"
+        # Each failure is a *structured* 500, not a dropped connection.
+        for _ in range(policy.breaker_failure_limit):
+            kind, status, payload, _ = _fetch(url)
+            assert (kind, status) == (STRUCTURED, 500)
+            assert "dataset offline" in payload["error"]
+        # The breaker is open now; the compute path is never touched
+        # again and the (empty) store has nothing to degrade to: 503.
+        runs_before = service.run_calls
+        kind, status, payload, headers = _fetch(url)
+        assert (kind, status) == (STRUCTURED, 503)
+        assert payload["degraded"] is True
+        assert payload["breaker_state"] == "open"
+        assert "Retry-After" in headers
+        assert service.run_calls == runs_before
+        # Readiness says "not ready" while the breaker is open...
+        kind, status, payload, _ = _fetch(server.url + "/readyz")
+        assert (kind, status) == (STRUCTURED, 503)
+        assert payload["checks"]["breaker_closed"] is False
+        # ...but liveness and /health still answer 200 (ops plane).
+        assert _fetch(server.url + "/healthz")[1] == 200
+        kind, status, payload, _ = _fetch(server.url + "/health")
+        assert status == 200
+        assert payload["resilience"]["breaker_state"] == "open"
+        assert payload["resilience"]["computes_failed"] == 2
+    finally:
+        server.shutdown()
+
+
+def test_drain_under_load_finishes_in_flight_refuses_new(tmp_path):
+    """Graceful drain: in-flight 200s complete, new requests get 503,
+    zero requests are lost."""
+    policy = ResiliencePolicy(max_concurrent=4, queue_depth=4,
+                              drain_deadline_seconds=30.0)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    service.run_gate = threading.Event()
+    try:
+        url = f"{server.url}/artifacts/{fingerprint}/summary?compute=1"
+        in_flight = []
+        client = threading.Thread(
+            target=lambda: in_flight.append(_fetch(url)))
+        client.start()
+        service.run_started.wait(timeout=30.0)
+
+        # Drain begins (as the SIGTERM handler would trigger it) while
+        # the request above is pinned mid-compute.
+        server.request_drain()
+        assert server.draining
+
+        # The ops plane stays visible during the drain window...
+        kind, status, payload, _ = _fetch(server.url + "/health")
+        assert (kind, status) == (STRUCTURED, 200)
+        assert payload["draining"] is True
+        # ...readiness flips to "not ready"...
+        assert _fetch(server.url + "/readyz")[1] == 503
+        # ...and new data-plane work is refused with a structured 503.
+        kind, status, payload, headers = _fetch(url)
+        assert (kind, status) == (STRUCTURED, 503)
+        assert payload["draining"] is True
+        assert "Retry-After" in headers
+
+        # Now let the in-flight compute finish: it must complete with
+        # a full 200 -- drain never abandons admitted work.
+        service.run_gate.set()
+        client.join(timeout=30.0)
+        assert in_flight and in_flight[0][0] == STRUCTURED
+        assert in_flight[0][1] == 200
+        assert in_flight[0][2]["payload"] == {"artifact": "summary",
+                                              "seed": 7}
+
+        # The background drain then shuts the listener down cleanly.
+        for _ in range(10000):
+            if not server._serving.is_set():
+                break
+            threading.Event().wait(0.001)
+        assert not server._serving.is_set()
+        assert server.gate.counters_snapshot()[
+            "requests_refused_draining"] >= 1
+    finally:
+        server.shutdown()
+
+
+def test_tiny_deadline_is_a_structured_504(tmp_path):
+    policy = ResiliencePolicy(default_deadline_seconds=60.0)
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    service.run_gate = threading.Event()
+    # The compute outlives the request's 200ms budget; the deadline
+    # check inside the compute path turns that into a 504.
+    releaser = threading.Timer(0.4, service.run_gate.set)
+    releaser.start()
+    try:
+        url = (f"{server.url}/artifacts/{fingerprint}/summary"
+               f"?compute=1&deadline_ms=200")
+        kind, status, payload, _ = _fetch(url)
+        assert (kind, status) == (STRUCTURED, 504)
+        assert payload["deadline_expired"] is True
+        assert service.counters["deadline_expired"] == 1
+    finally:
+        releaser.cancel()
+        service.run_gate.set()
+        server.shutdown()
+
+
+def test_clean_low_load_run_is_undegraded_with_zero_shed(tmp_path):
+    """The no-chaos control: sequential traffic sheds nothing,
+    degrades nothing, and serves identical bytes every time."""
+    policy = ResiliencePolicy()
+    server, service, fingerprint = _spawn_server(tmp_path, policy)
+    try:
+        url = f"{server.url}/artifacts/{fingerprint}/summary?compute=1"
+        bodies = []
+        for _ in range(10):
+            kind, status, payload, _ = _fetch(url)
+            assert (kind, status) == (STRUCTURED, 200)
+            assert payload["degraded"] is False
+            bodies.append(json.dumps(payload["payload"],
+                                     sort_keys=True))
+        # Bit-identical serving: the first compute and every store hit
+        # after it return byte-for-byte the same payload.
+        assert len(set(bodies)) == 1
+        kind, status, payload, _ = _fetch(server.url + "/health")
+        assert status == 200
+        resilience = payload["resilience"]
+        assert resilience["requests_shed"] == 0
+        assert resilience["requests_coalesced"] == 0
+        assert resilience["requests_degraded"] == 0
+        assert resilience["deadline_expired"] == 0
+        assert resilience["breaker_state"] == "closed"
+        assert resilience["studies_run"] == 1
+    finally:
+        server.shutdown()

@@ -33,7 +33,34 @@ def _get_error(server, path):
 def test_health(server):
     status, payload = _get(server, "/health")
     assert status == 200
-    assert payload == {"status": "ok", "fingerprints": 1}
+    assert payload["status"] == "ok"
+    assert payload["fingerprints"] == 1
+    assert payload["draining"] is False
+    # The resilience counters ride on /health (ISSUE 10 satellite).
+    resilience = payload["resilience"]
+    for key in ("requests_shed", "requests_coalesced",
+                "deadline_expired", "breaker_state", "studies_run"):
+        assert key in resilience, key
+    assert resilience["breaker_state"] == "closed"
+    assert resilience["requests_shed"] == 0
+
+
+def test_healthz_liveness(server):
+    status, payload = _get(server, "/healthz")
+    assert status == 200
+    assert payload == {"status": "alive"}
+
+
+def test_readyz_ready(server):
+    status, payload = _get(server, "/readyz")
+    assert status == 200
+    assert payload["ready"] is True
+    assert payload["checks"] == {
+        "store_reachable": True,
+        "breaker_closed": True,
+        "queue_below_high_water": True,
+        "not_draining": True,
+    }
 
 
 def test_fingerprint_listing(server, ci_config):
@@ -110,3 +137,60 @@ def test_compute_without_meta_404s(tmp_path):
         assert "could not be computed" in payload["error"]
     finally:
         server.shutdown()
+
+
+def test_artifact_envelope_reports_degraded_false(server, ci_config):
+    """Clean low-load serving is explicitly non-degraded."""
+    fingerprint = study_fingerprint(ci_config)
+    status, artifact = _get(server, f"/artifacts/{fingerprint}/summary")
+    assert status == 200
+    assert artifact["degraded"] is False
+
+
+def test_invalid_deadline_is_400(server, ci_config):
+    fingerprint = study_fingerprint(ci_config)
+    code, payload = _get_error(
+        server, f"/artifacts/{fingerprint}/summary?deadline_ms=-5")
+    assert code == 400
+    assert "deadline_ms" in payload["error"]
+
+
+def test_shutdown_before_serving_does_not_hang(tmp_path):
+    """shutdown() on a never-started server closes the socket cleanly.
+
+    The pre-ISSUE-10 teardown called ``ThreadingHTTPServer.shutdown()``
+    unconditionally, which blocks forever unless serve_forever is
+    running -- and it leaked the listening fd between tests when the
+    background thread had already died.
+    """
+    server = ArtifactServer(ArtifactStore(str(tmp_path)))
+    host, port = server.address
+    server.shutdown()  # must return promptly, not hang
+    # The listening socket really is closed: the port is rebindable.
+    import socket
+
+    probe = socket.socket()
+    try:
+        probe.bind((host, port))
+    finally:
+        probe.close()
+
+
+def test_shutdown_is_idempotent(tmp_path):
+    server = ArtifactServer(ArtifactStore(str(tmp_path)))
+    server.start_background()
+    server.shutdown()
+    server.shutdown()  # second call is a no-op, not an error
+
+
+def test_start_background_is_idempotent(tmp_path):
+    """Double-starting must not spawn a second serve loop."""
+    server = ArtifactServer(ArtifactStore(str(tmp_path)))
+    try:
+        first = server.start_background()._thread
+        second = server.start_background()._thread
+        assert first is second
+        assert first.is_alive()
+    finally:
+        server.shutdown()
+        assert server._thread is None

@@ -47,7 +47,13 @@ def test_first_query_computes_then_second_serves(populated_store, ci_config):
         "artifacts_computed": 0,
         "artifacts_recovered": 0,
         "studies_run": 0,
+        "requests_coalesced": 0,
+        "deadline_expired": 0,
+        "requests_degraded": 0,
+        "computes_failed": 0,
     }
+    assert result.degraded is False
+    assert result.coalesced is False
 
 
 def test_single_run_backfills_every_artifact(tmp_path, ci_config):
